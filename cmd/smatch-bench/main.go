@@ -1,0 +1,141 @@
+// Command smatch-bench regenerates every table and figure from the paper's
+// evaluation section. Run it with no flags for the full suite, or select
+// individual experiments:
+//
+//	smatch-bench -exp table1            # Table I  feature comparison
+//	smatch-bench -exp table2            # Table II dataset properties
+//	smatch-bench -exp fig1              # Fig 1    OPE leakage pruning
+//	smatch-bench -exp fig4a             # Fig 4(a) entropy after increase+chaining
+//	smatch-bench -exp fig4b             # Fig 4(b) true positive rate vs theta
+//	smatch-bench -exp fig4c|fig4d|fig4e # Fig 4(c-e) client cost per dataset
+//	smatch-bench -exp fig5a|fig5b|fig5c # Fig 5(a-c) server cost per dataset
+//	smatch-bench -exp fig5d|fig5e|fig5f # Fig 5(d-f) communication cost per dataset
+//
+// -quick trims the parameter sweeps for a fast sanity pass; -csv emits
+// machine-readable output; -weibo-nodes rescales the Weibo stand-in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"smatch/internal/dataset"
+	"smatch/internal/experiment"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment to run (all, table1, table2, fig1, fig4a, fig4b, fig4c..e, fig5a..f, ablation1, ablation2)")
+		quick      = flag.Bool("quick", false, "trim sweeps for a fast pass (k up to 512, 3 thetas)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		weiboNodes = flag.Int("weibo-nodes", 1000, "node count for the Weibo stand-in (paper: 1000000)")
+		costUsers  = flag.Int("cost-users", 3, "users averaged per point in the cost experiments")
+		outPath    = flag.String("out", "", "also write the report to this file")
+	)
+	flag.Parse()
+
+	opts := experiment.Options{WeiboNodes: *weiboNodes, CostUsers: *costUsers}
+	if *quick {
+		opts.PlaintextSizes = []uint{64, 128, 256, 512}
+		opts.Thetas = []int{5, 8, 10}
+	}
+
+	var sink io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smatch-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = io.MultiWriter(os.Stdout, f)
+	}
+	if err := run(sink, *exp, opts, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "smatch-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exp string, opts experiment.Options, csv bool) error {
+	names := []string{exp}
+	if exp == "all" {
+		names = []string{"table1", "table2", "fig1", "fig4a", "fig4b",
+			"fig4c", "fig4d", "fig4e", "fig5a", "fig5b", "fig5c",
+			"fig5d", "fig5e", "fig5f", "ablation1", "ablation2", "ablation3", "ablation4"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		table, err := runOne(name, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if csv {
+			fmt.Fprintf(w, "# %s — %s\n%s\n", table.ID, table.Title, table.CSV())
+		} else {
+			fmt.Fprintln(w, table.Render())
+		}
+		fmt.Fprintf(w, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func runOne(name string, opts experiment.Options) (*experiment.Table, error) {
+	perDataset := func(suffix string, order string) (*dataset.Dataset, error) {
+		idx := strings.Index(order, suffix)
+		if idx < 0 {
+			return nil, fmt.Errorf("unknown experiment variant %q", suffix)
+		}
+		switch idx {
+		case 0:
+			return dataset.Infocom06(), nil
+		case 1:
+			return dataset.Sigcomm09(), nil
+		default:
+			return dataset.Weibo(opts.WeiboNodes), nil
+		}
+	}
+	switch name {
+	case "table1":
+		return experiment.Table1(), nil
+	case "table2":
+		return experiment.Table2(opts.WeiboNodes), nil
+	case "fig1":
+		return experiment.Fig1()
+	case "fig4a":
+		return experiment.Fig4a(opts)
+	case "fig4b":
+		return experiment.Fig4b(opts)
+	case "fig4c", "fig4d", "fig4e":
+		ds, err := perDataset(name[4:], "cde")
+		if err != nil {
+			return nil, err
+		}
+		return experiment.Fig4Client(ds, opts)
+	case "fig5a", "fig5b", "fig5c":
+		ds, err := perDataset(name[4:], "abc")
+		if err != nil {
+			return nil, err
+		}
+		return experiment.Fig5Server(ds, opts)
+	case "fig5d", "fig5e", "fig5f":
+		ds, err := perDataset(name[4:], "def")
+		if err != nil {
+			return nil, err
+		}
+		return experiment.Fig5Comm(ds, opts)
+	case "ablation1":
+		return experiment.AblationMultiProbe(dataset.Infocom06(), opts.Thetas, nil)
+	case "ablation2":
+		return experiment.AblationServerSort(dataset.Infocom06())
+	case "ablation3":
+		return experiment.AblationRS(dataset.Infocom06(), opts.Thetas)
+	case "ablation4":
+		return experiment.AccuracyComparison(dataset.Infocom06(), 8, 5)
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", name)
+	}
+}

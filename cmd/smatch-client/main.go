@@ -1,0 +1,157 @@
+// Command smatch-client drives an S-MATCH server as one or many user
+// devices. Profiles come from the built-in synthetic datasets, so a full
+// deployment can be exercised with three commands:
+//
+//	smatch-server -listen 127.0.0.1:7788 &
+//	smatch-client -server 127.0.0.1:7788 -cmd upload-all
+//	smatch-client -server 127.0.0.1:7788 -cmd query -user 7 -verify
+//
+// The device derives its fuzzy profile key through the server's RSA-OPRF
+// (fetching the OPRF public key over the wire), uploads the encrypted
+// chain, queries for matches, and verifies the results' authentication
+// information.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"smatch/internal/client"
+	"smatch/internal/core"
+	"smatch/internal/dataset"
+	"smatch/internal/profile"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "127.0.0.1:7788", "server address")
+		dsName  = flag.String("dataset", "Infocom06", "deployment dataset (Infocom06, Sigcomm09, Weibo)")
+		cmd     = flag.String("cmd", "", "upload | upload-all | query")
+		userID  = flag.Uint("user", 1, "user ID within the dataset")
+		topK    = flag.Int("topk", core.DefaultTopK, "results per query")
+		theta   = flag.Int("theta", 8, "RS decoder threshold")
+		kBits   = flag.Uint("k", 64, "plaintext size (bits)")
+		verify  = flag.Bool("verify", false, "verify query results (Vf)")
+		timeout = flag.Duration("timeout", 30*time.Second, "request timeout")
+	)
+	flag.Parse()
+
+	if err := run(*server, *dsName, *cmd, profile.ID(*userID), *topK, *theta, *kBits, *verify, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "smatch-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(server, dsName, cmd string, userID profile.ID, topK, theta int, kBits uint, verify bool, timeout time.Duration) error {
+	ds, err := dataset.ByName(dsName)
+	if err != nil {
+		return err
+	}
+	conn, err := client.Dial(server, client.Options{Timeout: timeout})
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	oprfPK, err := conn.OPRFPublicKey()
+	if err != nil {
+		return fmt.Errorf("fetching OPRF key: %w", err)
+	}
+	sys, err := core.NewSystem(ds.Schema, ds.EmpiricalDist(),
+		core.Params{PlaintextBits: kBits, Theta: theta, TopK: topK}, oprfPK, nil)
+	if err != nil {
+		return err
+	}
+
+	device := func(id profile.ID) (*core.Client, error) {
+		return sys.NewClient(conn, []byte(fmt.Sprintf("device-%s-%d", dsName, id)))
+	}
+	userProfile := func(id profile.ID) (profile.Profile, error) {
+		for _, p := range ds.Profiles {
+			if p.ID == id {
+				return p, nil
+			}
+		}
+		return profile.Profile{}, fmt.Errorf("user %d not in %s (%d users)", id, dsName, len(ds.Profiles))
+	}
+
+	switch cmd {
+	case "upload":
+		p, err := userProfile(userID)
+		if err != nil {
+			return err
+		}
+		dev, err := device(userID)
+		if err != nil {
+			return err
+		}
+		entry, _, err := dev.PrepareUpload(p)
+		if err != nil {
+			return err
+		}
+		if err := conn.Upload(entry); err != nil {
+			return err
+		}
+		fmt.Printf("uploaded user %d (%d attributes, %d-bit chain)\n", userID, entry.Chain.NumAttrs(), entry.Chain.BitLen())
+		return nil
+
+	case "upload-all":
+		start := time.Now()
+		for _, p := range ds.Profiles {
+			dev, err := device(p.ID)
+			if err != nil {
+				return err
+			}
+			entry, _, err := dev.PrepareUpload(p)
+			if err != nil {
+				return fmt.Errorf("user %d: %w", p.ID, err)
+			}
+			if err := conn.Upload(entry); err != nil {
+				return fmt.Errorf("user %d: %w", p.ID, err)
+			}
+		}
+		fmt.Printf("uploaded %d users from %s in %v\n", len(ds.Profiles), dsName, time.Since(start).Round(time.Millisecond))
+		return nil
+
+	case "query":
+		p, err := userProfile(userID)
+		if err != nil {
+			return err
+		}
+		dev, err := device(userID)
+		if err != nil {
+			return err
+		}
+		results, err := conn.Query(userID, topK)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("user %d: %d match(es)\n", userID, len(results))
+		if !verify {
+			for _, r := range results {
+				fmt.Printf("  match: user %d\n", r.ID)
+			}
+			return nil
+		}
+		key, err := dev.Keygen(p)
+		if err != nil {
+			return err
+		}
+		verified, rejected, err := dev.VerifyResults(key, results)
+		if err != nil {
+			return err
+		}
+		for _, r := range verified {
+			fmt.Printf("  match: user %d (verified)\n", r.ID)
+		}
+		if rejected > 0 {
+			fmt.Printf("  REJECTED %d result(s): failed Vf — fake or non-matching\n", rejected)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown -cmd %q (want upload, upload-all or query)", cmd)
+	}
+}

@@ -1,0 +1,79 @@
+// Command smatch-datagen emits or inspects the synthetic evaluation
+// datasets (the Table II stand-ins).
+//
+//	smatch-datagen -dataset Weibo -nodes 5000 -out weibo.csv
+//	smatch-datagen -dataset Infocom06 -stats
+//	smatch-datagen -in mydump.csv -stats   # analyze an external profile dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smatch/internal/dataset"
+)
+
+func main() {
+	var (
+		name  = flag.String("dataset", "Infocom06", "dataset (Infocom06, Sigcomm09, Weibo)")
+		nodes = flag.Int("nodes", 0, "override node count (Weibo only; 0 = default)")
+		out   = flag.String("out", "-", "output CSV path, - for stdout")
+		stats = flag.Bool("stats", false, "print Table II statistics instead of profiles")
+		in    = flag.String("in", "", "load an external CSV dump instead of generating")
+	)
+	flag.Parse()
+
+	if err := run(*name, *nodes, *out, *stats, *in); err != nil {
+		fmt.Fprintln(os.Stderr, "smatch-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, nodes int, out string, stats bool, in string) error {
+	var ds *dataset.Dataset
+	switch {
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if ds, err = dataset.ReadCSV(f, in); err != nil {
+			return err
+		}
+	case name == "Weibo" && nodes > 0:
+		ds = dataset.Weibo(nodes)
+	default:
+		var err error
+		ds, err = dataset.ByName(name)
+		if err != nil {
+			return err
+		}
+	}
+
+	if stats {
+		s := ds.Stats()
+		fmt.Printf("%s: nodes=%d attrs=%d\n", ds.Name, s.Nodes, s.NumAttrs)
+		if p, ok := dataset.PaperTableII[ds.Name]; ok {
+			fmt.Printf("  entropy avg/max/min: %.2f / %.2f / %.2f  (paper: %.2f / %.2f / %.2f)\n",
+				s.AvgEntropy, s.MaxEntropy, s.MinEntropy, p.AvgEntropy, p.MaxEntropy, p.MinEntropy)
+			fmt.Printf("  landmark attrs tau=0.6: %d (paper %d), tau=0.8: %d (paper %d)\n",
+				s.Landmarks06, p.Landmarks06, s.Landmarks08, p.Landmarks08)
+		} else {
+			fmt.Printf("  entropy avg/max/min: %.2f / %.2f / %.2f\n", s.AvgEntropy, s.MaxEntropy, s.MinEntropy)
+			fmt.Printf("  landmark attrs tau=0.6: %d, tau=0.8: %d\n", s.Landmarks06, s.Landmarks08)
+		}
+		return nil
+	}
+
+	if out == "-" {
+		return ds.WriteCSV(os.Stdout)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ds.WriteCSV(f)
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunStats(t *testing.T) {
+	if err := run("Infocom06", 0, "-", true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSVToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.csv")
+	if err := run("Sigcomm09", 0, out, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 77 { // header + 76 users
+		t.Errorf("CSV has %d lines, want 77", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "user_id,") {
+		t.Errorf("bad header: %q", lines[0])
+	}
+	if cols := strings.Count(lines[1], ","); cols != 6 {
+		t.Errorf("row has %d commas, want 6 (ID + 6 attrs)", cols)
+	}
+}
+
+func TestRunWeiboScaled(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "weibo.csv")
+	if err := run("Weibo", 123, out, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 124 {
+		t.Errorf("scaled Weibo CSV has %d lines, want 124", len(lines))
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run("MySpace", 0, "-", true, ""); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestRunLoadExternalCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "dump.csv")
+	if err := run("Infocom06", 0, out, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Reload the dump and print its stats.
+	if err := run("", 0, "-", true, out); err != nil {
+		t.Fatalf("loading external CSV: %v", err)
+	}
+	if err := run("", 0, "-", true, filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing input file accepted")
+	}
+}

@@ -1,0 +1,153 @@
+// Command smatch-server runs the untrusted S-MATCH server: encrypted
+// profile storage, top-k matching, and the RSA-OPRF evaluator clients use
+// for fuzzy key generation, all over TCP+TLS (a self-signed certificate is
+// generated at startup).
+//
+//	smatch-server -listen 127.0.0.1:7788 -oprf-bits 2048
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"smatch/internal/match"
+	"smatch/internal/oprf"
+	"smatch/internal/server"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7788", "address to listen on")
+		oprfBits  = flag.Int("oprf-bits", 2048, "RSA-OPRF modulus size")
+		maxTopK   = flag.Int("max-topk", 100, "cap on per-query result count")
+		storePath = flag.String("store", "", "snapshot file: restored at startup, saved on shutdown and every 5 minutes")
+	)
+	flag.Parse()
+
+	if err := run(*listen, *oprfBits, *maxTopK, *storePath); err != nil {
+		fmt.Fprintln(os.Stderr, "smatch-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, oprfBits, maxTopK int, storePath string) error {
+	log.Printf("generating %d-bit RSA-OPRF key...", oprfBits)
+	oprfSrv, err := oprf.NewServer(oprfBits)
+	if err != nil {
+		return err
+	}
+	pk := oprfSrv.PublicKey()
+	log.Printf("OPRF public key: N=%d bits, e=%d", pk.N.BitLen(), pk.E)
+
+	var store *match.Server
+	if storePath != "" {
+		store, err = loadStore(storePath)
+		if err != nil {
+			return err
+		}
+	}
+	srv, err := server.New(server.Config{
+		OPRF:        oprfSrv,
+		MaxTopK:     maxTopK,
+		ReadTimeout: 60 * time.Second,
+		Logf:        log.Printf,
+		Store:       store,
+	})
+	if err != nil {
+		return err
+	}
+	addr, err := srv.Listen(listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("listening on %s (TLS, self-signed)", addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		ticker := time.NewTicker(30 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				log.Printf("stored profiles: %d in %d key buckets",
+					srv.Store().NumUsers(), srv.Store().NumBuckets())
+			}
+		}
+	}()
+	if storePath != "" {
+		go func() {
+			ticker := time.NewTicker(5 * time.Minute)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := saveStore(srv.Store(), storePath); err != nil {
+						log.Printf("periodic snapshot: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	err = srv.Serve(ctx)
+	if storePath != "" {
+		if serr := saveStore(srv.Store(), storePath); serr != nil {
+			log.Printf("final snapshot: %v", serr)
+		} else {
+			log.Printf("snapshot saved to %s (%d users)", storePath, srv.Store().NumUsers())
+		}
+	}
+	log.Printf("shut down")
+	return err
+}
+
+// loadStore restores a snapshot if the file exists; a missing file starts
+// an empty store (first run).
+func loadStore(path string) (*match.Server, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		log.Printf("no snapshot at %s; starting empty", path)
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	store, err := match.Restore(f)
+	if err != nil {
+		return nil, fmt.Errorf("restoring %s: %w", path, err)
+	}
+	log.Printf("restored %d users from %s", store.NumUsers(), path)
+	return store, nil
+}
+
+// saveStore writes a snapshot atomically (temp file + rename).
+func saveStore(store *match.Server, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := store.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

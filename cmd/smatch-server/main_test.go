@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"math/big"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smatch/internal/chain"
+	"smatch/internal/match"
+	"smatch/internal/profile"
+)
+
+func testStore(t *testing.T, users int) *match.Server {
+	t.Helper()
+	s := match.NewServer()
+	for i := 1; i <= users; i++ {
+		err := s.Upload(match.Entry{
+			ID:      profile.ID(i),
+			KeyHash: []byte("bucket"),
+			Chain:   &chain.Chain{Cts: []*big.Int{big.NewInt(int64(i))}, CtBits: 48},
+			Auth:    []byte{byte(i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestSaveLoadStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.bin")
+	orig := testStore(t, 7)
+	if err := saveStore(orig, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumUsers() != 7 {
+		t.Errorf("restored %d users, want 7", got.NumUsers())
+	}
+	// No stray temp file.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind")
+	}
+}
+
+func TestLoadStoreMissingFileStartsEmpty(t *testing.T) {
+	got, err := loadStore(filepath.Join(t.TempDir(), "absent.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Error("missing snapshot should return a nil store (empty start)")
+	}
+}
+
+func TestLoadStoreCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(path, []byte("definitely not a snapshot"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadStore(path); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+}
+
+func TestSaveStoreAtomicOnError(t *testing.T) {
+	// Saving into a nonexistent directory fails cleanly without a partial
+	// target file.
+	path := filepath.Join(t.TempDir(), "no-such-dir", "store.bin")
+	if err := saveStore(testStore(t, 1), path); err == nil {
+		t.Error("save into missing directory succeeded")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("partial target file created")
+	}
+}
+
+func TestSnapshotBytesStable(t *testing.T) {
+	// Two snapshots of the same store decode to equivalent stores (the
+	// byte stream may reorder map iteration, so compare semantically).
+	s := testStore(t, 5)
+	var a, b bytes.Buffer
+	if err := s.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := match.Restore(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := match.Restore(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.NumUsers() != rb.NumUsers() || ra.NumBuckets() != rb.NumBuckets() {
+		t.Error("two snapshots of the same store restore differently")
+	}
+}

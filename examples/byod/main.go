@@ -1,0 +1,110 @@
+// BYOD ("bring your own data"): run S-MATCH over an external profile dump.
+//
+// The program writes a small CSV in the smatch-datagen format (pretending
+// it came from your own service), loads it back with ReadDatasetCSV —
+// which infers attribute domains and empirical value distributions — and
+// runs the full matching + verification pipeline over it.
+//
+//	go run ./examples/byod
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"smatch"
+)
+
+const dump = `user_id,team,seniority,coffee_score,climbing_grade
+1,0,2,14,8
+2,0,2,15,9
+3,0,3,13,8
+4,1,1,40,2
+5,1,1,41,3
+6,1,2,39,2
+7,2,4,70,30
+8,2,4,71,31
+9,0,2,16,9
+10,2,4,69,29
+`
+
+func main() {
+	// Pretend this came from your HR system.
+	dir, err := os.MkdirTemp("", "smatch-byod")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "team.csv")
+	if err := os.WriteFile(path, []byte(dump), 0o600); err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := smatch.ReadDatasetCSV(f, "team-dump")
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %q: %d users, %d attributes\n", ds.Name, len(ds.Profiles), ds.Schema.NumAttrs())
+	names := make([]string, 0, ds.Schema.NumAttrs())
+	for _, a := range ds.Schema.Attrs {
+		names = append(names, fmt.Sprintf("%s(%d values)", a.Name, a.NumValues))
+	}
+	fmt.Printf("inferred schema: %s\n\n", strings.Join(names, ", "))
+
+	// Deploy over the loaded data.
+	oprfServer, err := smatch.NewOPRFServer(1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := smatch.NewSystem(ds.Schema, ds.Dist,
+		smatch.Params{PlaintextBits: 64, Theta: 2}, oprfServer.PublicKey(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := smatch.NewMatchServer()
+	keys := map[smatch.ID]*smatch.Key{}
+	for _, p := range ds.Profiles {
+		dev, err := sys.NewClient(oprfServer, []byte(fmt.Sprintf("laptop-%d", p.ID)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		entry, key, err := dev.PrepareUpload(p)
+		if err != nil {
+			log.Fatalf("user %d: %v", p.ID, err)
+		}
+		if err := server.Upload(entry); err != nil {
+			log.Fatal(err)
+		}
+		keys[p.ID] = key
+	}
+	fmt.Printf("uploaded %d encrypted profiles into %d key buckets\n\n", server.NumUsers(), server.NumBuckets())
+
+	// Everyone queries; verified matches should be teammates.
+	for _, p := range ds.Profiles {
+		dev, err := sys.NewClient(oprfServer, []byte(fmt.Sprintf("laptop-%d", p.ID)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := server.Match(p.ID, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verified, _, err := dev.VerifyResults(keys[p.ID], results)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids := make([]string, 0, len(verified))
+		for _, r := range verified {
+			ids = append(ids, fmt.Sprint(r.ID))
+		}
+		fmt.Printf("user %2d -> verified matches: [%s]\n", p.ID, strings.Join(ids, " "))
+	}
+}

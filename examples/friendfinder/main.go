@@ -1,0 +1,129 @@
+// Friendfinder: a conference friend-finder over a real TCP/TLS deployment,
+// mirroring the paper's Android-client/PC-server testbed on the
+// Infocom06-like dataset.
+//
+// The program starts an S-MATCH server on a loopback port, registers every
+// conference attendee through the network protocol (fetching the OPRF
+// public key, running the blind key-generation rounds, uploading encrypted
+// chains), then lets a few attendees query for people with similar
+// registration profiles and verify the answers.
+//
+//	go run ./examples/friendfinder
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"smatch"
+)
+
+func main() {
+	// --- server side (the service operator's machine) ---
+	oprfServer, err := smatch.NewOPRFServer(1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := smatch.NewNetServer(smatch.NetServerConfig{OPRF: oprfServer})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		if err := srv.Serve(ctx); err != nil {
+			log.Printf("server: %v", err)
+		}
+	}()
+	fmt.Printf("S-MATCH server on %s (TLS)\n", addr)
+
+	// --- client side (attendees' phones) ---
+	ds, err := smatch.DatasetByName("Infocom06")
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn, err := smatch.Dial(addr.String(), smatch.NetOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	oprfPK, err := conn.OPRFPublicKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := smatch.NewSystem(ds.Schema, ds.EmpiricalDist(),
+		smatch.Params{PlaintextBits: 64, Theta: 8}, oprfPK, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	for _, p := range ds.Profiles {
+		dev, err := sys.NewClient(conn, []byte(fmt.Sprintf("phone-%d", p.ID)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		entry, _, err := dev.PrepareUpload(p)
+		if err != nil {
+			log.Fatalf("attendee %d: %v", p.ID, err)
+		}
+		if err := conn.Upload(entry); err != nil {
+			log.Fatalf("attendee %d: %v", p.ID, err)
+		}
+	}
+	fmt.Printf("registered %d attendees in %v (keygen over network OPRF + upload)\n",
+		len(ds.Profiles), time.Since(start).Round(time.Millisecond))
+
+	// A few attendees look for similar people and verify the results.
+	for _, id := range []smatch.ID{3, 17, 42} {
+		var me smatch.Profile
+		for _, p := range ds.Profiles {
+			if p.ID == id {
+				me = p
+				break
+			}
+		}
+		dev, err := sys.NewClient(conn, []byte(fmt.Sprintf("phone-%d", id)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := conn.Query(id, smatch.DefaultTopK)
+		if err != nil {
+			log.Fatal(err)
+		}
+		key, err := dev.Keygen(me)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verified, rejected, err := dev.VerifyResults(key, results)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("attendee %2d: %d candidate(s), %d verified, %d rejected —",
+			id, len(results), len(verified), rejected)
+		for _, r := range verified {
+			var peer smatch.Profile
+			for _, p := range ds.Profiles {
+				if p.ID == r.ID {
+					peer = p
+					break
+				}
+			}
+			d, _ := smatch.Distance(me, peer)
+			fmt.Printf(" user %d (distance %d)", r.ID, d)
+		}
+		fmt.Println()
+	}
+
+	cancel()
+	<-serveDone
+}

@@ -1,0 +1,3 @@
+module smatch
+
+go 1.22

@@ -1,0 +1,117 @@
+// Package chain implements the paper's "Attribute Chaining" step: after the
+// entropy-increase mapping, a user's attributes are permuted into a random
+// order and each is OPE-encrypted, producing the chain
+// E(A'_1) || ... || E(A'_d) that is uploaded to the untrusted server
+// (message format (3) in the paper). Randomizing positions stops an attacker
+// from brute-forcing a single known attribute slot, whose entropy is lower
+// than the whole chain's.
+//
+// The server-side distance (Definition 4) is the difference of
+// order sums, which is invariant under the per-user permutation — that is
+// what lets each user pick an independent secret order without breaking
+// matching.
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"smatch/internal/ope"
+	"smatch/internal/prf"
+)
+
+// Chain is an encrypted, permuted attribute vector as stored on the server.
+type Chain struct {
+	// Cts holds the OPE ciphertexts in chain (permuted) order.
+	Cts []*big.Int
+	// CtBits is the ciphertext width, fixed by the OPE parameters; it
+	// determines the serialized size.
+	CtBits uint
+}
+
+// Codec seals profiles into chains under one OPE scheme (hence one profile
+// key). Safe for concurrent use.
+type Codec struct {
+	scheme *ope.Scheme
+}
+
+// NewCodec wraps an OPE scheme.
+func NewCodec(scheme *ope.Scheme) (*Codec, error) {
+	if scheme == nil {
+		return nil, errors.New("chain: nil OPE scheme")
+	}
+	return &Codec{scheme: scheme}, nil
+}
+
+// Seal permutes the mapped attribute values with a permutation drawn from
+// permCoins (each user derives its own secret stream) and OPE-encrypts each
+// value. len(mapped) is the attribute count d.
+func (c *Codec) Seal(mapped []*big.Int, permCoins *prf.Stream) (*Chain, error) {
+	if len(mapped) == 0 {
+		return nil, errors.New("chain: empty attribute vector")
+	}
+	perm := permCoins.Perm(len(mapped))
+	cts := make([]*big.Int, len(mapped))
+	for i, src := range perm {
+		ct, err := c.scheme.Encrypt(mapped[src])
+		if err != nil {
+			return nil, fmt.Errorf("chain: encrypting attribute %d: %w", src, err)
+		}
+		cts[i] = ct
+	}
+	return &Chain{Cts: cts, CtBits: c.scheme.Params().CiphertextBits}, nil
+}
+
+// OrderSum returns the sum of the chain's ciphertexts, the quantity
+// Definition 4 compares across users. Permutation-invariant by construction.
+func (ch *Chain) OrderSum() *big.Int {
+	sum := new(big.Int)
+	for _, ct := range ch.Cts {
+		sum.Add(sum, ct)
+	}
+	return sum
+}
+
+// NumAttrs returns the number of attributes in the chain.
+func (ch *Chain) NumAttrs() int { return len(ch.Cts) }
+
+// ctBytes returns the serialized width of one ciphertext.
+func ctBytes(ctBits uint) int { return int(ctBits+7) / 8 }
+
+// Bytes serializes the chain as d fixed-width big-endian ciphertexts, the
+// layout the wire protocol and the communication-cost accounting use.
+func (ch *Chain) Bytes() []byte {
+	w := ctBytes(ch.CtBits)
+	out := make([]byte, 0, w*len(ch.Cts))
+	for _, ct := range ch.Cts {
+		out = append(out, ct.FillBytes(make([]byte, w))...)
+	}
+	return out
+}
+
+// BitLen returns the serialized chain size in bits, for the Figure 5(d-f)
+// communication-cost accounting.
+func (ch *Chain) BitLen() int { return len(ch.Cts) * 8 * ctBytes(ch.CtBits) }
+
+// Parse reconstructs a chain of d attributes with the given ciphertext
+// width from its serialized form.
+func Parse(b []byte, d int, ctBits uint) (*Chain, error) {
+	if d <= 0 {
+		return nil, errors.New("chain: non-positive attribute count")
+	}
+	w := ctBytes(ctBits)
+	if len(b) != d*w {
+		return nil, fmt.Errorf("chain: %d bytes, want %d (d=%d, %d bits per ciphertext)", len(b), d*w, d, ctBits)
+	}
+	cts := make([]*big.Int, d)
+	limit := new(big.Int).Lsh(big.NewInt(1), ctBits)
+	for i := 0; i < d; i++ {
+		ct := new(big.Int).SetBytes(b[i*w : (i+1)*w])
+		if ct.Cmp(limit) >= 0 {
+			return nil, fmt.Errorf("chain: ciphertext %d exceeds %d bits", i, ctBits)
+		}
+		cts[i] = ct
+	}
+	return &Chain{Cts: cts, CtBits: ctBits}, nil
+}

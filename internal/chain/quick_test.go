@@ -1,0 +1,36 @@
+package chain
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickParseNeverPanics(t *testing.T) {
+	prop := func(b []byte, d uint8, ctBits uint8) bool {
+		// Parse must reject or accept, never panic, for arbitrary inputs.
+		_, _ = Parse(b, int(d)%40, uint(ctBits))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBytesParseRoundTrip(t *testing.T) {
+	codec := testCodec(t, "quick-key")
+	prop := func(vals [5]uint16) bool {
+		mapped := mapped(int64(vals[0]), int64(vals[1]), int64(vals[2]), int64(vals[3]), int64(vals[4]))
+		ch, err := codec.Seal(mapped, prfStreamForTest())
+		if err != nil {
+			return false
+		}
+		got, err := Parse(ch.Bytes(), ch.NumAttrs(), ch.CtBits)
+		if err != nil {
+			return false
+		}
+		return got.OrderSum().Cmp(ch.OrderSum()) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

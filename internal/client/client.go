@@ -1,0 +1,226 @@
+// Package client is the network transport for an S-MATCH user device: it
+// connects to the untrusted server over TLS and speaks the internal/wire
+// protocol — uploading encrypted profiles, issuing matching queries, and
+// running RSA-OPRF rounds. It implements oprf.Evaluator, so a core.Client
+// can derive profile keys through the network exactly as the paper's
+// Android client does.
+package client
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smatch/internal/match"
+	"smatch/internal/oprf"
+	"smatch/internal/profile"
+	"smatch/internal/wire"
+)
+
+// ErrServer wraps error messages reported by the server.
+var ErrServer = errors.New("client: server error")
+
+// Conn is a client connection. Requests are serialized: the wire protocol
+// is strict request/response per connection. Safe for concurrent use.
+type Conn struct {
+	mu      sync.Mutex
+	conn    *tls.Conn
+	queryID atomic.Uint64
+	timeout time.Duration
+}
+
+// Options tune the connection.
+type Options struct {
+	// Timeout bounds each request round trip. Zero means 30s.
+	Timeout time.Duration
+	// TLSConfig overrides the TLS client configuration. Nil uses
+	// certificate pinning disabled (the reproduction's self-signed
+	// server), matching the paper's testbed trust model.
+	TLSConfig *tls.Config
+}
+
+// Dial connects to an S-MATCH server.
+func Dial(addr string, opts Options) (*Conn, error) {
+	cfg := opts.TLSConfig
+	if cfg == nil {
+		cfg = &tls.Config{InsecureSkipVerify: true} // #nosec G402 — see Options doc
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	nc, err := tls.DialWithDialer(&net.Dialer{Timeout: timeout}, "tcp", addr, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return &Conn{conn: nc, timeout: timeout}, nil
+}
+
+// Close shuts the connection down.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// roundTrip sends one frame and reads the response, translating server
+// error frames.
+func (c *Conn) roundTrip(t wire.MsgType, payload []byte, wantType wire.MsgType) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deadline := time.Now().Add(c.timeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return nil, fmt.Errorf("client: setting deadline: %w", err)
+	}
+	if err := wire.WriteFrame(c.conn, t, payload); err != nil {
+		return nil, err
+	}
+	respType, respPayload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading response: %w", err)
+	}
+	if respType == wire.TypeError {
+		msg, derr := wire.DecodeErrorMsg(respPayload)
+		if derr != nil {
+			return nil, fmt.Errorf("%w: undecodable error frame", ErrServer)
+		}
+		return nil, fmt.Errorf("%w: %s", ErrServer, msg.Text)
+	}
+	if respType != wantType {
+		return nil, fmt.Errorf("client: got message type %d, want %d", respType, wantType)
+	}
+	return respPayload, nil
+}
+
+// Upload sends an encrypted profile record to the server.
+func (c *Conn) Upload(e match.Entry) error {
+	req := wire.UploadReq{
+		ID:       e.ID,
+		KeyHash:  e.KeyHash,
+		CtBits:   uint32(e.Chain.CtBits),
+		NumAttrs: uint16(e.Chain.NumAttrs()),
+		Chain:    e.Chain.Bytes(),
+		Auth:     e.Auth,
+	}
+	_, err := c.roundTrip(wire.TypeUploadReq, req.Encode(), wire.TypeUploadResp)
+	return err
+}
+
+// Query issues a matching query for the given user and result count.
+func (c *Conn) Query(id profile.ID, topK int) ([]match.Result, error) {
+	if topK < 1 || topK > 65535 {
+		return nil, fmt.Errorf("client: topK %d out of range", topK)
+	}
+	req := wire.QueryReq{
+		QueryID:   c.queryID.Add(1),
+		Timestamp: time.Now().Unix(),
+		ID:        id,
+		TopK:      uint16(topK),
+	}
+	payload, err := c.roundTrip(wire.TypeQueryReq, req.Encode(), wire.TypeQueryResp)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeQueryResp(payload)
+	if err != nil {
+		return nil, err
+	}
+	if resp.QueryID != req.QueryID {
+		return nil, fmt.Errorf("client: response for query %d, want %d", resp.QueryID, req.QueryID)
+	}
+	return resp.Results, nil
+}
+
+// QueryMaxDistance issues a MAX-distance matching query: every same-bucket
+// user within the given order-sum distance bound (the paper's other
+// matching algorithm). The server caps oversized result sets at its
+// configured maximum.
+func (c *Conn) QueryMaxDistance(id profile.ID, maxDist *big.Int) ([]match.Result, error) {
+	if maxDist == nil || maxDist.Sign() < 0 {
+		return nil, errors.New("client: nil or negative distance bound")
+	}
+	req := wire.QueryReq{
+		QueryID:   c.queryID.Add(1),
+		Timestamp: time.Now().Unix(),
+		ID:        id,
+		Mode:      wire.ModeMaxDistance,
+		MaxDist:   maxDist,
+	}
+	payload, err := c.roundTrip(wire.TypeQueryReq, req.Encode(), wire.TypeQueryResp)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeQueryResp(payload)
+	if err != nil {
+		return nil, err
+	}
+	if resp.QueryID != req.QueryID {
+		return nil, fmt.Errorf("client: response for query %d, want %d", resp.QueryID, req.QueryID)
+	}
+	return resp.Results, nil
+}
+
+// OPRFPublicKey fetches the server's OPRF public key, the one piece of
+// bootstrap material a device needs beyond the server address.
+func (c *Conn) OPRFPublicKey() (oprf.PublicKey, error) {
+	payload, err := c.roundTrip(wire.TypeOPRFKeyReq, nil, wire.TypeOPRFKeyResp)
+	if err != nil {
+		return oprf.PublicKey{}, err
+	}
+	resp, err := wire.DecodeOPRFKeyResp(payload)
+	if err != nil {
+		return oprf.PublicKey{}, err
+	}
+	pk := oprf.PublicKey{N: resp.N, E: int(resp.E)}
+	if err := pk.Validate(); err != nil {
+		return oprf.PublicKey{}, fmt.Errorf("client: server sent invalid OPRF key: %w", err)
+	}
+	return pk, nil
+}
+
+// Evaluate implements oprf.Evaluator over the network: one OPRF round trip.
+func (c *Conn) Evaluate(x *big.Int) (*big.Int, error) {
+	if x == nil {
+		return nil, errors.New("client: nil OPRF element")
+	}
+	req := wire.OPRFReq{X: x}
+	payload, err := c.roundTrip(wire.TypeOPRFReq, req.Encode(), wire.TypeOPRFResp)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeOPRFResp(payload)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Y, nil
+}
+
+// EvaluateBatch implements oprf.BatchEvaluator over the network: one round
+// trip for the whole candidate set.
+func (c *Conn) EvaluateBatch(xs []*big.Int) ([]*big.Int, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	if len(xs) > 65535 {
+		return nil, fmt.Errorf("client: OPRF batch of %d too large", len(xs))
+	}
+	req := wire.OPRFBatchReq{Xs: xs}
+	payload, err := c.roundTrip(wire.TypeOPRFBatchReq, req.Encode(), wire.TypeOPRFBatchResp)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeOPRFBatchResp(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Ys) != len(xs) {
+		return nil, fmt.Errorf("client: batch returned %d results for %d inputs", len(resp.Ys), len(xs))
+	}
+	return resp.Ys, nil
+}
+
+var (
+	_ oprf.Evaluator      = (*Conn)(nil)
+	_ oprf.BatchEvaluator = (*Conn)(nil)
+)

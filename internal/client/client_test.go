@@ -1,0 +1,47 @@
+// Validation-path tests for the client package. The happy paths — dialing a
+// real server, uploads, queries, OPRF rounds — are covered end to end by
+// the integration suite in internal/server.
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDialRefusedAddress(t *testing.T) {
+	// Port 1 on loopback is essentially never listening; Dial must fail
+	// fast with a wrapped error rather than hanging.
+	start := time.Now()
+	_, err := Dial("127.0.0.1:1", Options{Timeout: 2 * time.Second})
+	if err == nil {
+		t.Fatal("Dial to closed port succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Dial took %v, want fast failure", elapsed)
+	}
+}
+
+func TestDialBadAddress(t *testing.T) {
+	if _, err := Dial("not-an-address", Options{Timeout: time.Second}); err == nil {
+		t.Error("Dial to malformed address succeeded")
+	}
+}
+
+func TestQueryTopKValidation(t *testing.T) {
+	// topK validation happens before any network I/O, so a nil-conn
+	// client is fine for this path.
+	c := &Conn{}
+	if _, err := c.Query(1, 0); err == nil {
+		t.Error("topK=0 accepted")
+	}
+	if _, err := c.Query(1, 100000); err == nil {
+		t.Error("topK=100000 accepted")
+	}
+}
+
+func TestEvaluateNilElement(t *testing.T) {
+	c := &Conn{}
+	if _, err := c.Evaluate(nil); err == nil {
+		t.Error("nil OPRF element accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"smatch/internal/entropy"
+)
+
+// AdaptivePlaintextBits implements the paper's stated future-work item —
+// "design our own OPE scheme which is able to choose the length of keys
+// adaptively based on the entropy of social attributes" — as a parameter
+// chooser: it returns the smallest plaintext size k (in the sweep grid
+// 16, 24, 32, ... bits) at which every attribute's post-mapping entropy
+// gives a Theorem-1 PR-OKPA security level of at least securityLevel bits.
+//
+// Larger k costs bandwidth and OPE time linearly (Figures 4 and 5), so the
+// smallest sufficient k is the efficient choice; the paper's fixed k = 64
+// corresponds to securityLevel ≈ 80 for its datasets, which this function
+// recovers.
+func AdaptivePlaintextBits(dist [][]float64, securityLevel float64) (uint, error) {
+	if len(dist) == 0 {
+		return 0, errors.New("core: no attribute distributions")
+	}
+	if securityLevel <= 0 {
+		return 0, fmt.Errorf("core: non-positive security level %v", securityLevel)
+	}
+	for k := uint(16); k <= 4096; k += 8 {
+		ok := true
+		for i, probs := range dist {
+			m, err := entropy.NewMapper(probs, k)
+			if err != nil {
+				return 0, fmt.Errorf("core: attribute %d at k=%d: %w", i, k, err)
+			}
+			if prOKPALevel(m.MappedEntropy()) < securityLevel {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: no plaintext size up to 4096 bits reaches level %v", securityLevel)
+}
+
+// prOKPALevel is Theorem 1's security level for a plaintext entropy of e
+// bits: -log2 of the PR-OKPA adversary advantage
+// (ln(2^e - 2) + 0.577) / (2^e - 1)^2, computed in log space.
+// (Duplicated from internal/leakage to keep core free of an experiment-
+// direction dependency; covered by cross-checking tests.)
+func prOKPALevel(entropyBits float64) float64 {
+	if entropyBits <= 1 {
+		return 0
+	}
+	lnNum := math.Log(math.Exp2(entropyBits) - 2)
+	if math.IsInf(lnNum, 1) {
+		lnNum = entropyBits * math.Ln2
+	}
+	logAdv := math.Log(lnNum+0.577) - 2*entropyBits*math.Ln2
+	return -logAdv / math.Ln2
+}

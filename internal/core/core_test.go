@@ -1,0 +1,344 @@
+package core
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/rsa"
+	"sync"
+	"testing"
+
+	"smatch/internal/group"
+	"smatch/internal/match"
+	"smatch/internal/oprf"
+	"smatch/internal/profile"
+)
+
+var (
+	fixturesOnce sync.Once
+	oprfSrv      *oprf.Server
+	smallGrp     *group.Group
+)
+
+func fixtures(t testing.TB) (*oprf.Server, *group.Group) {
+	t.Helper()
+	fixturesOnce.Do(func() {
+		key, err := rsa.GenerateKey(rand.Reader, 1024)
+		if err != nil {
+			panic(err)
+		}
+		oprfSrv, _ = oprf.NewServerFromKey(key)
+		smallGrp, err = group.Generate(256, nil)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return oprfSrv, smallGrp
+}
+
+func testSchema() profile.Schema {
+	return profile.Schema{Attrs: []profile.AttributeSpec{
+		{Name: "gender", NumValues: 4},
+		{Name: "education", NumValues: 8},
+		{Name: "interest1", NumValues: 64},
+		{Name: "interest2", NumValues: 64},
+	}}
+}
+
+func testDist() [][]float64 {
+	return [][]float64{
+		{0.4, 0.4, 0.1, 0.1},
+		{0.3, 0.2, 0.2, 0.1, 0.1, 0.05, 0.03, 0.02},
+		uniform(64),
+		uniform(64),
+	}
+}
+
+func uniform(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1 / float64(n)
+	}
+	return out
+}
+
+func testSystem(t testing.TB, params Params) *System {
+	t.Helper()
+	srv, grp := fixtures(t)
+	sys, err := NewSystem(testSchema(), testDist(), params, srv.PublicKey(), grp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func testClient(t testing.TB, sys *System, secret string) *Client {
+	t.Helper()
+	srv, _ := fixtures(t)
+	c, err := sys.NewClient(srv, []byte(secret))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.WithDefaults()
+	if p.PlaintextBits != 64 || p.CiphertextBits != 64 || p.Theta != 8 || p.TopK != 5 {
+		t.Errorf("unexpected defaults: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{PlaintextBits: 64, CiphertextBits: 32, Theta: 5, TopK: 5},
+		{PlaintextBits: 64, CiphertextBits: 64, Theta: -1, TopK: 5},
+		{PlaintextBits: 64, CiphertextBits: 64, Theta: 5, TopK: -2},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", p)
+		}
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	srv, grp := fixtures(t)
+	if _, err := NewSystem(profile.Schema{}, nil, Params{}, srv.PublicKey(), grp); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := NewSystem(testSchema(), testDist()[:2], Params{}, srv.PublicKey(), grp); err == nil {
+		t.Error("distribution count mismatch accepted")
+	}
+	badDist := testDist()
+	badDist[0] = []float64{0.5, 0.5} // wrong length for 4-value attribute
+	if _, err := NewSystem(testSchema(), badDist, Params{}, srv.PublicKey(), grp); err == nil {
+		t.Error("distribution length mismatch accepted")
+	}
+	if _, err := NewSystem(testSchema(), testDist(), Params{}, oprf.PublicKey{}, grp); err == nil {
+		t.Error("invalid OPRF key accepted")
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	sys := testSystem(t, Params{})
+	srv, _ := fixtures(t)
+	if _, err := sys.NewClient(srv, nil); err == nil {
+		t.Error("empty secret accepted")
+	}
+	if _, err := sys.NewClient(nil, []byte("s")); err == nil {
+		t.Error("nil evaluator accepted")
+	}
+}
+
+func TestEndToEndMatchAndVerify(t *testing.T) {
+	// Three users: alice and bob share a cluster (close profiles), carol
+	// is far. Bob must match alice, verify her auth info, and fail to
+	// verify carol's.
+	sys := testSystem(t, Params{PlaintextBits: 64, Theta: 4})
+	server := match.NewServer()
+
+	alice := profile.Profile{ID: 1, Attrs: []int{1, 2, 30, 40}}
+	bob := profile.Profile{ID: 2, Attrs: []int{1, 2, 31, 41}}
+	carol := profile.Profile{ID: 3, Attrs: []int{3, 7, 60, 5}}
+
+	keys := map[profile.ID][]byte{}
+	var bobKey interface{ Bytes() []byte }
+	for i, p := range []profile.Profile{alice, bob, carol} {
+		c := testClient(t, sys, string(rune('a'+i)))
+		entry, key, err := c.PrepareUpload(p)
+		if err != nil {
+			t.Fatalf("PrepareUpload(%d): %v", p.ID, err)
+		}
+		if err := server.Upload(entry); err != nil {
+			t.Fatal(err)
+		}
+		keys[p.ID] = key.Bytes()
+		if p.ID == 2 {
+			bobKey = key
+		}
+	}
+
+	// Alice and bob agreed on a key; carol did not.
+	if !bytes.Equal(keys[1], keys[2]) {
+		t.Fatal("close profiles derived different keys")
+	}
+	if bytes.Equal(keys[1], keys[3]) {
+		t.Fatal("distant profiles share a key")
+	}
+
+	results, err := server.Match(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].ID != 1 {
+		t.Fatalf("bob's results = %v, want only alice", results)
+	}
+
+	bobClient := testClient(t, sys, "b")
+	key, err := bobClient.Keygen(bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = bobKey
+	verified, rejected, err := bobClient.VerifyResults(key, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verified) != 1 || rejected != 0 {
+		t.Fatalf("verified=%d rejected=%d, want 1/0", len(verified), rejected)
+	}
+}
+
+func TestMaliciousServerDetected(t *testing.T) {
+	// A malicious server swaps in a fake auth blob (or another user's):
+	// Vf must reject it.
+	sys := testSystem(t, Params{PlaintextBits: 64, Theta: 4})
+	alice := profile.Profile{ID: 1, Attrs: []int{1, 2, 30, 40}}
+	bob := profile.Profile{ID: 2, Attrs: []int{1, 2, 31, 41}}
+
+	aliceClient := testClient(t, sys, "alice")
+	bobClient := testClient(t, sys, "bob")
+	aliceEntry, _, err := aliceClient.PrepareUpload(alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobKey, err := bobClient.Keygen(bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Case 1: server invents a result with garbage auth.
+	fake := []match.Result{{ID: 99, Auth: make([]byte, len(aliceEntry.Auth))}}
+	verified, rejected, err := bobClient.VerifyResults(bobKey, fake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verified) != 0 || rejected != 1 {
+		t.Error("garbage auth blob passed verification")
+	}
+
+	// Case 2: server returns alice's auth blob under a different ID.
+	spoofed := []match.Result{{ID: 77, Auth: aliceEntry.Auth}}
+	verified, rejected, err = bobClient.VerifyResults(bobKey, spoofed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verified) != 0 || rejected != 1 {
+		t.Error("ID-spoofed auth blob passed verification")
+	}
+
+	// Case 3: truncated blob reports as rejected, not an error.
+	short := []match.Result{{ID: 1, Auth: aliceEntry.Auth[:10]}}
+	verified, rejected, err = bobClient.VerifyResults(bobKey, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verified) != 0 || rejected != 1 {
+		t.Error("truncated auth blob passed verification")
+	}
+}
+
+func TestInitDataDeterministicPerDevice(t *testing.T) {
+	sys := testSystem(t, Params{})
+	c := testClient(t, sys, "device-1")
+	p := profile.Profile{ID: 5, Attrs: []int{1, 2, 3, 4}}
+	m1, err := c.InitData(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := c.InitData(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1 {
+		if m1[i].Cmp(m2[i]) != 0 {
+			t.Fatal("InitData nondeterministic on one device")
+		}
+	}
+	// A different device maps to different strings (one-to-N).
+	c2 := testClient(t, sys, "device-2")
+	m3, err := c2.InitData(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range m1 {
+		if m1[i].Cmp(m3[i]) != 0 {
+			same = false
+		}
+	}
+	if same {
+		t.Error("two devices picked identical strings for every attribute")
+	}
+}
+
+func TestInitDataRejectsBadProfile(t *testing.T) {
+	sys := testSystem(t, Params{})
+	c := testClient(t, sys, "d")
+	if _, err := c.InitData(profile.Profile{ID: 1, Attrs: []int{1}}); err == nil {
+		t.Error("short profile accepted")
+	}
+}
+
+func TestUploadBitsAccounting(t *testing.T) {
+	sys := testSystem(t, Params{PlaintextBits: 64})
+	pm := sys.UploadBits(false)
+	pmv := sys.UploadBits(true)
+	// PM: 32 (ID) + 256 (key hash) + 4*64 (chain).
+	if want := 32 + 256 + 4*64; pm != want {
+		t.Errorf("UploadBits(false) = %d, want %d", pm, want)
+	}
+	if pmv <= pm {
+		t.Error("verification adds no communication cost")
+	}
+	if got := pmv - pm; got != sys.Verifier().AuthLen()*8 {
+		t.Errorf("auth overhead = %d bits, want %d", got, sys.Verifier().AuthLen()*8)
+	}
+	// Results: k * (lid [+ auth]).
+	if got, want := sys.ResultBits(false), 5*32; got != want {
+		t.Errorf("ResultBits(false) = %d, want %d", got, want)
+	}
+	if got, want := sys.ResultBits(true), 5*(32+sys.Verifier().AuthLen()*8); got != want {
+		t.Errorf("ResultBits(true) = %d, want %d", got, want)
+	}
+}
+
+func TestChainOrderSumsCompareAcrossUsers(t *testing.T) {
+	// Users with the same key and dominated mapped values produce ordered
+	// sums — the property Match ranks by.
+	sys := testSystem(t, Params{PlaintextBits: 64, Theta: 4})
+	a := profile.Profile{ID: 1, Attrs: []int{0, 0, 1, 1}}
+	b := profile.Profile{ID: 2, Attrs: []int{0, 0, 8, 8}} // same width-9 cells, higher values
+	ca := testClient(t, sys, "a")
+	cb := testClient(t, sys, "b")
+	ea, ka, err := ca.PrepareUpload(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, kb, err := cb.PrepareUpload(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ka.Equal(kb) {
+		t.Fatal("same-cell users derived different keys")
+	}
+	if ea.Chain.OrderSum().Cmp(eb.Chain.OrderSum()) == 0 {
+		t.Error("different profiles collapsed to identical order sums")
+	}
+}
+
+func BenchmarkPrepareUpload64(b *testing.B) {
+	sys := testSystem(b, Params{PlaintextBits: 64, Theta: 8})
+	c := testClient(b, sys, "bench")
+	p := profile.Profile{ID: 1, Attrs: []int{1, 2, 30, 40}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.PrepareUpload(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

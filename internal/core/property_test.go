@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smatch/internal/match"
+	"smatch/internal/profile"
+)
+
+// End-to-end properties of the assembled scheme, checked over randomized
+// profiles with testing/quick.
+
+// TestPropertySameCellAlwaysMatches: any two users whose attributes land in
+// the same quantization cells derive equal keys, land in the same bucket,
+// and find each other through the server.
+func TestPropertySameCellAlwaysMatches(t *testing.T) {
+	sys := testSystem(t, Params{PlaintextBits: 64, Theta: 3}) // cell width 7
+	srv, _ := fixtures(t)
+
+	prop := func(cells [4]uint8, offA, offB [4]uint8) bool {
+		server := match.NewServer()
+		attrsA := make([]int, 4)
+		attrsB := make([]int, 4)
+		domains := []int{4, 8, 64, 64}
+		for i := range attrsA {
+			w := 7
+			cellCount := (domains[i] + w - 1) / w
+			cell := int(cells[i]) % cellCount
+			base := cell * w
+			span := domains[i] - base
+			if span > w {
+				span = w
+			}
+			attrsA[i] = base + int(offA[i])%span
+			attrsB[i] = base + int(offB[i])%span
+		}
+		a := profile.Profile{ID: 1, Attrs: attrsA}
+		b := profile.Profile{ID: 2, Attrs: attrsB}
+
+		devA, err := sys.NewClient(srv, []byte("dev-a"))
+		if err != nil {
+			return false
+		}
+		devB, err := sys.NewClient(srv, []byte("dev-b"))
+		if err != nil {
+			return false
+		}
+		entryA, keyA, err := devA.PrepareUpload(a)
+		if err != nil {
+			return false
+		}
+		entryB, keyB, err := devB.PrepareUpload(b)
+		if err != nil {
+			return false
+		}
+		if !keyA.Equal(keyB) {
+			return false // same cells must mean same key
+		}
+		if err := server.Upload(entryA); err != nil {
+			return false
+		}
+		if err := server.Upload(entryB); err != nil {
+			return false
+		}
+		results, err := server.Match(1, 5)
+		if err != nil {
+			return false
+		}
+		if len(results) != 1 || results[0].ID != 2 {
+			return false
+		}
+		// And the result verifies.
+		ok, err := devA.Vf(keyA, 2, results[0].Auth)
+		return err == nil && ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyUploadIdempotent: re-uploading (the paper's periodic update)
+// never duplicates a user or changes who they match.
+func TestPropertyUploadIdempotent(t *testing.T) {
+	sys := testSystem(t, Params{PlaintextBits: 64, Theta: 3})
+	srv, _ := fixtures(t)
+	server := match.NewServer()
+
+	p := profile.Profile{ID: 9, Attrs: []int{1, 2, 3, 4}}
+	dev, err := sys.NewClient(srv, []byte("dev"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		entry, _, err := dev.PrepareUpload(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := server.Upload(entry); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := server.NumUsers(); got != 1 {
+		t.Errorf("after 5 re-uploads NumUsers = %d, want 1", got)
+	}
+}
+
+// TestPropertyVerificationNeverCrossesKeys: for random profiles, a user can
+// verify a peer's auth blob if and only if they derived the same fuzzy key.
+func TestPropertyVerificationNeverCrossesKeys(t *testing.T) {
+	sys := testSystem(t, Params{PlaintextBits: 64, Theta: 3})
+	srv, _ := fixtures(t)
+	dev, err := sys.NewClient(srv, []byte("dev"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prop := func(a, b [4]uint8) bool {
+		domains := []int{4, 8, 64, 64}
+		attrsA := make([]int, 4)
+		attrsB := make([]int, 4)
+		for i := range attrsA {
+			attrsA[i] = int(a[i]) % domains[i]
+			attrsB[i] = int(b[i]) % domains[i]
+		}
+		pa := profile.Profile{ID: 1, Attrs: attrsA}
+		pb := profile.Profile{ID: 2, Attrs: attrsB}
+		keyA, err := dev.Keygen(pa)
+		if err != nil {
+			return false
+		}
+		keyB, err := dev.Keygen(pb)
+		if err != nil {
+			return false
+		}
+		authB, err := dev.Auth(keyB, 2)
+		if err != nil {
+			return false
+		}
+		ok, err := dev.Vf(keyA, 2, authB)
+		if err != nil {
+			return false
+		}
+		return ok == keyA.Equal(keyB)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

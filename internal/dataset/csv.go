@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"smatch/internal/entropy"
+	"smatch/internal/profile"
+)
+
+// WriteCSV serializes the dataset in the format cmd/smatch-datagen emits:
+// a header line "user_id,<attr names...>" followed by one row per user.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cols := make([]string, 0, 1+d.Schema.NumAttrs())
+	cols = append(cols, "user_id")
+	for _, a := range d.Schema.Attrs {
+		cols = append(cols, a.Name)
+	}
+	if _, err := fmt.Fprintln(bw, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, p := range d.Profiles {
+		row := make([]string, 0, len(cols))
+		row = append(row, strconv.FormatUint(uint64(p.ID), 10))
+		for _, v := range p.Attrs {
+			row = append(row, strconv.Itoa(v))
+		}
+		if _, err := fmt.Fprintln(bw, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV loads a dataset from the WriteCSV format, inferring each
+// attribute's value-domain size from the observed maximum (so externally
+// produced profile dumps load without a side-channel schema). The design
+// distribution is set to the empirical one, which is what the
+// entropy-increase mapping needs in a deployment without provider-published
+// statistics.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("dataset: reading header: %w", err)
+		}
+		return nil, fmt.Errorf("dataset: empty CSV")
+	}
+	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	if len(header) < 2 || header[0] != "user_id" {
+		return nil, fmt.Errorf("dataset: bad header %q (want user_id,<attrs...>)", sc.Text())
+	}
+	attrNames := header[1:]
+
+	var profiles []profile.Profile
+	maxVal := make([]int, len(attrNames))
+	seen := make(map[profile.ID]bool)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != len(header) {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(fields), len(header))
+		}
+		id64, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil || id64 == 0 {
+			return nil, fmt.Errorf("dataset: line %d: bad user_id %q", line, fields[0])
+		}
+		id := profile.ID(id64)
+		if seen[id] {
+			return nil, fmt.Errorf("dataset: line %d: duplicate user_id %d", line, id)
+		}
+		seen[id] = true
+		attrs := make([]int, len(attrNames))
+		for i, f := range fields[1:] {
+			v, err := strconv.Atoi(f)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("dataset: line %d: bad value %q for %s", line, f, attrNames[i])
+			}
+			attrs[i] = v
+			if v > maxVal[i] {
+				maxVal[i] = v
+			}
+		}
+		profiles = append(profiles, profile.Profile{ID: id, Attrs: attrs})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading rows: %w", err)
+	}
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("dataset: no profiles in CSV")
+	}
+
+	schema := profile.Schema{Attrs: make([]profile.AttributeSpec, len(attrNames))}
+	for i, n := range attrNames {
+		numValues := maxVal[i] + 1
+		if numValues < 2 {
+			numValues = 2 // schema requires a real domain even if constant in the dump
+		}
+		schema.Attrs[i] = profile.AttributeSpec{Name: n, NumValues: numValues}
+	}
+
+	ds := &Dataset{Name: name, Schema: schema, Profiles: profiles}
+	// Design distribution = empirical distribution.
+	counts := make([][]int, len(attrNames))
+	for i := range counts {
+		counts[i] = make([]int, schema.Attrs[i].NumValues)
+	}
+	for _, p := range profiles {
+		for i, v := range p.Attrs {
+			counts[i][v]++
+		}
+	}
+	ds.Dist = make([][]float64, len(attrNames))
+	for i := range counts {
+		ds.Dist[i] = entropy.EmpiricalProbs(counts[i])
+	}
+	return ds, nil
+}

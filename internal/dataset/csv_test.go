@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := Infocom06()
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "Infocom06-reloaded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "Infocom06-reloaded" {
+		t.Errorf("name = %q", got.Name)
+	}
+	if len(got.Profiles) != len(orig.Profiles) {
+		t.Fatalf("got %d profiles, want %d", len(got.Profiles), len(orig.Profiles))
+	}
+	for i := range orig.Profiles {
+		if got.Profiles[i].ID != orig.Profiles[i].ID {
+			t.Fatalf("profile %d ID changed", i)
+		}
+		for j := range orig.Profiles[i].Attrs {
+			if got.Profiles[i].Attrs[j] != orig.Profiles[i].Attrs[j] {
+				t.Fatalf("profile %d attr %d changed", i, j)
+			}
+		}
+	}
+	// Attribute names survive; inferred domains are at most the original
+	// (the max observed value bounds them).
+	for i, a := range got.Schema.Attrs {
+		if a.Name != orig.Schema.Attrs[i].Name {
+			t.Errorf("attr %d name %q != %q", i, a.Name, orig.Schema.Attrs[i].Name)
+		}
+		if a.NumValues > orig.Schema.Attrs[i].NumValues {
+			t.Errorf("attr %d inferred domain %d exceeds original %d", i, a.NumValues, orig.Schema.Attrs[i].NumValues)
+		}
+	}
+	// The reloaded dataset is usable: schema validates, stats compute.
+	if err := got.Schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s := got.Stats(); s.Nodes != 78 {
+		t.Errorf("reloaded stats nodes = %d", s.Nodes)
+	}
+}
+
+func TestReadCSVValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"bad header", "id,a\n1,2\n"},
+		{"no rows", "user_id,a\n"},
+		{"field count", "user_id,a,b\n1,2\n"},
+		{"bad id", "user_id,a\nx,2\n"},
+		{"zero id", "user_id,a\n0,2\n"},
+		{"duplicate id", "user_id,a\n1,2\n1,3\n"},
+		{"bad value", "user_id,a\n1,x\n"},
+		{"negative value", "user_id,a\n1,-3\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tc.data), "x"); err == nil {
+				t.Error("malformed CSV accepted")
+			}
+		})
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	data := "user_id,a,b\n1,2,3\n\n2,4,5\n"
+	ds, err := ReadCSV(strings.NewReader(data), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Profiles) != 2 {
+		t.Errorf("got %d profiles", len(ds.Profiles))
+	}
+}
+
+func TestReadCSVConstantAttribute(t *testing.T) {
+	// An attribute constant at 0 still yields a valid 2-value domain.
+	data := "user_id,a\n1,0\n2,0\n"
+	ds, err := ReadCSV(strings.NewReader(data), "const")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Schema.Attrs[0].NumValues != 2 {
+		t.Errorf("constant attribute domain = %d, want 2", ds.Schema.Attrs[0].NumValues)
+	}
+	if err := ds.Schema.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCSVEmpiricalDist(t *testing.T) {
+	data := "user_id,a\n1,0\n2,0\n3,1\n4,3\n"
+	ds, err := ReadCSV(strings.NewReader(data), "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 0.25, 0, 0.25}
+	for i, p := range ds.Dist[0] {
+		if p != want[i] {
+			t.Errorf("dist[0][%d] = %v, want %v", i, p, want[i])
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"smatch/internal/entropy"
+	"smatch/internal/profile"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Infocom06", "Sigcomm09", "Weibo"} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if d.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, d.Name)
+		}
+	}
+	if _, err := ByName("Orkut"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestSchemasValidate(t *testing.T) {
+	for _, d := range All() {
+		if err := d.Schema.Validate(); err != nil {
+			t.Errorf("%s: invalid schema: %v", d.Name, err)
+		}
+	}
+}
+
+func TestProfilesMatchSchema(t *testing.T) {
+	for _, d := range All() {
+		for _, p := range d.Profiles {
+			if err := p.CheckAgainst(d.Schema); err != nil {
+				t.Fatalf("%s: %v", d.Name, err)
+			}
+		}
+	}
+}
+
+func TestUniqueSequentialIDs(t *testing.T) {
+	for _, d := range All() {
+		seen := make(map[profile.ID]bool, len(d.Profiles))
+		for _, p := range d.Profiles {
+			if p.ID == 0 {
+				t.Fatalf("%s: zero ID", d.Name)
+			}
+			if seen[p.ID] {
+				t.Fatalf("%s: duplicate ID %d", d.Name, p.ID)
+			}
+			seen[p.ID] = true
+		}
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	a, b := Infocom06(), Infocom06()
+	for i := range a.Profiles {
+		for j := range a.Profiles[i].Attrs {
+			if a.Profiles[i].Attrs[j] != b.Profiles[i].Attrs[j] {
+				t.Fatal("two generations of Infocom06 differ")
+			}
+		}
+	}
+}
+
+// TestTableIICalibration is the Table II reproduction check: every statistic
+// the paper reports about its datasets must hold for our synthetic stand-ins
+// within tolerance (entropies are sample statistics; landmark counts are
+// exact).
+func TestTableIICalibration(t *testing.T) {
+	const entropyTol = 0.45
+	for _, d := range All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			got := d.Stats()
+			want := PaperTableII[d.Name]
+			if d.Name != "Weibo" && got.Nodes != want.Nodes {
+				t.Errorf("nodes = %d, want %d", got.Nodes, want.Nodes)
+			}
+			if got.NumAttrs != want.NumAttrs {
+				t.Errorf("attrs = %d, want %d", got.NumAttrs, want.NumAttrs)
+			}
+			if math.Abs(got.AvgEntropy-want.AvgEntropy) > entropyTol {
+				t.Errorf("avg entropy = %.2f, want %.2f±%.2f", got.AvgEntropy, want.AvgEntropy, entropyTol)
+			}
+			if math.Abs(got.MaxEntropy-want.MaxEntropy) > entropyTol {
+				t.Errorf("max entropy = %.2f, want %.2f±%.2f", got.MaxEntropy, want.MaxEntropy, entropyTol)
+			}
+			if math.Abs(got.MinEntropy-want.MinEntropy) > entropyTol {
+				t.Errorf("min entropy = %.2f, want %.2f±%.2f", got.MinEntropy, want.MinEntropy, entropyTol)
+			}
+			if got.Landmarks06 != want.Landmarks06 {
+				t.Errorf("landmarks(0.6) = %d, want %d", got.Landmarks06, want.Landmarks06)
+			}
+			if got.Landmarks08 != want.Landmarks08 {
+				t.Errorf("landmarks(0.8) = %d, want %d", got.Landmarks08, want.Landmarks08)
+			}
+		})
+	}
+}
+
+func TestWeiboScales(t *testing.T) {
+	for _, n := range []int{100, 1000, 50000} {
+		d := Weibo(n)
+		if len(d.Profiles) != n {
+			t.Fatalf("Weibo(%d) has %d profiles", n, len(d.Profiles))
+		}
+	}
+}
+
+func TestClusterStructureExists(t *testing.T) {
+	// The matching experiments need ground-truth neighbor sets: a typical
+	// user must have at least one Definition-3-close peer at moderate
+	// thresholds, and must NOT be close to everyone.
+	for _, d := range []*Dataset{Infocom06(), Sigcomm09()} {
+		theta := 8
+		var withNeighbor, totalPairsClose int
+		n := len(d.Profiles)
+		for i, u := range d.Profiles {
+			closeCount := 0
+			for j, v := range d.Profiles {
+				if i == j {
+					continue
+				}
+				ok, err := profile.Close(u, v, theta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					closeCount++
+				}
+			}
+			if closeCount > 0 {
+				withNeighbor++
+			}
+			totalPairsClose += closeCount
+		}
+		if frac := float64(withNeighbor) / float64(n); frac < 0.5 {
+			t.Errorf("%s: only %.0f%% of users have a close neighbor at theta=%d", d.Name, frac*100, theta)
+		}
+		if avg := float64(totalPairsClose) / float64(n); avg > float64(n)/2 {
+			t.Errorf("%s: users average %.1f close neighbors of %d users — no cluster structure", d.Name, avg, n)
+		}
+	}
+}
+
+func TestEmpiricalDistShape(t *testing.T) {
+	d := Infocom06()
+	dist := d.EmpiricalDist()
+	if len(dist) != d.Schema.NumAttrs() {
+		t.Fatalf("EmpiricalDist has %d rows", len(dist))
+	}
+	for i, probs := range dist {
+		var sum float64
+		for _, p := range probs {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("attribute %d probabilities sum to %v", i, sum)
+		}
+	}
+}
+
+func TestGeometricForEntropyHitsTarget(t *testing.T) {
+	for _, tc := range []struct {
+		n      int
+		target float64
+	}{
+		{8, 0.5}, {12, 1.5}, {24, 3.0}, {64, 5.5}, {800, 9.21},
+	} {
+		probs := geometricForEntropy(tc.n, tc.target)
+		if got := entropy.Shannon(probs); math.Abs(got-tc.target) > 0.01 {
+			t.Errorf("geometricForEntropy(%d, %.2f) has entropy %.3f", tc.n, tc.target, got)
+		}
+	}
+	// Target above log2(n) degrades to uniform.
+	probs := geometricForEntropy(4, 10)
+	for _, p := range probs {
+		if math.Abs(p-0.25) > 1e-9 {
+			t.Errorf("over-target request not uniform: %v", probs)
+		}
+	}
+}
+
+func TestAllocateClustersMatchesTargets(t *testing.T) {
+	sizes := []int{10, 10, 10, 10, 10, 10, 10, 10, 10, 10}
+	probs := []float64{0.6, 0.3, 0.1}
+	alloc := allocateClusters(sizes, probs, 100)
+	counts := make([]int, 3)
+	for c, v := range alloc {
+		counts[v] += sizes[c]
+	}
+	for j, want := range []int{60, 30, 10} {
+		if math.Abs(float64(counts[j]-want)) > 10 {
+			t.Errorf("value %d allocated %d users, want ~%d", j, counts[j], want)
+		}
+	}
+}
+
+func BenchmarkGenerateInfocom06(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Infocom06()
+	}
+}
+
+func BenchmarkGenerateWeibo10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Weibo(10_000)
+	}
+}

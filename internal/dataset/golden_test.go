@@ -1,0 +1,44 @@
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// datasetDigest hashes every profile deterministically.
+func datasetDigest(d *Dataset) string {
+	h := sha256.New()
+	for _, p := range d.Profiles {
+		fmt.Fprintf(h, "%d:", p.ID)
+		for _, v := range p.Attrs {
+			fmt.Fprintf(h, "%d,", v)
+		}
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// TestGoldenDigests pins the generated datasets: the calibration in
+// EXPERIMENTS.md (Table II statistics, Figure 4(b) TPR band) was validated
+// against exactly these profiles, so any change to the generators must be
+// deliberate — re-run the calibration suite and update both the digests and
+// EXPERIMENTS.md together.
+func TestGoldenDigests(t *testing.T) {
+	golden := map[string]string{
+		"Infocom06": "8796d580e3fb24c8",
+		"Sigcomm09": "fef6b78bde932e92",
+		"Weibo1000": "447fcd7cadade3ff",
+	}
+	got := map[string]string{
+		"Infocom06": datasetDigest(Infocom06()),
+		"Sigcomm09": datasetDigest(Sigcomm09()),
+		"Weibo1000": datasetDigest(Weibo(1000)),
+	}
+	for name, want := range golden {
+		if got[name] != want {
+			t.Errorf("%s digest = %s, want %s — generator changed; recalibrate and update EXPERIMENTS.md", name, got[name], want)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickReadCSVNeverPanics(t *testing.T) {
+	prop := func(data string) bool {
+		_, _ = ReadCSV(strings.NewReader(data), "fuzz")
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReadCSVWithHeaderNeverPanics(t *testing.T) {
+	// Bias the fuzz toward plausible-but-corrupt rows under a valid header.
+	prop := func(rows []string) bool {
+		data := "user_id,a,b\n" + strings.Join(rows, "\n")
+		_, _ = ReadCSV(strings.NewReader(data), "fuzz")
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package experiment regenerates every table and figure from the paper's
+// evaluation (Section IX): Table I (feature comparison), Table II (dataset
+// properties), Figure 1 (OPE leakage), Figure 4(a) entropy, Figure 4(b)
+// true-positive rate, Figures 4(c-e) client computation cost, Figures
+// 5(a-c) server computation cost, and Figures 5(d-f) communication cost.
+//
+// Each experiment returns a Table whose rows mirror the paper's series, so
+// `cmd/smatch-bench` can print them side by side with the paper's reported
+// shapes. Experiments share one in-process deployment style: local OPRF
+// server, in-memory matching store — measuring the same operations the
+// paper timed on its phone/PC testbed.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // e.g. "Table II", "Fig 4(b)"
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carries the expected paper shape and any caveats.
+	Notes []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s ===\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header + rows).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Options tune experiment scale so the full suite stays laptop-friendly.
+type Options struct {
+	// WeiboNodes scales the Weibo stand-in for the matching and cost
+	// experiments (the paper's crawl has 10^6 users; the claims are
+	// scale-free). Zero means 1000.
+	WeiboNodes int
+	// PlaintextSizes is the Figure 4/5 sweep. Zero-length means the
+	// paper's {64, 128, 256, 512, 1024, 2048}.
+	PlaintextSizes []uint
+	// Thetas is the Figure 4(b) sweep. Zero-length means the paper's
+	// {5, 6, 7, 8, 9, 10}.
+	Thetas []int
+	// CostUsers is how many users' client pipelines are averaged per
+	// point in the cost experiments. Zero means 3.
+	CostUsers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.WeiboNodes == 0 {
+		o.WeiboNodes = 1000
+	}
+	if len(o.PlaintextSizes) == 0 {
+		o.PlaintextSizes = []uint{64, 128, 256, 512, 1024, 2048}
+	}
+	if len(o.Thetas) == 0 {
+		o.Thetas = []int{5, 6, 7, 8, 9, 10}
+	}
+	if o.CostUsers == 0 {
+		o.CostUsers = 3
+	}
+	return o
+}

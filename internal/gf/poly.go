@@ -1,0 +1,146 @@
+package gf
+
+// Poly is a polynomial over a Field, stored coefficient-low-first:
+// Poly{a0, a1, a2} represents a0 + a1*x + a2*x^2. The zero polynomial is
+// the empty (or all-zero) slice. Polynomials are plain slices so callers
+// can build them with literals; all arithmetic goes through Field methods
+// and never mutates its inputs.
+type Poly []Elem
+
+// PolyDegree returns the degree of p, or -1 for the zero polynomial.
+func PolyDegree(p Poly) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// PolyTrim returns p without trailing zero coefficients.
+func PolyTrim(p Poly) Poly {
+	d := PolyDegree(p)
+	return p[:d+1]
+}
+
+// PolyEqual reports whether a and b represent the same polynomial,
+// ignoring trailing zeros.
+func PolyEqual(a, b Poly) bool {
+	da, db := PolyDegree(a), PolyDegree(b)
+	if da != db {
+		return false
+	}
+	for i := 0; i <= da; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PolyAdd returns a + b.
+func (f *Field) PolyAdd(a, b Poly) Poly {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(Poly, n)
+	copy(out, a)
+	for i, c := range b {
+		out[i] ^= c
+	}
+	return PolyTrim(out)
+}
+
+// PolyScale returns c * p.
+func (f *Field) PolyScale(p Poly, c Elem) Poly {
+	if c == 0 {
+		return Poly{}
+	}
+	out := make(Poly, len(p))
+	for i, a := range p {
+		out[i] = f.Mul(a, c)
+	}
+	return PolyTrim(out)
+}
+
+// PolyMul returns a * b.
+func (f *Field) PolyMul(a, b Poly) Poly {
+	a, b = PolyTrim(a), PolyTrim(b)
+	if len(a) == 0 || len(b) == 0 {
+		return Poly{}
+	}
+	out := make(Poly, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		la := f.log[ai]
+		for j, bj := range b {
+			if bj == 0 {
+				continue
+			}
+			out[i+j] ^= f.exp[la+f.log[bj]]
+		}
+	}
+	return PolyTrim(out)
+}
+
+// PolyMulX returns p * x^n (a left shift by n coefficient positions).
+func (f *Field) PolyMulX(p Poly, n int) Poly {
+	p = PolyTrim(p)
+	if len(p) == 0 {
+		return Poly{}
+	}
+	out := make(Poly, len(p)+n)
+	copy(out[n:], p)
+	return out
+}
+
+// PolyDivMod returns the quotient and remainder of a / b.
+// It panics if b is the zero polynomial.
+func (f *Field) PolyDivMod(a, b Poly) (q, r Poly) {
+	db := PolyDegree(b)
+	if db < 0 {
+		panic("gf: polynomial division by zero")
+	}
+	r = make(Poly, len(a))
+	copy(r, a)
+	dr := PolyDegree(r)
+	if dr < db {
+		return Poly{}, PolyTrim(r)
+	}
+	q = make(Poly, dr-db+1)
+	lead := b[db]
+	for dr >= db {
+		c := f.Div(r[dr], lead)
+		q[dr-db] = c
+		for i := 0; i <= db; i++ {
+			r[dr-db+i] ^= f.Mul(c, b[i])
+		}
+		dr = PolyDegree(r)
+	}
+	return PolyTrim(q), PolyTrim(r)
+}
+
+// PolyEval evaluates p at point x using Horner's rule.
+func (f *Field) PolyEval(p Poly, x Elem) Elem {
+	var acc Elem
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = f.Mul(acc, x) ^ p[i]
+	}
+	return acc
+}
+
+// PolyDeriv returns the formal derivative of p. In characteristic 2 the
+// even-power terms vanish: d/dx sum(a_i x^i) = sum over odd i of a_i x^(i-1).
+func (f *Field) PolyDeriv(p Poly) Poly {
+	if len(p) <= 1 {
+		return Poly{}
+	}
+	out := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i += 2 {
+		out[i-1] = p[i]
+	}
+	return PolyTrim(out)
+}

@@ -1,0 +1,187 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randPoly(rng *rand.Rand, f *Field, maxDeg int) Poly {
+	n := rng.Intn(maxDeg + 2)
+	p := make(Poly, n)
+	for i := range p {
+		p[i] = Elem(rng.Intn(f.Size()))
+	}
+	return p
+}
+
+func TestPolyDegreeAndTrim(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want int
+	}{
+		{Poly{}, -1},
+		{Poly{0}, -1},
+		{Poly{0, 0, 0}, -1},
+		{Poly{5}, 0},
+		{Poly{0, 1}, 1},
+		{Poly{1, 2, 3, 0, 0}, 2},
+	}
+	for _, tc := range cases {
+		if got := PolyDegree(tc.p); got != tc.want {
+			t.Errorf("PolyDegree(%v) = %d, want %d", tc.p, got, tc.want)
+		}
+		if got := PolyTrim(tc.p); PolyDegree(got) != tc.want || len(got) != tc.want+1 {
+			t.Errorf("PolyTrim(%v) = %v", tc.p, got)
+		}
+	}
+}
+
+func TestPolyEqual(t *testing.T) {
+	if !PolyEqual(Poly{1, 2, 0}, Poly{1, 2}) {
+		t.Error("trailing zeros should not matter")
+	}
+	if PolyEqual(Poly{1, 2}, Poly{1, 3}) {
+		t.Error("different polys compare equal")
+	}
+	if !PolyEqual(Poly{}, Poly{0, 0}) {
+		t.Error("zero polynomials compare unequal")
+	}
+}
+
+func TestPolyAddSelfIsZero(t *testing.T) {
+	f := mustField(t, 8)
+	p := Poly{1, 7, 0x32, 0xff}
+	if got := f.PolyAdd(p, p); PolyDegree(got) != -1 {
+		t.Errorf("p + p = %v, want zero", got)
+	}
+}
+
+func TestPolyMulKnown(t *testing.T) {
+	f := mustField(t, 4)
+	// (1 + x)(1 + x) = 1 + x^2 in characteristic 2.
+	got := f.PolyMul(Poly{1, 1}, Poly{1, 1})
+	if !PolyEqual(got, Poly{1, 0, 1}) {
+		t.Errorf("(1+x)^2 = %v, want 1 + x^2", got)
+	}
+	// Multiplying by zero gives zero.
+	if got := f.PolyMul(Poly{1, 2, 3}, Poly{}); PolyDegree(got) != -1 {
+		t.Errorf("p * 0 = %v", got)
+	}
+}
+
+func TestPolyMulX(t *testing.T) {
+	f := mustField(t, 4)
+	got := f.PolyMulX(Poly{3, 1}, 2)
+	if !PolyEqual(got, Poly{0, 0, 3, 1}) {
+		t.Errorf("PolyMulX = %v", got)
+	}
+	if got := f.PolyMulX(Poly{}, 3); PolyDegree(got) != -1 {
+		t.Errorf("0 * x^3 = %v", got)
+	}
+}
+
+func TestPolyDivModKnown(t *testing.T) {
+	f := mustField(t, 8)
+	// Divide x^2 by (x + 1): quotient x + 1, remainder 1 (char 2).
+	q, r := f.PolyDivMod(Poly{0, 0, 1}, Poly{1, 1})
+	if !PolyEqual(q, Poly{1, 1}) || !PolyEqual(r, Poly{1}) {
+		t.Errorf("x^2 / (x+1): q=%v r=%v", q, r)
+	}
+	// Degree(a) < Degree(b) => q = 0, r = a.
+	q, r = f.PolyDivMod(Poly{5}, Poly{1, 2, 3})
+	if PolyDegree(q) != -1 || !PolyEqual(r, Poly{5}) {
+		t.Errorf("small/large: q=%v r=%v", q, r)
+	}
+}
+
+func TestPolyDivModPanicsOnZeroDivisor(t *testing.T) {
+	f := mustField(t, 4)
+	assertPanics(t, "PolyDivMod", func() { f.PolyDivMod(Poly{1, 2}, Poly{0}) })
+}
+
+func TestPolyDivModProperty(t *testing.T) {
+	f := mustField(t, 10)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a := randPoly(rng, f, 20)
+		b := randPoly(rng, f, 8)
+		if PolyDegree(b) < 0 {
+			continue
+		}
+		q, r := f.PolyDivMod(a, b)
+		if PolyDegree(r) >= PolyDegree(b) {
+			t.Fatalf("remainder degree %d >= divisor degree %d", PolyDegree(r), PolyDegree(b))
+		}
+		recomposed := f.PolyAdd(f.PolyMul(q, b), r)
+		if !PolyEqual(recomposed, a) {
+			t.Fatalf("q*b + r != a: a=%v b=%v q=%v r=%v", a, b, q, r)
+		}
+	}
+}
+
+func TestPolyEvalMatchesExpansion(t *testing.T) {
+	f := mustField(t, 10)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		a := randPoly(rng, f, 10)
+		b := randPoly(rng, f, 10)
+		x := Elem(rng.Intn(f.Size()))
+		// Evaluation is a ring homomorphism: (a*b)(x) = a(x)*b(x), (a+b)(x) = a(x)+b(x).
+		if f.PolyEval(f.PolyMul(a, b), x) != f.Mul(f.PolyEval(a, x), f.PolyEval(b, x)) {
+			t.Fatalf("eval not multiplicative at x=%d", x)
+		}
+		if f.PolyEval(f.PolyAdd(a, b), x) != f.PolyEval(a, x)^f.PolyEval(b, x) {
+			t.Fatalf("eval not additive at x=%d", x)
+		}
+	}
+}
+
+func TestPolyEvalZeroPoly(t *testing.T) {
+	f := mustField(t, 4)
+	if got := f.PolyEval(Poly{}, 7); got != 0 {
+		t.Errorf("eval of zero poly = %d", got)
+	}
+}
+
+func TestPolyDeriv(t *testing.T) {
+	f := mustField(t, 8)
+	// d/dx (a + bx + cx^2 + dx^3) = b + dx^2 in characteristic 2.
+	got := f.PolyDeriv(Poly{9, 4, 7, 3})
+	if !PolyEqual(got, Poly{4, 0, 3}) {
+		t.Errorf("PolyDeriv = %v, want [4 0 3]", got)
+	}
+	if got := f.PolyDeriv(Poly{5}); PolyDegree(got) != -1 {
+		t.Errorf("derivative of constant = %v", got)
+	}
+}
+
+func TestPolyScale(t *testing.T) {
+	f := mustField(t, 8)
+	p := Poly{1, 2, 3}
+	if got := f.PolyScale(p, 0); PolyDegree(got) != -1 {
+		t.Errorf("scale by zero = %v", got)
+	}
+	got := f.PolyScale(p, 1)
+	if !PolyEqual(got, p) {
+		t.Errorf("scale by one = %v", got)
+	}
+	// Scaling then adding equals multiplying by (c, c): distributes.
+	c := Elem(0x1d)
+	lhs := f.PolyScale(f.PolyAdd(p, Poly{7, 7}), c)
+	rhs := f.PolyAdd(f.PolyScale(p, c), f.PolyScale(Poly{7, 7}, c))
+	if !PolyEqual(lhs, rhs) {
+		t.Errorf("scale does not distribute: %v vs %v", lhs, rhs)
+	}
+}
+
+func BenchmarkPolyMulDeg32(b *testing.B) {
+	f, _ := New(10)
+	rng := rand.New(rand.NewSource(3))
+	p := randPoly(rng, f, 32)
+	q := randPoly(rng, f, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PolyMul(p, q)
+	}
+}

@@ -1,0 +1,223 @@
+package homopm
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+
+	"smatch/internal/profile"
+)
+
+var (
+	sysOnce sync.Once
+	sysVal  *System
+)
+
+func testSystem(t testing.TB) *System {
+	t.Helper()
+	sysOnce.Do(func() {
+		s, err := NewSystem(64, 4, 512)
+		if err != nil {
+			panic(err)
+		}
+		sysVal = s
+	})
+	return sysVal
+}
+
+func vals(vs ...int64) []*big.Int {
+	out := make([]*big.Int, len(vs))
+	for i, v := range vs {
+		out[i] = big.NewInt(v)
+	}
+	return out
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(64, 0, 512); err == nil {
+		t.Error("zero dimension accepted")
+	}
+}
+
+func TestModulusScalesWithPlaintext(t *testing.T) {
+	s, err := NewSystem(1024, 2, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PublicKey().N.BitLen(); got < 1024+60 {
+		t.Errorf("modulus %d bits too small for 1024-bit plaintexts", got)
+	}
+}
+
+func TestEncryptProfileValidation(t *testing.T) {
+	s := testSystem(t)
+	if _, err := s.EncryptProfile(1, vals(1, 2)); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+	if _, err := s.EncryptQuery(1, vals(1, 2, 3)); err == nil {
+		t.Error("wrong query dimension accepted")
+	}
+}
+
+func TestServerStoreValidation(t *testing.T) {
+	s := testSystem(t)
+	sv := NewServer(s.PublicKey())
+	if err := sv.Store(Upload{}); err == nil {
+		t.Error("empty upload accepted")
+	}
+	up, err := s.EncryptProfile(1, vals(1, 2, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Store(up); err != nil {
+		t.Fatal(err)
+	}
+	if sv.NumUsers() != 1 {
+		t.Error("upload not stored")
+	}
+}
+
+func TestEndToEndRanking(t *testing.T) {
+	// Querier q = (10, 10, 10, 10). Candidates at aggregate distances:
+	// u1 sum=40 (d=0), u2 sum=44 (d=4), u3 sum=400 (d=360).
+	s := testSystem(t)
+	sv := NewServer(s.PublicKey())
+	store := func(id profile.ID, v []*big.Int) {
+		up, err := s.EncryptProfile(id, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sv.Store(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store(1, vals(10, 10, 10, 10))
+	store(2, vals(11, 11, 11, 11))
+	store(3, vals(100, 100, 100, 100))
+
+	q, err := s.EncryptQuery(9, vals(10, 10, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs, err := sv.Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 3 {
+		t.Fatalf("got %d aggregates, want 3", len(aggs))
+	}
+	ids, err := s.Rank(q, aggs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Errorf("Rank = %v, want [1 2]", ids)
+	}
+}
+
+func TestQuerierExcludedFromMatch(t *testing.T) {
+	s := testSystem(t)
+	sv := NewServer(s.PublicKey())
+	up, _ := s.EncryptProfile(7, vals(1, 2, 3, 4))
+	if err := sv.Store(up); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := s.EncryptQuery(7, vals(1, 2, 3, 4))
+	aggs, err := sv.Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 0 {
+		t.Error("querier matched against her own upload")
+	}
+}
+
+func TestNegativeDifferencesRankCorrectly(t *testing.T) {
+	// Candidate below the querier: the signed decoding must not put it
+	// behind a farther candidate above the querier.
+	s := testSystem(t)
+	sv := NewServer(s.PublicKey())
+	store := func(id profile.ID, v []*big.Int) {
+		up, _ := s.EncryptProfile(id, v)
+		_ = sv.Store(up)
+	}
+	store(1, vals(5, 5, 5, 5))     // sum 20, querier sum 40 -> d=20 (below)
+	store(2, vals(30, 30, 30, 30)) // sum 120 -> d=80 (above)
+	q, _ := s.EncryptQuery(9, vals(10, 10, 10, 10))
+	aggs, _ := sv.Match(q)
+	ids, err := s.Rank(q, aggs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids[0] != 1 {
+		t.Errorf("Rank = %v, want user 1 (below querier) first", ids)
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	s := testSystem(t)
+	if _, err := s.Rank(Query{delta: big.NewInt(1)}, nil, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := s.Rank(Query{}, nil, 1); err == nil {
+		t.Error("query without delta accepted")
+	}
+}
+
+func TestMatchDimensionMismatch(t *testing.T) {
+	s := testSystem(t)
+	sv := NewServer(s.PublicKey())
+	up, _ := s.EncryptProfile(1, vals(1, 2, 3, 4))
+	up.Cts = up.Cts[:2] // corrupt stored record
+	_ = sv.Store(up)
+	q, _ := s.EncryptQuery(2, vals(1, 2, 3, 4))
+	if _, err := sv.Match(q); err == nil {
+		t.Error("dimension mismatch not reported")
+	}
+}
+
+func TestBlindingHidesQueryValues(t *testing.T) {
+	// Two queries for the same values must produce different ciphertexts
+	// AND different underlying plaintexts (blinding, not just Paillier
+	// randomness).
+	s := testSystem(t)
+	q1, _ := s.EncryptQuery(1, vals(10, 10, 10, 10))
+	q2, _ := s.EncryptQuery(1, vals(10, 10, 10, 10))
+	if q1.delta.Cmp(q2.delta) == 0 {
+		t.Error("two queries drew the same blinding delta (astronomically unlikely)")
+	}
+}
+
+func BenchmarkClientEncryptProfile64(b *testing.B) {
+	s := testSystem(b)
+	v := vals(1, 2, 3, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.EncryptProfile(1, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServerMatch100Users(b *testing.B) {
+	s := testSystem(b)
+	sv := NewServer(s.PublicKey())
+	for i := 1; i <= 100; i++ {
+		up, err := s.EncryptProfile(profile.ID(i), vals(int64(i), 2, 3, 4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sv.Store(up); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q, _ := s.EncryptQuery(999, vals(1, 2, 3, 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.Match(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package keygen
+
+import (
+	"testing"
+
+	"smatch/internal/profile"
+)
+
+func TestCandidatesPrimaryFirst(t *testing.T) {
+	g := newGen(t, testSchema(4, 100), 3)
+	p := prof(1, 10, 20, 30, 40)
+	cands, err := g.ProfileKeyCandidates(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 4 {
+		t.Fatalf("got %d candidates, want 4", len(cands))
+	}
+	if cands[0].Attr != -1 || cands[0].Delta != 0 {
+		t.Errorf("first candidate is not the primary key: %+v", cands[0])
+	}
+	primary, err := g.ProfileKey(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cands[0].Key.Equal(primary) {
+		t.Error("primary candidate differs from ProfileKey")
+	}
+}
+
+func TestCandidatesZeroProbes(t *testing.T) {
+	g := newGen(t, testSchema(4, 100), 3)
+	cands, err := g.ProfileKeyCandidates(prof(1, 10, 20, 30, 40), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 {
+		t.Errorf("got %d candidates, want 1", len(cands))
+	}
+	if _, err := g.ProfileKeyCandidates(prof(1, 10, 20, 30, 40), -1); err == nil {
+		t.Error("negative probe count accepted")
+	}
+}
+
+func TestProbeRecoversStraddledNeighbor(t *testing.T) {
+	// Two profiles within theta that straddle a cell boundary: primary
+	// keys differ, but one of the querier's probe keys must equal the
+	// neighbor's primary key — the property that recovers the lost match.
+	g := newGen(t, testSchema(4, 100), 3) // cell width 7
+	a := prof(1, 6, 20, 30, 40)           // attr 0 in cell 0, at the boundary
+	b := prof(2, 7, 20, 30, 40)           // attr 0 in cell 1, distance 1
+	ka, err := g.ProfileKey(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := g.ProfileKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka.Equal(kb) {
+		t.Fatal("test setup broken: profiles do not straddle")
+	}
+	cands, err := g.ProfileKeyCandidates(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range cands[1:] {
+		if c.Key.Equal(kb) {
+			found = true
+			if c.Attr != 0 || c.Delta != 1 {
+				t.Errorf("recovery candidate has wrong provenance: %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Error("no probe candidate matches the straddled neighbor's key")
+	}
+}
+
+func TestProbeOrderingByBoundaryDistance(t *testing.T) {
+	// The first probes must flip the attributes closest to a boundary.
+	g := newGen(t, testSchema(3, 100), 3) // cell width 7
+	// attr 0: value 13 -> cell 1, 1 above the lower boundary (dist 2 down,
+	//         1 up to 14).
+	// attr 1: value 17 -> middle of cell 2 (dist 4 down, 4 up).
+	// attr 2: value 20 -> cell 2 residual 6 (dist 7 down? r=6: down 7, up 1).
+	p := profile.Profile{ID: 1, Attrs: []int{13, 17, 20}}
+	cands, err := g.ProfileKeyCandidates(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 3 {
+		t.Fatalf("got %d candidates", len(cands))
+	}
+	// Closest: attr 2 up (dist 1 to next cell) and attr 0 up (value 13,
+	// r=6, dist 1 up)... compute: w=7; attr0 v=13 r=6 -> up dist 1;
+	// attr2 v=20 r=6 -> up dist 1; both dist-1 probes come first.
+	for _, c := range cands[1:] {
+		if c.Delta != 1 {
+			t.Errorf("expected +1 probes first, got %+v", c)
+		}
+		if c.Attr != 0 && c.Attr != 2 {
+			t.Errorf("expected attrs 0/2 probed first, got %+v", c)
+		}
+	}
+}
+
+func TestProbesRespectDomainEdges(t *testing.T) {
+	// Values in the first cell have no -1 probe; values in the last cell
+	// no +1 probe.
+	g := newGen(t, testSchema(2, 14), 3) // cell width 7: cells 0..1
+	p := profile.Profile{ID: 1, Attrs: []int{0, 13}}
+	cands, err := g.ProfileKeyCandidates(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands[1:] {
+		if c.Attr == 0 && c.Delta == -1 {
+			t.Error("probe below the first cell")
+		}
+		if c.Attr == 1 && c.Delta == 1 {
+			t.Error("probe above the last cell")
+		}
+	}
+}
+
+func TestCandidatesDeterministic(t *testing.T) {
+	g := newGen(t, testSchema(4, 100), 5)
+	p := prof(1, 11, 22, 33, 44)
+	a, err := g.ProfileKeyCandidates(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.ProfileKeyCandidates(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !a[i].Key.Equal(b[i].Key) || a[i].Attr != b[i].Attr || a[i].Delta != b[i].Delta {
+			t.Fatalf("candidate %d not deterministic", i)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package leakage
+
+import (
+	"math/big"
+	"testing"
+
+	"smatch/internal/entropy"
+	"smatch/internal/ope"
+	"smatch/internal/prf"
+)
+
+// buildTables encrypts n draws from dist two ways: deterministic OPE on the
+// raw values (naive PPE) and OPE after the entropy-increase mapping
+// (S-MATCH), returning both tables plus the ground truth.
+func buildTables(t *testing.T, dist []float64, n int) (raw, mapped []*big.Int, truth []int) {
+	t.Helper()
+	rawScheme, err := ope.NewScheme([]byte("freq-test-key-000000000000000000"),
+		ope.Params{PlaintextBits: 8, CiphertextBits: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := entropy.NewMapper(dist, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mappedScheme, err := ope.NewScheme([]byte("freq-test-key-000000000000000000"),
+		ope.Params{PlaintextBits: 64, CiphertextBits: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coins := prf.New([]byte("freq"), nil)
+	for i := 0; i < n; i++ {
+		x := coins.Float64()
+		v, acc := len(dist)-1, 0.0
+		for j, p := range dist {
+			acc += p
+			if x < acc {
+				v = j
+				break
+			}
+		}
+		truth = append(truth, v)
+		rct, err := rawScheme.EncryptUint64(uint64(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = append(raw, rct)
+		m, err := mapper.Map(v, coins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mct, err := mappedScheme.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped = append(mapped, mct)
+	}
+	return raw, mapped, truth
+}
+
+func TestFrequencyAttackOnLandmark(t *testing.T) {
+	// A landmark distribution (mode at 80%): the attack on raw OPE must
+	// recover most users; after the entropy increase it must collapse.
+	dist := []float64{0.8, 0.1, 0.05, 0.03, 0.02}
+	raw, mapped, truth := buildTables(t, dist, 500)
+
+	rawAcc, err := FrequencyAttack(raw, truth, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rawAcc < 0.75 {
+		t.Errorf("frequency attack on raw OPE recovered only %.2f, want >= 0.75", rawAcc)
+	}
+	mappedAcc, err := FrequencyAttack(mapped, truth, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mappedAcc > 0.25 {
+		t.Errorf("frequency attack still recovers %.2f after entropy increase", mappedAcc)
+	}
+	t.Logf("frequency attack accuracy: raw=%.2f mapped=%.2f", rawAcc, mappedAcc)
+}
+
+func TestLandmarkRecoveryRate(t *testing.T) {
+	dist := []float64{0.8, 0.1, 0.05, 0.03, 0.02}
+	raw, mapped, truth := buildTables(t, dist, 500)
+
+	rawRate, err := LandmarkRecoveryRate(raw, truth, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rawRate < 0.99 {
+		t.Errorf("landmark recovery on raw OPE = %.2f, want ~1.0 (deterministic encryption)", rawRate)
+	}
+	mappedRate, err := LandmarkRecoveryRate(mapped, truth, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mappedRate > 0.05 {
+		t.Errorf("landmark recovery after mapping = %.2f, want ~0 (one-to-N strings)", mappedRate)
+	}
+}
+
+func TestFrequencyAttackValidation(t *testing.T) {
+	if _, err := FrequencyAttack(nil, nil, []float64{1}); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := FrequencyAttack([]*big.Int{big.NewInt(1)}, []int{0, 1}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := LandmarkRecoveryRate(nil, nil, []float64{1}); err == nil {
+		t.Error("empty inputs accepted")
+	}
+}
+
+func TestLandmarkRecoveryNoLandmarkUsers(t *testing.T) {
+	// If no user holds the mode value, the rate is undefined.
+	dist := []float64{0.9, 0.1}
+	cts := []*big.Int{big.NewInt(5)}
+	if _, err := LandmarkRecoveryRate(cts, []int{1}, dist); err == nil {
+		t.Error("no-landmark-users case not reported")
+	}
+}

@@ -1,0 +1,165 @@
+package leakage
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func TestFigure1SmallExample(t *testing.T) {
+	// The paper's Figure 1(a): stored ciphertexts 10..70, known pairs
+	// (ciphertext 30, plaintext 3) and (70, 7), target plaintext 5:
+	// the search space is the 3 ciphertexts strictly between 30 and 70.
+	stored, pairOf := Figure1Table(7)
+	known := []Pair{pairOf(3), pairOf(7)}
+	n, err := SearchSpace(stored, known, big.NewInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("Figure 1(a) search space = %d, want 3", n)
+	}
+}
+
+func TestFigure1LargeExample(t *testing.T) {
+	// Figure 1(b): a bigger table leaves 39 candidates between the same
+	// kind of known pairs.
+	stored, pairOf := Figure1Table(50)
+	known := []Pair{pairOf(3), pairOf(43)}
+	n, err := SearchSpace(stored, known, big.NewInt(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 39 {
+		t.Errorf("Figure 1(b) search space = %d, want 39", n)
+	}
+}
+
+func TestSearchSpaceNoKnownPairs(t *testing.T) {
+	stored, _ := Figure1Table(10)
+	n, err := SearchSpace(stored, nil, big.NewInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("with no known pairs the whole table (%d) should remain, got %d", 10, n)
+	}
+}
+
+func TestSearchSpaceKnownTargetCollapses(t *testing.T) {
+	stored, pairOf := Figure1Table(10)
+	n, err := SearchSpace(stored, []Pair{pairOf(5)}, big.NewInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("known target should collapse the space to 1, got %d", n)
+	}
+}
+
+func TestSearchSpaceOneSidedBounds(t *testing.T) {
+	stored, pairOf := Figure1Table(10)
+	// Only a lower known pair: everything above it remains.
+	n, err := SearchSpace(stored, []Pair{pairOf(4)}, big.NewInt(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Errorf("one-sided space = %d, want 6 (ciphertexts 50..100)", n)
+	}
+}
+
+func TestSearchSpaceMonotoneInKnownPairs(t *testing.T) {
+	// More known pairs can only shrink the space.
+	stored, pairOf := Figure1Table(40)
+	target := big.NewInt(20)
+	prev := len(stored) + 1
+	for _, known := range [][]Pair{
+		nil,
+		{pairOf(5)},
+		{pairOf(5), pairOf(35)},
+		{pairOf(15), pairOf(35)},
+		{pairOf(15), pairOf(25)},
+	} {
+		n, err := SearchSpace(stored, known, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > prev {
+			t.Fatalf("search space grew from %d to %d with more knowledge", prev, n)
+		}
+		prev = n
+	}
+}
+
+func TestSearchSpaceValidation(t *testing.T) {
+	stored, _ := Figure1Table(5)
+	if _, err := SearchSpace(stored, nil, nil); err == nil {
+		t.Error("nil target accepted")
+	}
+	if _, err := SearchSpace(stored, []Pair{{}}, big.NewInt(1)); err == nil {
+		t.Error("nil pair members accepted")
+	}
+}
+
+func TestBracketWidth(t *testing.T) {
+	stored, pairOf := Figure1Table(50)
+	w, err := BracketWidth(stored, []Pair{pairOf(3), pairOf(43)}, big.NewInt(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-39.0/50.0) > 1e-12 {
+		t.Errorf("BracketWidth = %v, want %v", w, 39.0/50.0)
+	}
+	if _, err := BracketWidth(nil, nil, big.NewInt(1)); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestAdvPROKPADecreasesWithEntropy(t *testing.T) {
+	prev := 2.0
+	for _, e := range []float64{2, 4, 8, 16, 32, 64} {
+		adv := AdvPROKPA(e)
+		if adv <= 0 || adv >= prev {
+			t.Fatalf("AdvPROKPA(%v) = %v not strictly decreasing (prev %v)", e, adv, prev)
+		}
+		prev = adv
+	}
+}
+
+func TestAdvPROKPAEdgeCases(t *testing.T) {
+	if AdvPROKPA(0) != 1 || AdvPROKPA(1) != 1 {
+		t.Error("degenerate entropies should have advantage 1")
+	}
+	// Large entropies must not overflow to NaN/Inf.
+	adv := AdvPROKPA(2048)
+	if math.IsNaN(adv) || math.IsInf(adv, 0) {
+		t.Errorf("AdvPROKPA(2048) = %v", adv)
+	}
+}
+
+func TestSecurityLevelPaperClaim(t *testing.T) {
+	// Section VII: "to achieve the security level of 80, the entropy can
+	// be configured to 64 bits" — 64 bits of entropy must give at least
+	// an 80-bit security level under Theorem 1's bound.
+	if got := SecurityLevel(64); got < 80 {
+		t.Errorf("SecurityLevel(64) = %.1f, want >= 80", got)
+	}
+	// And more entropy gives more security.
+	if SecurityLevel(128) <= SecurityLevel(64) {
+		t.Error("security level not increasing in entropy")
+	}
+}
+
+func BenchmarkSearchSpace10k(b *testing.B) {
+	stored, pairOf := Figure1Table(10000)
+	known := []Pair{pairOf(100), pairOf(9000)}
+	target := big.NewInt(5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SearchSpace(stored, known, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

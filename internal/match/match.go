@@ -1,0 +1,322 @@
+// Package match implements the untrusted server's matching core (the
+// paper's Algorithm Match): encrypted profiles are filed under their
+// profile-key hash h(Kup); a query EXTRAs the bucket with the querier's key
+// hash, SORTs it by the Definition-4 order sum, FINDs the querier's
+// position, and returns the k nearest users with their authentication
+// information.
+//
+// The server never sees plaintext attributes: it stores OPE ciphertext
+// chains, opaque key hashes and opaque auth blobs, and compares only
+// ciphertext order sums — exactly the honest-but-curious interface the
+// security analysis assumes.
+package match
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+
+	"smatch/internal/chain"
+	"smatch/internal/profile"
+)
+
+// Common errors.
+var (
+	ErrUnknownUser = errors.New("match: unknown user")
+	ErrNoBucket    = errors.New("match: no profiles under this key hash")
+)
+
+// Entry is one user's stored record: message format (3) from the paper
+// plus the verification blob.
+type Entry struct {
+	ID      profile.ID
+	KeyHash []byte       // h(Kup): the bucket index
+	Chain   *chain.Chain // E(A'_1) || ... || E(A'_d)
+	Auth    []byte       // ciph_u for result verification
+}
+
+func (e Entry) validate() error {
+	if e.ID == 0 {
+		return errors.New("match: zero user ID")
+	}
+	if len(e.KeyHash) == 0 {
+		return errors.New("match: empty key hash")
+	}
+	if e.Chain == nil || e.Chain.NumAttrs() == 0 {
+		return errors.New("match: empty chain")
+	}
+	return nil
+}
+
+// stored is an Entry with its cached order sum.
+type stored struct {
+	Entry
+	orderSum *big.Int
+}
+
+// Result is one matched user as returned to the querier: ID plus the auth
+// information the querier verifies with Vf.
+type Result struct {
+	ID   profile.ID
+	Auth []byte
+}
+
+// Server is the in-memory matching store. Safe for concurrent use.
+type Server struct {
+	mu      sync.RWMutex
+	byID    map[profile.ID]*stored
+	buckets map[string][]*stored // key-hash hex -> entries sorted by order sum
+}
+
+// NewServer returns an empty matching server.
+func NewServer() *Server {
+	return &Server{
+		byID:    make(map[profile.ID]*stored),
+		buckets: make(map[string][]*stored),
+	}
+}
+
+// Upload stores or replaces a user's encrypted profile (users "update
+// encrypted social profiles on the untrusted server periodically").
+func (s *Server) Upload(e Entry) error {
+	if err := e.validate(); err != nil {
+		return err
+	}
+	rec := &stored{Entry: e, orderSum: e.Chain.OrderSum()}
+	key := hex.EncodeToString(e.KeyHash)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.byID[e.ID]; ok {
+		s.removeFromBucketLocked(old)
+	}
+	s.byID[e.ID] = rec
+	bucket := s.buckets[key]
+	pos := sort.Search(len(bucket), func(i int) bool {
+		return bucket[i].orderSum.Cmp(rec.orderSum) >= 0
+	})
+	bucket = append(bucket, nil)
+	copy(bucket[pos+1:], bucket[pos:])
+	bucket[pos] = rec
+	s.buckets[key] = bucket
+	return nil
+}
+
+func (s *Server) removeFromBucketLocked(rec *stored) {
+	key := hex.EncodeToString(rec.KeyHash)
+	bucket := s.buckets[key]
+	for i, r := range bucket {
+		if r == rec {
+			s.buckets[key] = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(s.buckets[key]) == 0 {
+		delete(s.buckets, key)
+	}
+}
+
+// Remove deletes a user's record.
+func (s *Server) Remove(id profile.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownUser, id)
+	}
+	s.removeFromBucketLocked(rec)
+	delete(s.byID, id)
+	return nil
+}
+
+// NumUsers returns the number of stored profiles.
+func (s *Server) NumUsers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byID)
+}
+
+// Match answers a profile-matching query Qq = <q, t, IDv>: it returns the
+// k users nearest to the querier in Definition-4 distance among those
+// filed under the same profile-key hash. The querier is excluded from her
+// own results.
+func (s *Server) Match(id profile.ID, k int) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("match: non-positive k=%d", k)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	me, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, id)
+	}
+	bucket := s.buckets[hex.EncodeToString(me.KeyHash)]
+	return nearest(bucket, me, k), nil
+}
+
+// nearest expands outward from the querier's sorted position, picking the
+// k entries with the smallest |order-sum difference|.
+func nearest(bucket []*stored, me *stored, k int) []Result {
+	// Locate me (first entry with the same pointer at equal sums).
+	pos := sort.Search(len(bucket), func(i int) bool {
+		return bucket[i].orderSum.Cmp(me.orderSum) >= 0
+	})
+	idx := -1
+	for i := pos; i < len(bucket) && bucket[i].orderSum.Cmp(me.orderSum) == 0; i++ {
+		if bucket[i] == me {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		// Shouldn't happen (me is stored), but degrade gracefully.
+		idx = pos
+	}
+	results := make([]Result, 0, k)
+	lo, hi := idx-1, idx+1
+	for len(results) < k && (lo >= 0 || hi < len(bucket)) {
+		var pick *stored
+		switch {
+		case lo < 0:
+			pick, hi = bucket[hi], hi+1
+		case hi >= len(bucket):
+			pick, lo = bucket[lo], lo-1
+		default:
+			dLo := new(big.Int).Sub(me.orderSum, bucket[lo].orderSum)
+			dHi := new(big.Int).Sub(bucket[hi].orderSum, me.orderSum)
+			if dLo.CmpAbs(dHi) <= 0 {
+				pick, lo = bucket[lo], lo-1
+			} else {
+				pick, hi = bucket[hi], hi+1
+			}
+		}
+		results = append(results, Result{ID: pick.ID, Auth: pick.Auth})
+	}
+	return results
+}
+
+// MatchFresh answers a query with the paper's literal Figure 3 Match
+// algorithm — EXTRA the bucket, SORT it, FIND the querier, return the k
+// nearest — re-sorting on every query instead of relying on the
+// amortized sorted buckets Match uses. It exists for the cost ablation;
+// production callers want Match.
+func (s *Server) MatchFresh(id profile.ID, k int) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("match: non-positive k=%d", k)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	me, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, id)
+	}
+	// EXTRA: copy the bucket (the stored list is shared state).
+	bucket := append([]*stored(nil), s.buckets[hex.EncodeToString(me.KeyHash)]...)
+	// SORT by order sum.
+	sort.Slice(bucket, func(i, j int) bool {
+		return bucket[i].orderSum.Cmp(bucket[j].orderSum) < 0
+	})
+	// FIND + nearest-k expansion.
+	return nearest(bucket, me, k), nil
+}
+
+// MatchProbe answers a multi-probe query: the k users nearest to the
+// querier drawn from her own bucket PLUS the buckets under altKeyHashes —
+// the query-side multi-probe extension that recovers matches lost to
+// quantization-boundary key splits (see internal/keygen's
+// ProfileKeyCandidates). Results are globally ranked by order-sum
+// distance; the querier is excluded.
+//
+// Order sums from different buckets are encrypted under different profile
+// keys; cross-bucket comparisons are exact in the paper's N = M
+// configuration (where OPE degenerates to the identity) and approximate
+// otherwise — probe results should therefore be treated as candidates and
+// confirmed through Vf, which is precisely what the verification protocol
+// is for.
+func (s *Server) MatchProbe(id profile.ID, altKeyHashes [][]byte, k int) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("match: non-positive k=%d", k)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	me, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, id)
+	}
+	own := hex.EncodeToString(me.KeyHash)
+	buckets := map[string][]*stored{own: s.buckets[own]}
+	for _, kh := range altKeyHashes {
+		key := hex.EncodeToString(kh)
+		if _, dup := buckets[key]; !dup {
+			buckets[key] = s.buckets[key]
+		}
+	}
+	type scored struct {
+		rec  *stored
+		dist *big.Int
+	}
+	var pool []scored
+	for _, bucket := range buckets {
+		for _, rec := range bucket {
+			if rec == me {
+				continue
+			}
+			d := new(big.Int).Sub(rec.orderSum, me.orderSum)
+			pool = append(pool, scored{rec: rec, dist: d.Abs(d)})
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].dist.Cmp(pool[j].dist) < 0 })
+	if k > len(pool) {
+		k = len(pool)
+	}
+	results := make([]Result, k)
+	for i := 0; i < k; i++ {
+		results[i] = Result{ID: pool[i].rec.ID, Auth: pool[i].rec.Auth}
+	}
+	return results, nil
+}
+
+// MatchMaxDistance returns every same-bucket user whose Definition-4
+// order-sum distance from the querier is at most maxDist (MAX-distance
+// matching, the paper's other matching algorithm).
+func (s *Server) MatchMaxDistance(id profile.ID, maxDist *big.Int) ([]Result, error) {
+	if maxDist == nil || maxDist.Sign() < 0 {
+		return nil, errors.New("match: negative or nil distance bound")
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	me, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, id)
+	}
+	bucket := s.buckets[hex.EncodeToString(me.KeyHash)]
+	var results []Result
+	for _, rec := range bucket {
+		if rec == me {
+			continue
+		}
+		d := new(big.Int).Sub(rec.orderSum, me.orderSum)
+		if d.CmpAbs(maxDist) <= 0 {
+			results = append(results, Result{ID: rec.ID, Auth: rec.Auth})
+		}
+	}
+	return results, nil
+}
+
+// BucketSize reports how many users share the given key hash — the |V|
+// in the paper's O(|V| log |V|) server cost.
+func (s *Server) BucketSize(keyHash []byte) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.buckets[hex.EncodeToString(keyHash)])
+}
+
+// NumBuckets reports the number of distinct profile-key hashes stored.
+func (s *Server) NumBuckets() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.buckets)
+}

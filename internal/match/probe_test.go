@@ -1,0 +1,101 @@
+package match
+
+import (
+	"testing"
+
+	"smatch/internal/profile"
+)
+
+func TestMatchProbeUnionsBuckets(t *testing.T) {
+	s := NewServer()
+	// Querier in bucket A; a straddled neighbor in bucket B.
+	must(t, s.Upload(entry(1, "bucket-a", 100)))
+	must(t, s.Upload(entry(2, "bucket-a", 105)))
+	must(t, s.Upload(entry(3, "bucket-b", 101))) // nearest overall, other bucket
+	must(t, s.Upload(entry(4, "bucket-c", 102))) // not probed
+
+	// Without probes the cross-bucket neighbor is invisible.
+	plain, err := s.Match(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 1 || plain[0].ID != 2 {
+		t.Fatalf("plain match = %v", idsOf(plain))
+	}
+
+	probed, err := s.MatchProbe(1, [][]byte{[]byte("bucket-b")}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := idsOf(probed)
+	if len(got) != 2 {
+		t.Fatalf("probed match = %v, want 2 results", got)
+	}
+	// Globally ranked: user 3 (distance 1) before user 2 (distance 5);
+	// user 4's bucket was not probed.
+	if got[0] != 3 || got[1] != 2 {
+		t.Errorf("probed ranking = %v, want [3 2]", got)
+	}
+}
+
+func TestMatchProbeDuplicateAndOwnHashes(t *testing.T) {
+	s := NewServer()
+	must(t, s.Upload(entry(1, "b", 10)))
+	must(t, s.Upload(entry(2, "b", 12)))
+	// Probing your own bucket (or the same alt twice) must not duplicate
+	// results.
+	results, err := s.MatchProbe(1, [][]byte{[]byte("b"), []byte("b")}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].ID != 2 {
+		t.Errorf("results = %v, want only user 2 once", idsOf(results))
+	}
+}
+
+func TestMatchProbeUnknownAltBucket(t *testing.T) {
+	s := NewServer()
+	must(t, s.Upload(entry(1, "b", 10)))
+	results, err := s.MatchProbe(1, [][]byte{[]byte("nope")}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("results from a nonexistent bucket: %v", idsOf(results))
+	}
+}
+
+func TestMatchProbeValidation(t *testing.T) {
+	s := NewServer()
+	must(t, s.Upload(entry(1, "b", 10)))
+	if _, err := s.MatchProbe(1, nil, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := s.MatchProbe(99, nil, 5); err == nil {
+		t.Error("unknown querier accepted")
+	}
+}
+
+func TestMatchProbeNoAltsEquivalentToMatch(t *testing.T) {
+	s := NewServer()
+	for i := 1; i <= 10; i++ {
+		must(t, s.Upload(entry(profile.ID(i), "b", int64(i*7))))
+	}
+	plain, err := s.Match(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed, err := s.MatchProbe(5, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSet := map[profile.ID]bool{}
+	for _, r := range plain {
+		plainSet[r.ID] = true
+	}
+	for _, r := range probed {
+		if !plainSet[r.ID] {
+			t.Errorf("probe-without-alts returned %d not in plain match %v", r.ID, idsOf(plain))
+		}
+	}
+}

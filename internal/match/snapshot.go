@@ -1,0 +1,137 @@
+package match
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"smatch/internal/chain"
+	"smatch/internal/profile"
+)
+
+// Snapshot format: magic, version, entry count, then per entry the same
+// fields an upload carries. Everything the server stores is ciphertext or
+// opaque, so a snapshot is exactly as sensitive as the server's memory —
+// no more.
+var snapshotMagic = [8]byte{'S', 'M', 'A', 'T', 'C', 'H', 'S', '1'}
+
+const maxSnapshotEntries = 1 << 24 // backstop against corrupted counts
+
+// Snapshot serializes every stored record so a server can restart without
+// requiring all users to re-upload ("users update encrypted profiles
+// periodically" — but the store should survive a restart regardless).
+func (s *Server) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("match: writing snapshot magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint32(len(s.byID))); err != nil {
+		return fmt.Errorf("match: writing snapshot count: %w", err)
+	}
+	writeBytes := func(b []byte) error {
+		if err := binary.Write(bw, binary.BigEndian, uint32(len(b))); err != nil {
+			return err
+		}
+		_, err := bw.Write(b)
+		return err
+	}
+	for _, rec := range s.byID {
+		if err := binary.Write(bw, binary.BigEndian, uint32(rec.ID)); err != nil {
+			return fmt.Errorf("match: writing entry: %w", err)
+		}
+		if err := writeBytes(rec.KeyHash); err != nil {
+			return fmt.Errorf("match: writing key hash: %w", err)
+		}
+		if err := binary.Write(bw, binary.BigEndian, uint32(rec.Chain.CtBits)); err != nil {
+			return fmt.Errorf("match: writing chain header: %w", err)
+		}
+		if err := binary.Write(bw, binary.BigEndian, uint16(rec.Chain.NumAttrs())); err != nil {
+			return fmt.Errorf("match: writing chain header: %w", err)
+		}
+		if err := writeBytes(rec.Chain.Bytes()); err != nil {
+			return fmt.Errorf("match: writing chain: %w", err)
+		}
+		if err := writeBytes(rec.Auth); err != nil {
+			return fmt.Errorf("match: writing auth: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore rebuilds a server from a snapshot.
+func Restore(r io.Reader) (*Server, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("match: reading snapshot magic: %w", err)
+	}
+	if magic != snapshotMagic {
+		return nil, errors.New("match: not a smatch snapshot (bad magic)")
+	}
+	var count uint32
+	if err := binary.Read(br, binary.BigEndian, &count); err != nil {
+		return nil, fmt.Errorf("match: reading snapshot count: %w", err)
+	}
+	if count > maxSnapshotEntries {
+		return nil, fmt.Errorf("match: snapshot claims %d entries (max %d)", count, maxSnapshotEntries)
+	}
+	readBytes := func(limit uint32) ([]byte, error) {
+		var n uint32
+		if err := binary.Read(br, binary.BigEndian, &n); err != nil {
+			return nil, err
+		}
+		if n > limit {
+			return nil, fmt.Errorf("field of %d bytes exceeds limit %d", n, limit)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+
+	s := NewServer()
+	for i := uint32(0); i < count; i++ {
+		var id uint32
+		if err := binary.Read(br, binary.BigEndian, &id); err != nil {
+			return nil, fmt.Errorf("match: entry %d: %w", i, err)
+		}
+		keyHash, err := readBytes(1 << 10)
+		if err != nil {
+			return nil, fmt.Errorf("match: entry %d key hash: %w", i, err)
+		}
+		var ctBits uint32
+		if err := binary.Read(br, binary.BigEndian, &ctBits); err != nil {
+			return nil, fmt.Errorf("match: entry %d: %w", i, err)
+		}
+		var numAttrs uint16
+		if err := binary.Read(br, binary.BigEndian, &numAttrs); err != nil {
+			return nil, fmt.Errorf("match: entry %d: %w", i, err)
+		}
+		chainBytes, err := readBytes(1 << 22)
+		if err != nil {
+			return nil, fmt.Errorf("match: entry %d chain: %w", i, err)
+		}
+		auth, err := readBytes(1 << 16)
+		if err != nil {
+			return nil, fmt.Errorf("match: entry %d auth: %w", i, err)
+		}
+		ch, err := chain.Parse(chainBytes, int(numAttrs), uint(ctBits))
+		if err != nil {
+			return nil, fmt.Errorf("match: entry %d: %w", i, err)
+		}
+		if err := s.Upload(Entry{ID: profile.ID(id), KeyHash: keyHash, Chain: ch, Auth: auth}); err != nil {
+			return nil, fmt.Errorf("match: entry %d: %w", i, err)
+		}
+	}
+	// The snapshot must end exactly here.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, errors.New("match: trailing bytes after snapshot")
+	}
+	return s, nil
+}

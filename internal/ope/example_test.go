@@ -1,0 +1,34 @@
+package ope_test
+
+import (
+	"fmt"
+	"log"
+
+	"smatch/internal/ope"
+)
+
+// Example demonstrates the property-preserving core of S-MATCH: ciphertexts
+// under one key compare exactly like their plaintexts, so an untrusted
+// server can sort and search them without decrypting.
+func Example() {
+	scheme, err := ope.NewScheme([]byte("a-32-byte-profile-key-0123456789"), ope.Params{
+		PlaintextBits:  32,
+		CiphertextBits: 48,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c10, _ := scheme.EncryptUint64(10)
+	c20, _ := scheme.EncryptUint64(20)
+	c15, _ := scheme.EncryptUint64(15)
+
+	fmt.Println("Enc(10) < Enc(15):", c10.Cmp(c15) < 0)
+	fmt.Println("Enc(15) < Enc(20):", c15.Cmp(c20) < 0)
+
+	back, _ := scheme.Decrypt(c15)
+	fmt.Println("Dec(Enc(15)):", back)
+	// Output:
+	// Enc(10) < Enc(15): true
+	// Enc(15) < Enc(20): true
+	// Dec(Enc(15)): 15
+}

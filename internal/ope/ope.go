@@ -1,0 +1,356 @@
+// Package ope implements deterministic order-preserving symmetric encryption
+// (OPE) in the style of Boldyreva, Chenette, Lee and O'Neill (EUROCRYPT'09),
+// the construction CryptDB popularized and the PPE instance S-MATCH builds
+// on: for any two plaintexts mi >= mj, the ciphertexts satisfy ci >= cj, so
+// an untrusted server can run comparison-based matching directly on
+// ciphertexts.
+//
+// The scheme lazily samples a random order-preserving function from domain
+// [0, 2^M) to range [0, 2^N) by binary recursion on the range: each step
+// halves the range and draws, from per-node PRF coins, the number x of
+// domain points mapped into the lower half. x follows the hypergeometric
+// distribution HGD(d, r, r/2) where d and r are the current domain and
+// range sizes; the recursion then descends into the half containing the
+// plaintext. Because the initial range is a power of two and every split is
+// exact, r stays a power of two throughout, which makes the hypergeometric
+// mean an exact shift (d/2) and keeps the per-level cost at a hash plus a
+// few shifts — the property that lets 2048-bit encryptions run in
+// milliseconds.
+//
+// Determinism, strict order preservation and invertibility hold for any
+// sampler that respects the hypergeometric support bounds; the sampler's
+// fidelity to the exact distribution affects only the security argument
+// (POPF-CCA closeness), exactly as in the reference float-based
+// implementations. Per-node coins chain down the recursion tree
+// (seed_child = SHA-256(seed_parent, branch)), so coins depend only on the
+// key and the node — never on the plaintext — which is what makes
+// ciphertexts of different plaintexts mutually consistent.
+package ope
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+
+	"smatch/internal/prf"
+)
+
+// Common errors returned by the scheme.
+var (
+	ErrPlaintextRange  = errors.New("ope: plaintext outside domain")
+	ErrCiphertextRange = errors.New("ope: ciphertext outside range")
+	ErrNotInImage      = errors.New("ope: ciphertext is not in the image of the encryption function")
+)
+
+// Params fixes the domain and range of the order-preserving function.
+type Params struct {
+	// PlaintextBits M: the domain is [0, 2^M).
+	PlaintextBits uint
+	// CiphertextBits N: the range is [0, 2^N). Must satisfy N >= M.
+	// With N == M the only order-preserving injection is the identity;
+	// the paper's evaluation uses this degenerate setting ("the ciphertext
+	// range in OPE is set as the same as the plaintext range") for cost
+	// measurements, and it is supported, but real deployments want
+	// N >= M + expansion for security.
+	CiphertextBits uint
+}
+
+// DefaultExpansion is the recommended number of extra ciphertext bits when
+// the caller does not choose a range explicitly.
+const DefaultExpansion = 16
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.PlaintextBits == 0 {
+		return errors.New("ope: PlaintextBits must be positive")
+	}
+	if p.CiphertextBits < p.PlaintextBits {
+		return fmt.Errorf("ope: CiphertextBits (%d) < PlaintextBits (%d)", p.CiphertextBits, p.PlaintextBits)
+	}
+	return nil
+}
+
+// Scheme is a deterministic OPE instance under a fixed key. It is safe for
+// concurrent use: all state is immutable after construction and every
+// operation works on local state.
+type Scheme struct {
+	params     Params
+	domainSize *big.Int // 2^M
+	rootSeed   [32]byte
+}
+
+// NewScheme constructs an OPE instance. The key should be 32 bytes of
+// high-entropy material; in S-MATCH it is the OPRF-hardened profile key.
+func NewScheme(key []byte, params Params) (*Scheme, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(key) == 0 {
+		return nil, errors.New("ope: empty key")
+	}
+	s := &Scheme{
+		params:     params,
+		domainSize: new(big.Int).Lsh(big.NewInt(1), params.PlaintextBits),
+	}
+	h := sha256.New()
+	h.Write([]byte("smatch/ope/root/"))
+	h.Write([]byte{byte(params.PlaintextBits >> 8), byte(params.PlaintextBits),
+		byte(params.CiphertextBits >> 8), byte(params.CiphertextBits)})
+	h.Write(key)
+	h.Sum(s.rootSeed[:0])
+	return s, nil
+}
+
+// Params returns the scheme parameters.
+func (s *Scheme) Params() Params { return s.params }
+
+// node is the recursion state: the current domain interval [dlo, dlo+d-1],
+// the current range start rlo with size 2^rbits, and the node coin seed.
+type node struct {
+	dlo   *big.Int // lowest domain value in this node
+	d     *big.Int // domain size
+	rlo   *big.Int // lowest range value in this node
+	rbits uint     // range size is 2^rbits
+	seed  [32]byte
+}
+
+// child derives the coin seed for one branch.
+func childSeed(parent [32]byte, branch byte) [32]byte {
+	var out [32]byte
+	h := sha256.New()
+	h.Write(parent[:])
+	h.Write([]byte{branch})
+	h.Sum(out[:0])
+	return out
+}
+
+// Encrypt maps plaintext m in [0, 2^M) to its ciphertext in [0, 2^N).
+func (s *Scheme) Encrypt(m *big.Int) (*big.Int, error) {
+	if m.Sign() < 0 || m.Cmp(s.domainSize) >= 0 {
+		return nil, ErrPlaintextRange
+	}
+	n := s.rootNode()
+	for {
+		switch {
+		case n.identity():
+			// d == r: the map on this node is forced to the identity.
+			off := new(big.Int).Sub(m, n.dlo)
+			return off.Add(off, n.rlo), nil
+		case n.d.Cmp(bigOne) == 0:
+			return n.sampleLeaf(), nil
+		}
+		x := n.splitPoint()
+		if m.Cmp(x) <= 0 {
+			n.descendLeft(x)
+		} else {
+			n.descendRight(x)
+		}
+	}
+}
+
+// Decrypt inverts Encrypt. It returns ErrNotInImage when c is inside the
+// range but was never produced by Encrypt under this key.
+func (s *Scheme) Decrypt(c *big.Int) (*big.Int, error) {
+	limit := new(big.Int).Lsh(bigOne, s.params.CiphertextBits)
+	if c.Sign() < 0 || c.Cmp(limit) >= 0 {
+		return nil, ErrCiphertextRange
+	}
+	n := s.rootNode()
+	for {
+		switch {
+		case n.d.Sign() == 0:
+			// The ciphertext landed in a range half holding no domain
+			// points: it cannot have been produced by Encrypt.
+			return nil, ErrNotInImage
+		case n.identity():
+			off := new(big.Int).Sub(c, n.rlo)
+			return off.Add(off, n.dlo), nil
+		case n.d.Cmp(bigOne) == 0:
+			if n.sampleLeaf().Cmp(c) != 0 {
+				return nil, ErrNotInImage
+			}
+			return new(big.Int).Set(n.dlo), nil
+		}
+		x := n.splitPoint()
+		if c.Cmp(n.mid()) <= 0 {
+			n.descendLeft(x)
+		} else {
+			n.descendRight(x)
+		}
+	}
+}
+
+// EncryptUint64 is a convenience wrapper for small domains.
+func (s *Scheme) EncryptUint64(m uint64) (*big.Int, error) {
+	return s.Encrypt(new(big.Int).SetUint64(m))
+}
+
+func (s *Scheme) rootNode() *node {
+	return &node{
+		dlo:   big.NewInt(0),
+		d:     new(big.Int).Set(s.domainSize),
+		rlo:   big.NewInt(0),
+		rbits: s.params.CiphertextBits,
+		seed:  s.rootSeed,
+	}
+}
+
+// identity reports whether the node's map is forced (d == r).
+func (n *node) identity() bool {
+	return n.d.BitLen() == int(n.rbits)+1 && isPowerOfTwo(n.d)
+}
+
+func isPowerOfTwo(v *big.Int) bool {
+	if v.Sign() <= 0 {
+		return false
+	}
+	return v.TrailingZeroBits() == uint(v.BitLen()-1)
+}
+
+// mid returns the highest range value of the lower half.
+func (n *node) mid() *big.Int {
+	half := new(big.Int).Lsh(bigOne, n.rbits-1)
+	half.Sub(half, bigOne)
+	return half.Add(half, n.rlo)
+}
+
+// splitPoint draws the hypergeometric count x of domain points assigned to
+// the lower half and returns the highest domain value mapped there
+// (dlo + count - 1). The count respects the support bounds
+// max(0, d - r/2) <= count <= min(d, r/2).
+func (n *node) splitPoint() *big.Int {
+	half := new(big.Int).Lsh(bigOne, n.rbits-1) // g = r/2
+
+	// Support bounds.
+	lo := new(big.Int).Sub(n.d, half) // d - r/2
+	if lo.Sign() < 0 {
+		lo.SetInt64(0)
+	}
+	hi := new(big.Int).Set(n.d)
+	if hi.Cmp(half) > 0 {
+		hi.Set(half)
+	}
+
+	var count *big.Int
+	if lo.Cmp(hi) == 0 {
+		count = lo
+	} else {
+		// mean = d/2 exactly (g/r = 1/2); variance = d(r-d)/(4(r-1)),
+		// computed in log2 space.
+		count = new(big.Int).Rsh(n.d, 1)
+		rd := new(big.Int).Lsh(bigOne, n.rbits)
+		rd.Sub(rd, n.d) // r - d
+		var sigmaLog2 float64
+		if rd.Sign() > 0 {
+			varLog2 := log2Big(n.d) + log2Big(rd) - 2 - float64(n.rbits)
+			sigmaLog2 = varLog2 / 2
+		} else {
+			sigmaLog2 = math.Inf(-1)
+		}
+		z := n.normal()
+		count.Add(count, scaledOffset(z, sigmaLog2))
+		if count.Cmp(lo) < 0 {
+			count.Set(lo)
+		}
+		if count.Cmp(hi) > 0 {
+			count.Set(hi)
+		}
+	}
+	x := new(big.Int).Add(n.dlo, count)
+	x.Sub(x, bigOne)
+	return x
+}
+
+// descendLeft moves the node to the lower half: domain [dlo, x],
+// range [rlo, mid].
+func (n *node) descendLeft(x *big.Int) {
+	n.d.Sub(x, n.dlo)
+	n.d.Add(n.d, bigOne)
+	n.rbits--
+	n.seed = childSeed(n.seed, 0)
+}
+
+// descendRight moves the node to the upper half: domain [x+1, dhi],
+// range [mid+1, rhi].
+func (n *node) descendRight(x *big.Int) {
+	newDlo := new(big.Int).Add(x, bigOne)
+	shrunk := new(big.Int).Sub(newDlo, n.dlo)
+	n.d.Sub(n.d, shrunk)
+	n.dlo = newDlo
+	n.rbits--
+	n.rlo.Add(n.rlo, new(big.Int).Lsh(bigOne, n.rbits))
+	n.seed = childSeed(n.seed, 1)
+}
+
+// normal draws one standard normal variate from the node seed via
+// Box-Muller.
+func (n *node) normal() float64 {
+	var block [32]byte
+	h := sha256.New()
+	h.Write(n.seed[:])
+	h.Write([]byte{'z'})
+	h.Sum(block[:0])
+	u1 := float64(beUint64(block[0:8])>>11) / (1 << 53)
+	u2 := float64(beUint64(block[8:16])>>11) / (1 << 53)
+	if u1 <= 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+func beUint64(b []byte) uint64 {
+	var v uint64
+	for _, x := range b[:8] {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}
+
+// sampleLeaf deterministically picks the ciphertext for the node's single
+// domain point uniformly within its 2^rbits-sized range.
+func (n *node) sampleLeaf() *big.Int {
+	stream := prf.New(n.seed[:], []byte("leaf"))
+	bytes := int(n.rbits+7) / 8
+	buf := make([]byte, bytes)
+	stream.Read(buf)
+	off := new(big.Int).SetBytes(buf)
+	// Mask down to rbits bits: the range size is an exact power of two,
+	// so masking gives a uniform draw with no rejection loop.
+	mask := new(big.Int).Lsh(bigOne, n.rbits)
+	mask.Sub(mask, bigOne)
+	off.And(off, mask)
+	return off.Add(off, n.rlo)
+}
+
+var bigOne = big.NewInt(1)
+
+// scaledOffset computes round(z * 2^sigmaLog2) as a big integer without
+// overflowing float64 for large exponents.
+func scaledOffset(z, sigmaLog2 float64) *big.Int {
+	if math.IsInf(sigmaLog2, -1) || z == 0 {
+		return new(big.Int)
+	}
+	if sigmaLog2 <= 52 {
+		return big.NewInt(int64(math.Round(z * math.Exp2(sigmaLog2))))
+	}
+	shift := uint(sigmaLog2 - 52)
+	mant := int64(math.Round(z * math.Exp2(sigmaLog2-float64(shift))))
+	out := big.NewInt(mant)
+	return out.Lsh(out, shift)
+}
+
+// log2Big computes log2 of a positive big integer without overflow.
+func log2Big(v *big.Int) float64 {
+	bl := v.BitLen()
+	if bl == 0 {
+		return math.Inf(-1)
+	}
+	if bl <= 53 {
+		return math.Log2(float64(v.Int64()))
+	}
+	shift := uint(bl - 53)
+	top := new(big.Int).Rsh(v, shift)
+	return math.Log2(float64(top.Int64())) + float64(shift)
+}

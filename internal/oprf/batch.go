@@ -1,0 +1,83 @@
+package oprf
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// BatchEvaluator is implemented by evaluators that can answer several
+// blind evaluations in one round trip (a network transport would send one
+// frame); the fallback is element-wise evaluation.
+type BatchEvaluator interface {
+	Evaluator
+	EvaluateBatch(xs []*big.Int) ([]*big.Int, error)
+}
+
+// EvaluateBatch answers a batch of blind evaluations. Each element is
+// validated independently; the whole batch fails on the first bad element
+// so a malicious client cannot use partial answers as an oracle for
+// probing which inputs are rejected.
+func (s *Server) EvaluateBatch(xs []*big.Int) ([]*big.Int, error) {
+	out := make([]*big.Int, len(xs))
+	for i, x := range xs {
+		y, err := s.Evaluate(x)
+		if err != nil {
+			return nil, fmt.Errorf("oprf: batch element %d: %w", i, err)
+		}
+		out[i] = y
+	}
+	return out, nil
+}
+
+var _ BatchEvaluator = (*Server)(nil)
+
+// EvalBatch runs the full client side for several inputs, using one
+// batched round trip when the evaluator supports it. S-MATCH's multi-probe
+// key generation uses this to derive all candidate keys in a single
+// exchange with the OPRF service.
+func EvalBatch(pk PublicKey, ev Evaluator, inputs [][]byte) ([][]byte, error) {
+	if len(inputs) == 0 {
+		return nil, nil
+	}
+	reqs := make([]*Request, len(inputs))
+	xs := make([]*big.Int, len(inputs))
+	for i, in := range inputs {
+		req, err := Blind(pk, in, nil)
+		if err != nil {
+			return nil, fmt.Errorf("oprf: blinding input %d: %w", i, err)
+		}
+		reqs[i] = req
+		xs[i] = req.Blinded()
+	}
+
+	var ys []*big.Int
+	if be, ok := ev.(BatchEvaluator); ok {
+		var err error
+		ys, err = be.EvaluateBatch(xs)
+		if err != nil {
+			return nil, fmt.Errorf("oprf: batch evaluate: %w", err)
+		}
+		if len(ys) != len(xs) {
+			return nil, fmt.Errorf("oprf: batch returned %d results for %d inputs", len(ys), len(xs))
+		}
+	} else {
+		ys = make([]*big.Int, len(xs))
+		for i, x := range xs {
+			y, err := ev.Evaluate(x)
+			if err != nil {
+				return nil, fmt.Errorf("oprf: evaluate %d: %w", i, err)
+			}
+			ys[i] = y
+		}
+	}
+
+	out := make([][]byte, len(inputs))
+	for i, req := range reqs {
+		v, err := req.Finalize(ys[i])
+		if err != nil {
+			return nil, fmt.Errorf("oprf: finalizing %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

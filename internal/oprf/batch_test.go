@@ -1,0 +1,109 @@
+package oprf
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+// loopEvaluator wraps a Server but hides its batch capability, forcing
+// EvalBatch down the element-wise fallback path.
+type loopEvaluator struct{ srv *Server }
+
+func (l loopEvaluator) Evaluate(x *big.Int) (*big.Int, error) { return l.srv.Evaluate(x) }
+
+func TestEvalBatchMatchesSingle(t *testing.T) {
+	srv := testServer(t)
+	pk := srv.PublicKey()
+	inputs := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	batch, err := EvalBatch(pk, srv, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("got %d outputs", len(batch))
+	}
+	for i, in := range inputs {
+		single, err := Eval(pk, srv, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(batch[i], single) {
+			t.Errorf("batch output %d differs from single evaluation", i)
+		}
+	}
+}
+
+func TestEvalBatchFallbackPath(t *testing.T) {
+	srv := testServer(t)
+	pk := srv.PublicKey()
+	inputs := [][]byte{[]byte("x"), []byte("y")}
+	viaBatch, err := EvalBatch(pk, srv, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaLoop, err := EvalBatch(pk, loopEvaluator{srv}, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inputs {
+		if !bytes.Equal(viaBatch[i], viaLoop[i]) {
+			t.Errorf("fallback path diverges at %d", i)
+		}
+	}
+}
+
+func TestEvalBatchEmpty(t *testing.T) {
+	srv := testServer(t)
+	out, err := EvalBatch(srv.PublicKey(), srv, nil)
+	if err != nil || out != nil {
+		t.Errorf("empty batch: out=%v err=%v", out, err)
+	}
+}
+
+func TestEvaluateBatchRejectsWholeBatchOnBadElement(t *testing.T) {
+	srv := testServer(t)
+	good, err := Blind(srv.PublicKey(), []byte("ok"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.EvaluateBatch([]*big.Int{good.Blinded(), big.NewInt(0)}); err == nil {
+		t.Error("batch with invalid element accepted")
+	}
+}
+
+// shortBatchEvaluator returns fewer results than requested.
+type shortBatchEvaluator struct{ srv *Server }
+
+func (s shortBatchEvaluator) Evaluate(x *big.Int) (*big.Int, error) { return s.srv.Evaluate(x) }
+func (s shortBatchEvaluator) EvaluateBatch(xs []*big.Int) ([]*big.Int, error) {
+	out, err := s.srv.EvaluateBatch(xs)
+	if err != nil {
+		return nil, err
+	}
+	return out[:len(out)-1], nil
+}
+
+func TestEvalBatchDetectsShortResponse(t *testing.T) {
+	srv := testServer(t)
+	_, err := EvalBatch(srv.PublicKey(), shortBatchEvaluator{srv}, [][]byte{[]byte("a"), []byte("b")})
+	if err == nil {
+		t.Error("short batch response accepted")
+	}
+}
+
+func BenchmarkEvalBatch8(b *testing.B) {
+	srv := testServer(b)
+	pk := srv.PublicKey()
+	inputs := make([][]byte, 8)
+	for i := range inputs {
+		inputs[i] = []byte{byte(i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalBatch(pk, srv, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package oprf_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"smatch/internal/oprf"
+)
+
+// Example shows the blind evaluation flow: the client learns F(sk, input)
+// while the server never sees the input, and repeated evaluations agree —
+// which is what lets two independent devices derive the same hardened
+// profile key.
+func Example() {
+	server, err := oprf.NewServer(1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pk := server.PublicKey()
+
+	alice, err := oprf.Eval(pk, server, []byte("fuzzy-vector-hash"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := oprf.Eval(pk, server, []byte("fuzzy-vector-hash"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("same input, same key:", bytes.Equal(alice, bob))
+	fmt.Println("key length:", len(alice))
+	// Output:
+	// same input, same key: true
+	// key length: 32
+}

@@ -1,0 +1,200 @@
+package oprf
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/rsa"
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+// testServer is shared across tests: RSA keygen dominates test time and the
+// protocol properties are key-independent.
+var (
+	testServerOnce sync.Once
+	testServerVal  *Server
+)
+
+func testServer(t testing.TB) *Server {
+	t.Helper()
+	testServerOnce.Do(func() {
+		key, err := rsa.GenerateKey(rand.Reader, 1024)
+		if err != nil {
+			panic(err)
+		}
+		testServerVal, _ = NewServerFromKey(key)
+	})
+	return testServerVal
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(256); err == nil {
+		t.Error("256-bit modulus accepted")
+	}
+	if _, err := NewServerFromKey(nil); err == nil {
+		t.Error("nil key accepted")
+	}
+}
+
+func TestPublicKeyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		pk   PublicKey
+		ok   bool
+	}{
+		{"nil modulus", PublicKey{E: 65537}, false},
+		{"small modulus", PublicKey{N: big.NewInt(12345), E: 65537}, false},
+		{"even exponent", PublicKey{N: new(big.Int).Lsh(big.NewInt(1), 1024), E: 4}, false},
+		{"tiny exponent", PublicKey{N: new(big.Int).Lsh(big.NewInt(1), 1024), E: 1}, false},
+		{"good", PublicKey{N: new(big.Int).Lsh(big.NewInt(1), 1024), E: 65537}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.pk.Validate(); (err == nil) != tc.ok {
+				t.Errorf("Validate() = %v, ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestEvalDeterministicPerInput(t *testing.T) {
+	srv := testServer(t)
+	pk := srv.PublicKey()
+	out1, err := Eval(pk, srv, []byte("profile-key-material"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := Eval(pk, srv, []byte("profile-key-material"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Error("OPRF output differs across evaluations of the same input (blinding leaked into output)")
+	}
+	if len(out1) != 32 {
+		t.Errorf("output length %d, want 32", len(out1))
+	}
+}
+
+func TestEvalInputSeparation(t *testing.T) {
+	srv := testServer(t)
+	pk := srv.PublicKey()
+	a, _ := Eval(pk, srv, []byte("input-a"))
+	b, _ := Eval(pk, srv, []byte("input-b"))
+	if bytes.Equal(a, b) {
+		t.Error("different inputs produced identical outputs")
+	}
+}
+
+func TestBlindingHidesInput(t *testing.T) {
+	// Two blindings of the same input must send different elements to the
+	// server — otherwise the server links repeated queries.
+	srv := testServer(t)
+	pk := srv.PublicKey()
+	r1, err := Blind(pk, []byte("same"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Blind(pk, []byte("same"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Blinded().Cmp(r2.Blinded()) == 0 {
+		t.Error("two blindings of the same input are identical")
+	}
+}
+
+func TestServerEvaluateRejectsBadElements(t *testing.T) {
+	srv := testServer(t)
+	n := srv.PublicKey().N
+	for _, x := range []*big.Int{nil, big.NewInt(0), big.NewInt(-5), n, new(big.Int).Add(n, big.NewInt(1))} {
+		if _, err := srv.Evaluate(x); !errors.Is(err, ErrBadElement) {
+			t.Errorf("Evaluate(%v) err = %v, want ErrBadElement", x, err)
+		}
+	}
+}
+
+func TestFinalizeDetectsForgedResponse(t *testing.T) {
+	srv := testServer(t)
+	pk := srv.PublicKey()
+	req, err := Blind(pk, []byte("victim"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := srv.Evaluate(req.Blinded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := new(big.Int).Add(y, big.NewInt(1))
+	forged.Mod(forged, pk.N)
+	if forged.Sign() == 0 {
+		forged.SetInt64(1)
+	}
+	if _, err := req.Finalize(forged); !errors.Is(err, ErrVerifyFailed) {
+		t.Errorf("forged response: err = %v, want ErrVerifyFailed", err)
+	}
+	// The honest response still verifies.
+	if _, err := req.Finalize(y); err != nil {
+		t.Errorf("honest response rejected: %v", err)
+	}
+}
+
+func TestFinalizeRejectsOutOfRange(t *testing.T) {
+	srv := testServer(t)
+	pk := srv.PublicKey()
+	req, _ := Blind(pk, []byte("x"), nil)
+	for _, y := range []*big.Int{nil, big.NewInt(0), pk.N} {
+		if _, err := req.Finalize(y); !errors.Is(err, ErrBadElement) {
+			t.Errorf("Finalize(%v) err = %v, want ErrBadElement", y, err)
+		}
+	}
+}
+
+func TestDifferentServerKeysGiveDifferentOutputs(t *testing.T) {
+	srv1 := testServer(t)
+	key2, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, _ := NewServerFromKey(key2)
+	a, _ := Eval(srv1.PublicKey(), srv1, []byte("in"))
+	b, _ := Eval(srv2.PublicKey(), srv2, []byte("in"))
+	if bytes.Equal(a, b) {
+		t.Error("two independent server keys produced the same PRF output")
+	}
+}
+
+func TestHashToGroupInRange(t *testing.T) {
+	n := new(big.Int).Lsh(big.NewInt(1), 1024)
+	n.Sub(n, big.NewInt(189))
+	for _, in := range [][]byte{nil, {}, []byte("a"), bytes.Repeat([]byte{0xff}, 1000)} {
+		h := hashToGroup(in, n)
+		if h.Sign() <= 0 || h.Cmp(n) >= 0 {
+			t.Errorf("hashToGroup(%q) = %v out of (0, N)", in, h)
+		}
+	}
+	// Deterministic.
+	if hashToGroup([]byte("x"), n).Cmp(hashToGroup([]byte("x"), n)) != 0 {
+		t.Error("hashToGroup nondeterministic")
+	}
+}
+
+func TestBlindRejectsBadPK(t *testing.T) {
+	if _, err := Blind(PublicKey{N: big.NewInt(3), E: 65537}, []byte("m"), nil); err == nil {
+		t.Error("tiny modulus accepted by Blind")
+	}
+}
+
+func BenchmarkEvalRoundTrip1024(b *testing.B) {
+	srv := testServer(b)
+	pk := srv.PublicKey()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(pk, srv, []byte("bench-input")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package profile defines the social-profile data model S-MATCH operates
+// on: ordered attribute vectors with small integer values (the paper assumes
+// each attribute value a_i ∈ Z_n), plus the profile distance from Definition
+// 3 that drives both fuzzy key generation and ground-truth matching.
+package profile
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ID identifies a user in the mobile social service. The paper's
+// communication-cost evaluation fixes the ID length at 32 bits.
+type ID uint32
+
+// AttributeSpec describes one attribute in a profile schema.
+type AttributeSpec struct {
+	// Name is a human-readable label ("gender", "education", ...).
+	Name string
+	// NumValues is the size of the attribute's value domain; valid values
+	// are 0 .. NumValues-1 and are assumed to be meaningfully ordered
+	// (e.g. education levels), which is what makes OPE comparisons and
+	// the Chebyshev distance sensible.
+	NumValues int
+}
+
+// Schema is the shared profile format. The paper assumes every user of a
+// service shares one schema ("each user ... share the same social profile
+// format").
+type Schema struct {
+	Attrs []AttributeSpec
+}
+
+// NumAttrs returns the number of attributes d.
+func (s Schema) NumAttrs() int { return len(s.Attrs) }
+
+// Validate checks structural sanity.
+func (s Schema) Validate() error {
+	if len(s.Attrs) == 0 {
+		return errors.New("profile: schema has no attributes")
+	}
+	for i, a := range s.Attrs {
+		if a.NumValues < 2 {
+			return fmt.Errorf("profile: attribute %d (%q) has %d values, need >= 2", i, a.Name, a.NumValues)
+		}
+	}
+	return nil
+}
+
+// Profile is one user's attribute vector.
+type Profile struct {
+	ID    ID
+	Attrs []int
+}
+
+// CheckAgainst validates p against schema s.
+func (p Profile) CheckAgainst(s Schema) error {
+	if len(p.Attrs) != len(s.Attrs) {
+		return fmt.Errorf("profile: user %d has %d attributes, schema has %d", p.ID, len(p.Attrs), len(s.Attrs))
+	}
+	for i, v := range p.Attrs {
+		if v < 0 || v >= s.Attrs[i].NumValues {
+			return fmt.Errorf("profile: user %d attribute %d value %d outside [0, %d)", p.ID, i, v, s.Attrs[i].NumValues)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of p.
+func (p Profile) Clone() Profile {
+	return Profile{ID: p.ID, Attrs: append([]int(nil), p.Attrs...)}
+}
+
+// Distance is the profile distance from Definition 3:
+// ||Au - Av|| = MAX_i |a_i^(u) - a_i^(v)| (the paper calls this Euclidean
+// but defines the Chebyshev/max metric; we implement the definition).
+// It returns an error if the vectors have different lengths.
+func Distance(u, v Profile) (int, error) {
+	if len(u.Attrs) != len(v.Attrs) {
+		return 0, fmt.Errorf("profile: distance between %d-attr and %d-attr profiles", len(u.Attrs), len(v.Attrs))
+	}
+	max := 0
+	for i := range u.Attrs {
+		d := u.Attrs[i] - v.Attrs[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// Close reports whether two profiles are within threshold theta under the
+// Definition 3 distance — the paper's criterion for "similar profiles",
+// which is both the matching ground truth and the fuzzy-key agreement
+// condition.
+func Close(u, v Profile, theta int) (bool, error) {
+	d, err := Distance(u, v)
+	if err != nil {
+		return false, err
+	}
+	return d <= theta, nil
+}

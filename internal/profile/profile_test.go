@@ -1,0 +1,136 @@
+package profile
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() Schema {
+	return Schema{Attrs: []AttributeSpec{
+		{Name: "gender", NumValues: 2},
+		{Name: "education", NumValues: 4},
+		{Name: "interest", NumValues: 10},
+	}}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := testSchema().Validate(); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+	if err := (Schema{}).Validate(); err == nil {
+		t.Error("empty schema accepted")
+	}
+	bad := Schema{Attrs: []AttributeSpec{{Name: "x", NumValues: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("single-value attribute accepted")
+	}
+}
+
+func TestNumAttrs(t *testing.T) {
+	if got := testSchema().NumAttrs(); got != 3 {
+		t.Errorf("NumAttrs = %d, want 3", got)
+	}
+}
+
+func TestCheckAgainst(t *testing.T) {
+	s := testSchema()
+	cases := []struct {
+		name string
+		p    Profile
+		ok   bool
+	}{
+		{"valid", Profile{ID: 1, Attrs: []int{1, 3, 9}}, true},
+		{"valid zeros", Profile{ID: 2, Attrs: []int{0, 0, 0}}, true},
+		{"too few attrs", Profile{ID: 3, Attrs: []int{1, 2}}, false},
+		{"too many attrs", Profile{ID: 4, Attrs: []int{1, 2, 3, 4}}, false},
+		{"negative value", Profile{ID: 5, Attrs: []int{-1, 0, 0}}, false},
+		{"value out of domain", Profile{ID: 6, Attrs: []int{0, 4, 0}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.CheckAgainst(s)
+			if (err == nil) != tc.ok {
+				t.Errorf("CheckAgainst = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := Profile{ID: 7, Attrs: []int{1, 2, 3}}
+	c := p.Clone()
+	c.Attrs[0] = 99
+	if p.Attrs[0] != 1 {
+		t.Error("Clone shares the attribute slice")
+	}
+	if c.ID != p.ID {
+		t.Error("Clone changed the ID")
+	}
+}
+
+func TestDistanceKnownValues(t *testing.T) {
+	cases := []struct {
+		u, v []int
+		want int
+	}{
+		{[]int{1, 1, 1}, []int{1, 1, 1}, 0},
+		{[]int{1, 2, 3}, []int{2, 2, 3}, 1},
+		{[]int{0, 0, 0}, []int{5, 1, 2}, 5},
+		{[]int{9, 0}, []int{0, 9}, 9},
+		// The paper's verification example: B=2|2|2|3 and C=2|3|3|2
+		// are distance 1 apart, A=1|1|1|1 is distance 2 from C.
+		{[]int{2, 2, 2, 3}, []int{2, 3, 3, 2}, 1},
+		{[]int{1, 1, 1, 1}, []int{2, 3, 3, 2}, 2},
+	}
+	for _, tc := range cases {
+		got, err := Distance(Profile{Attrs: tc.u}, Profile{Attrs: tc.v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("Distance(%v, %v) = %d, want %d", tc.u, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestDistanceMismatchedLengths(t *testing.T) {
+	_, err := Distance(Profile{Attrs: []int{1}}, Profile{Attrs: []int{1, 2}})
+	if err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestDistanceIsAMetric(t *testing.T) {
+	prop := func(a, b, c [4]uint8) bool {
+		pa := Profile{Attrs: []int{int(a[0]), int(a[1]), int(a[2]), int(a[3])}}
+		pb := Profile{Attrs: []int{int(b[0]), int(b[1]), int(b[2]), int(b[3])}}
+		pc := Profile{Attrs: []int{int(c[0]), int(c[1]), int(c[2]), int(c[3])}}
+		dab, _ := Distance(pa, pb)
+		dba, _ := Distance(pb, pa)
+		dac, _ := Distance(pa, pc)
+		dcb, _ := Distance(pc, pb)
+		daa, _ := Distance(pa, pa)
+		// Symmetry, identity, triangle inequality.
+		return dab == dba && daa == 0 && dab <= dac+dcb
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClose(t *testing.T) {
+	u := Profile{Attrs: []int{5, 5}}
+	v := Profile{Attrs: []int{7, 5}}
+	for theta, want := range map[int]bool{1: false, 2: true, 3: true} {
+		got, err := Close(u, v, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Close(theta=%d) = %v, want %v", theta, got, want)
+		}
+	}
+	if _, err := Close(Profile{Attrs: []int{1}}, Profile{Attrs: []int{1, 2}}, 1); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package rs
+
+import (
+	"fmt"
+
+	"smatch/internal/gf"
+)
+
+// DecodeWithErasures corrects a received word when some positions are known
+// to be unreliable (erasures). An RS code corrects any combination of e
+// erasures and t errors with 2t + e <= n - k, so flagging suspect symbols
+// doubles the budget relative to treating them as errors. S-MATCH's keygen
+// can flag attribute values that sit close to a quantization-cell boundary
+// as erasures, which is the classic soft-information trick for fuzzy
+// quantizers.
+//
+// The implementation is the classical errors-and-erasures Berlekamp-Massey:
+// the locator is initialized with the erasure polynomial and the iteration
+// starts after the erasure count, following Berlekamp's formulation as
+// popularized by Karn's reference decoder.
+//
+// erasures lists transmission positions (0-based); duplicates are rejected.
+// The returned errPos contains every corrected position (erasures whose
+// symbol was already right are omitted).
+func (c *Code) DecodeWithErasures(received []gf.Elem, erasures []int) (corrected []gf.Elem, errPos []int, err error) {
+	if len(erasures) == 0 {
+		return c.Decode(received)
+	}
+	if len(erasures) > c.nRoots {
+		return nil, nil, fmt.Errorf("rs: %d erasures exceed redundancy %d: %w", len(erasures), c.nRoots, ErrTooManyErrors)
+	}
+	seen := make(map[int]bool, len(erasures))
+	for _, pos := range erasures {
+		if pos < 0 || pos >= c.n {
+			return nil, nil, fmt.Errorf("rs: erasure position %d outside word of length %d", pos, c.n)
+		}
+		if seen[pos] {
+			return nil, nil, fmt.Errorf("rs: duplicate erasure position %d", pos)
+		}
+		seen[pos] = true
+	}
+
+	syn, err := c.Syndromes(received)
+	if err != nil {
+		return nil, nil, err
+	}
+	allZero := true
+	for _, s := range syn {
+		if s != 0 {
+			allZero = false
+			break
+		}
+	}
+	out := make([]gf.Elem, c.n)
+	copy(out, received)
+	if allZero {
+		return out, nil, nil
+	}
+
+	f := c.field
+	numEras := len(erasures)
+
+	// Erasure locator Gamma(x) = prod_j (1 + X_j x), X_j = alpha^coefIdx.
+	lambda := gf.Poly{1}
+	for _, pos := range erasures {
+		coefIdx := c.n - 1 - pos
+		lambda = f.PolyMul(lambda, gf.Poly{1, f.Exp(coefIdx)})
+	}
+
+	// Errors-and-erasures Berlekamp-Massey, locator seeded with Gamma.
+	b := make(gf.Poly, c.nRoots+1)
+	copy(b, lambda)
+	t := make(gf.Poly, c.nRoots+1)
+	lam := make(gf.Poly, c.nRoots+1)
+	copy(lam, lambda)
+
+	el := numEras
+	for r := numEras + 1; r <= c.nRoots; r++ {
+		var discr gf.Elem
+		for i := 0; i <= gf.PolyDegree(lam); i++ {
+			if lam[i] != 0 && r-i-1 >= 0 && r-i-1 < len(syn) {
+				discr ^= f.Mul(lam[i], syn[r-i-1])
+			}
+		}
+		if discr == 0 {
+			// b = x * b
+			copy(b[1:], b[:len(b)-1])
+			b[0] = 0
+			continue
+		}
+		// t = lambda - discr * x * b
+		t[0] = lam[0]
+		for i := 0; i < c.nRoots; i++ {
+			t[i+1] = lam[i+1] ^ f.Mul(discr, b[i])
+		}
+		if 2*el <= r+numEras-1 {
+			el = r + numEras - el
+			// b = lambda / discr
+			inv := f.Inv(discr)
+			for i := range b {
+				b[i] = f.Mul(lam[i], inv)
+			}
+		} else {
+			// b = x * b
+			copy(b[1:], b[:len(b)-1])
+			b[0] = 0
+		}
+		copy(lam, t)
+	}
+
+	psi := gf.PolyTrim(lam)
+	if gf.PolyDegree(psi) > c.nRoots {
+		return nil, nil, ErrTooManyErrors
+	}
+
+	positions, err := c.chienSearch(psi)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Omega(x) = [S(x) * Psi(x)] mod x^(nRoots).
+	sPoly := make(gf.Poly, len(syn))
+	copy(sPoly, syn)
+	omega := f.PolyMul(sPoly, psi)
+	if len(omega) > c.nRoots {
+		omega = omega[:c.nRoots]
+	}
+	omega = gf.PolyTrim(omega)
+
+	if err := c.forney(out, psi, omega, positions); err != nil {
+		return nil, nil, err
+	}
+	if !c.IsCodeword(out) {
+		return nil, nil, ErrTooManyErrors
+	}
+	var changed []int
+	for _, pos := range positions {
+		if out[pos] != received[pos] {
+			changed = append(changed, pos)
+		}
+	}
+	return out, changed, nil
+}

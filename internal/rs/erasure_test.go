@@ -1,0 +1,226 @@
+package rs
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"smatch/internal/gf"
+)
+
+func TestErasuresOnlyUpToRedundancy(t *testing.T) {
+	// With no additional errors, an RS code fills up to n-k erasures.
+	c := mustCode(t, 8, 15, 9) // redundancy 6
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		data := randData(rng, c)
+		word, _ := c.Encode(data)
+		for e := 1; e <= c.N()-c.K(); e++ {
+			rx := make([]gf.Elem, c.N())
+			copy(rx, word)
+			var erasures []int
+			for len(erasures) < e {
+				pos := rng.Intn(c.N())
+				dup := false
+				for _, p := range erasures {
+					if p == pos {
+						dup = true
+					}
+				}
+				if dup {
+					continue
+				}
+				rx[pos] = gf.Elem(rng.Intn(c.Field().Size())) // garbage
+				erasures = append(erasures, pos)
+			}
+			got, _, err := c.DecodeWithErasures(rx, erasures)
+			if err != nil {
+				t.Fatalf("e=%d: %v", e, err)
+			}
+			for i := range word {
+				if got[i] != word[i] {
+					t.Fatalf("e=%d: wrong correction at %d", e, i)
+				}
+			}
+		}
+	}
+}
+
+func TestErasuresPlusErrors(t *testing.T) {
+	// 2t + e <= n - k: a (15,9) code corrects 2 errors + 2 erasures.
+	c := mustCode(t, 8, 15, 9)
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 200; trial++ {
+		data := randData(rng, c)
+		word, _ := c.Encode(data)
+		rx := make([]gf.Elem, c.N())
+		copy(rx, word)
+
+		// Two erased positions (garbage, flagged).
+		erasures := []int{3, 11}
+		for _, pos := range erasures {
+			rx[pos] = gf.Elem(rng.Intn(c.Field().Size()))
+		}
+		// Two unflagged errors elsewhere.
+		errCount := 0
+		for errCount < 2 {
+			pos := rng.Intn(c.N())
+			if pos == 3 || pos == 11 {
+				continue
+			}
+			if rx[pos] == word[pos] {
+				rx[pos] ^= gf.Elem(1 + rng.Intn(c.Field().Size()-1))
+				errCount++
+			}
+		}
+		got, _, err := c.DecodeWithErasures(rx, erasures)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range word {
+			if got[i] != word[i] {
+				t.Fatalf("trial %d: wrong correction at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestErasuresBeyondBudgetDetected(t *testing.T) {
+	// 2 erasures + 3 errors busts 2t+e <= 6; must not return a wrong
+	// "success" silently claiming the original word.
+	c := mustCode(t, 8, 15, 9)
+	rng := rand.New(rand.NewSource(23))
+	var detected, miscorrected, silentWrong int
+	for trial := 0; trial < 300; trial++ {
+		data := randData(rng, c)
+		word, _ := c.Encode(data)
+		rx := make([]gf.Elem, c.N())
+		copy(rx, word)
+		erasures := []int{0, 7}
+		for _, pos := range erasures {
+			rx[pos] = gf.Elem(rng.Intn(c.Field().Size()))
+		}
+		cnt := 0
+		for cnt < 3 {
+			pos := 1 + rng.Intn(c.N()-1)
+			if pos == 7 || rx[pos] != word[pos] {
+				continue
+			}
+			rx[pos] ^= gf.Elem(1 + rng.Intn(c.Field().Size()-1))
+			cnt++
+		}
+		got, _, err := c.DecodeWithErasures(rx, erasures)
+		switch {
+		case err != nil:
+			if !errors.Is(err, ErrTooManyErrors) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			detected++
+		case c.IsCodeword(got):
+			same := true
+			for i := range word {
+				if got[i] != word[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				// Lucky: garbage erasure values happened to stay
+				// decodable to the original.
+				miscorrected++
+			} else {
+				miscorrected++
+			}
+		default:
+			silentWrong++
+		}
+	}
+	if silentWrong > 0 {
+		t.Errorf("%d decodes returned a non-codeword", silentWrong)
+	}
+	if detected == 0 {
+		t.Error("no beyond-budget corruption was ever detected")
+	}
+	t.Logf("beyond budget: %d detected, %d (mis)corrected to some codeword", detected, miscorrected)
+}
+
+func TestErasureValidation(t *testing.T) {
+	c := mustCode(t, 8, 15, 9)
+	rx := make([]gf.Elem, 15)
+	if _, _, err := c.DecodeWithErasures(rx, []int{-1}); err == nil {
+		t.Error("negative erasure position accepted")
+	}
+	if _, _, err := c.DecodeWithErasures(rx, []int{15}); err == nil {
+		t.Error("out-of-range erasure position accepted")
+	}
+	if _, _, err := c.DecodeWithErasures(rx, []int{2, 2}); err == nil {
+		t.Error("duplicate erasure accepted")
+	}
+	if _, _, err := c.DecodeWithErasures(rx, []int{0, 1, 2, 3, 4, 5, 6}); !errors.Is(err, ErrTooManyErrors) {
+		t.Error("too many erasures not rejected")
+	}
+}
+
+func TestErasuresEmptyListDelegates(t *testing.T) {
+	c := mustCode(t, 8, 15, 9)
+	rng := rand.New(rand.NewSource(24))
+	data := randData(rng, c)
+	word, _ := c.Encode(data)
+	rx, _ := corrupt(rng, c, word, 2)
+	got, _, err := c.DecodeWithErasures(rx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range word {
+		if got[i] != word[i] {
+			t.Fatal("delegation to Decode failed")
+		}
+	}
+}
+
+func TestErasedPositionUnchangedValue(t *testing.T) {
+	// An "erasure" whose symbol was actually correct must not appear in
+	// the changed-positions list.
+	c := mustCode(t, 8, 15, 9)
+	rng := rand.New(rand.NewSource(25))
+	data := randData(rng, c)
+	word, _ := c.Encode(data)
+	rx := make([]gf.Elem, c.N())
+	copy(rx, word)
+	// Flag two positions as erasures but corrupt only one of them.
+	rx[4] ^= 0x11
+	got, changed, err := c.DecodeWithErasures(rx, []int{4, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range word {
+		if got[i] != word[i] {
+			t.Fatal("wrong correction")
+		}
+	}
+	for _, p := range changed {
+		if p == 9 {
+			t.Error("untouched erasure position reported as changed")
+		}
+	}
+}
+
+func BenchmarkDecodeWithErasures255(b *testing.B) {
+	c := mustCode(b, 8, 255, 223)
+	rng := rand.New(rand.NewSource(26))
+	data := randData(rng, c)
+	word, _ := c.Encode(data)
+	rx := make([]gf.Elem, c.N())
+	copy(rx, word)
+	erasures := []int{5, 50, 100, 150, 200, 250}
+	for _, pos := range erasures {
+		rx[pos] ^= 0x7f
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.DecodeWithErasures(rx, erasures); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

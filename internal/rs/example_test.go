@@ -1,0 +1,39 @@
+package rs_test
+
+import (
+	"fmt"
+	"log"
+
+	"smatch/internal/gf"
+	"smatch/internal/rs"
+)
+
+// Example encodes a message with a (15,9) Reed-Solomon code over GF(2^8),
+// corrupts three symbols (the correction radius), and decodes.
+func Example() {
+	code, err := rs.New(8, 15, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := []gf.Elem{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	word, err := code.Encode(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	received := make([]gf.Elem, len(word))
+	copy(received, word)
+	received[0] ^= 0x55
+	received[7] ^= 0x0a
+	received[14] ^= 0xff
+
+	corrected, errPos, err := code.Decode(received)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("corrected positions:", errPos)
+	fmt.Println("data recovered:", fmt.Sprint(corrected[:9]))
+	// Output:
+	// corrected positions: [0 7 14]
+	// data recovered: [1 2 3 4 5 6 7 8 9]
+}

@@ -1,0 +1,104 @@
+package rs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"smatch/internal/gf"
+)
+
+// ListDecode performs Chase-style soft-decision list decoding: given
+// per-position reliabilities, it erases subsets of the least reliable
+// positions and runs the errors-and-erasures decoder on each pattern,
+// collecting every distinct codeword within reach. This is the practical
+// stand-in for the Guruswami-Sudan list decoder the paper suggests for
+// higher matching TPR ("For higher TPR, the Guruswami and Sudan algorithm
+// can be utilized"): both enlarge the decoding radius by returning a list
+// of candidate codewords instead of at most one.
+//
+// reliability[i] scores position i (higher = more trustworthy); in
+// S-MATCH's keygen the natural score is the distance of the attribute
+// value from its quantization-cell boundary. testPositions bounds how many
+// low-reliability positions participate in erasure patterns (the candidate
+// count grows as 2^testPositions, so keep it small — 4..8).
+//
+// The returned list is ordered by Hamming distance from the received word
+// (closest first) and always includes the hard-decision decode result when
+// one exists.
+func (c *Code) ListDecode(received []gf.Elem, reliability []float64, testPositions int) ([][]gf.Elem, error) {
+	if len(received) != c.n {
+		return nil, fmt.Errorf("rs: list decode: got %d symbols, want %d", len(received), c.n)
+	}
+	if len(reliability) != c.n {
+		return nil, fmt.Errorf("rs: list decode: got %d reliabilities, want %d", len(reliability), c.n)
+	}
+	if testPositions < 0 || testPositions > 16 {
+		return nil, errors.New("rs: list decode: testPositions must be in [0, 16]")
+	}
+	if testPositions > c.nRoots {
+		testPositions = c.nRoots
+	}
+
+	// The testPositions least reliable positions.
+	idx := make([]int, c.n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return reliability[idx[a]] < reliability[idx[b]] })
+	weak := idx[:testPositions]
+
+	seen := map[string]bool{}
+	var list [][]gf.Elem
+	add := func(word []gf.Elem) {
+		key := wordKey(word)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		list = append(list, word)
+	}
+
+	// Enumerate erasure patterns over the weak positions (including the
+	// empty pattern = plain hard-decision decoding).
+	for mask := 0; mask < 1<<len(weak); mask++ {
+		var erasures []int
+		for b, pos := range weak {
+			if mask&(1<<b) != 0 {
+				erasures = append(erasures, pos)
+			}
+		}
+		if len(erasures) > c.nRoots {
+			continue
+		}
+		word, _, err := c.DecodeWithErasures(received, erasures)
+		if err != nil {
+			continue
+		}
+		add(word)
+	}
+
+	sort.SliceStable(list, func(a, b int) bool {
+		return hamming(list[a], received) < hamming(list[b], received)
+	})
+	return list, nil
+}
+
+func wordKey(word []gf.Elem) string {
+	b := make([]byte, 2*len(word))
+	for i, s := range word {
+		b[2*i] = byte(s >> 8)
+		b[2*i+1] = byte(s)
+	}
+	return string(b)
+}
+
+func hamming(a, b []gf.Elem) int {
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}

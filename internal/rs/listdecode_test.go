@@ -1,0 +1,181 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+
+	"smatch/internal/gf"
+)
+
+func flatReliability(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+func TestListDecodeValidation(t *testing.T) {
+	c := mustCode(t, 8, 15, 9)
+	rx := make([]gf.Elem, 15)
+	if _, err := c.ListDecode(rx[:10], flatReliability(15), 2); err == nil {
+		t.Error("short word accepted")
+	}
+	if _, err := c.ListDecode(rx, flatReliability(10), 2); err == nil {
+		t.Error("short reliability vector accepted")
+	}
+	if _, err := c.ListDecode(rx, flatReliability(15), -1); err == nil {
+		t.Error("negative testPositions accepted")
+	}
+	if _, err := c.ListDecode(rx, flatReliability(15), 17); err == nil {
+		t.Error("oversized testPositions accepted")
+	}
+}
+
+func TestListDecodeContainsHardDecision(t *testing.T) {
+	c := mustCode(t, 8, 15, 9)
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		data := randData(rng, c)
+		word, _ := c.Encode(data)
+		rx, _ := corrupt(rng, c, word, c.T())
+		list, err := c.ListDecode(rx, flatReliability(c.N()), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(list) == 0 {
+			t.Fatal("empty list for a decodable word")
+		}
+		// Closest candidate is the hard-decision result (the original).
+		for i := range word {
+			if list[0][i] != word[i] {
+				t.Fatalf("trial %d: first candidate is not the original codeword", trial)
+			}
+		}
+	}
+}
+
+func TestListDecodeBeyondHardRadiusWithReliabilities(t *testing.T) {
+	// t+1 errors defeat hard-decision decoding, but if the reliability
+	// scores mark the corrupted positions as weak, the erasure patterns
+	// reach the original codeword (2t+e budget: erasing the errors frees
+	// the decoder entirely).
+	c := mustCode(t, 8, 15, 9) // t = 3
+	rng := rand.New(rand.NewSource(42))
+	recovered := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		data := randData(rng, c)
+		word, _ := c.Encode(data)
+		rx, touched := corrupt(rng, c, word, c.T()+1)
+
+		rel := flatReliability(c.N())
+		for pos := range touched {
+			rel[pos] = 0 // the quantizer knows these were boundary cases
+		}
+		list, err := c.ListDecode(rx, rel, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cand := range list {
+			same := true
+			for i := range word {
+				if cand[i] != word[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				recovered++
+				break
+			}
+		}
+		// Hard decision alone must fail (sanity that the test is hard).
+		if _, _, err := c.Decode(rx); err == nil {
+			// Occasionally t+1 errors still decode (miscorrection into
+			// another codeword is caught by re-verify; true decode not
+			// possible) — treat as acceptable noise.
+			continue
+		}
+	}
+	if recovered < trials*9/10 {
+		t.Errorf("list decoding recovered only %d/%d beyond-radius words", recovered, trials)
+	}
+	t.Logf("beyond-radius recovery with reliabilities: %d/%d", recovered, trials)
+}
+
+func TestListDecodeCandidatesAreCodewords(t *testing.T) {
+	c := mustCode(t, 8, 15, 9)
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		rx := make([]gf.Elem, c.N())
+		for i := range rx {
+			rx[i] = gf.Elem(rng.Intn(c.Field().Size()))
+		}
+		rel := make([]float64, c.N())
+		for i := range rel {
+			rel[i] = rng.Float64()
+		}
+		list, err := c.ListDecode(rx, rel, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cand := range list {
+			if !c.IsCodeword(cand) {
+				t.Fatalf("candidate %d is not a codeword", i)
+			}
+		}
+		// Distinctness.
+		seen := map[string]bool{}
+		for _, cand := range list {
+			k := wordKey(cand)
+			if seen[k] {
+				t.Fatal("duplicate candidate in list")
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestListDecodeOrderedByDistance(t *testing.T) {
+	c := mustCode(t, 8, 15, 9)
+	rng := rand.New(rand.NewSource(44))
+	data := randData(rng, c)
+	word, _ := c.Encode(data)
+	rx, _ := corrupt(rng, c, word, 2)
+	rel := make([]float64, c.N())
+	for i := range rel {
+		rel[i] = rng.Float64()
+	}
+	list, err := c.ListDecode(rx, rel, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for _, cand := range list {
+		d := hamming(cand, rx)
+		if d < prev {
+			t.Fatal("list not ordered by distance")
+		}
+		prev = d
+	}
+}
+
+func BenchmarkListDecode15_9_Test4(b *testing.B) {
+	c := mustCode(b, 8, 15, 9)
+	rng := rand.New(rand.NewSource(45))
+	data := randData(rng, c)
+	word, _ := c.Encode(data)
+	rx, _ := corrupt(rng, c, word, 3)
+	rel := make([]float64, c.N())
+	for i := range rel {
+		rel[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ListDecode(rx, rel, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

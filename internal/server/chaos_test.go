@@ -1,0 +1,208 @@
+package server
+
+import (
+	"context"
+	"crypto/tls"
+	"encoding/binary"
+	"io"
+	"math/big"
+	"testing"
+	"time"
+
+	"smatch/internal/client"
+	"smatch/internal/oprf"
+	"smatch/internal/wire"
+)
+
+// rawDial opens a bare TLS connection so tests can write hostile bytes.
+func rawDial(t *testing.T, addr string) *tls.Conn {
+	t.Helper()
+	conn, err := tls.Dial("tcp", addr, &tls.Config{InsecureSkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestServerSurvivesGarbageFrame(t *testing.T) {
+	addr, srv := startServer(t)
+	conn := rawDial(t, addr)
+	// A frame with an unknown type gets an error frame back, and the
+	// server keeps serving other clients.
+	if err := wire.WriteFrame(conn, wire.MsgType(200), []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("no response to unknown frame: %v", err)
+	}
+	if typ != wire.TypeError {
+		t.Errorf("got type %d, want error frame", typ)
+	}
+	// Server still healthy.
+	good := dial(t, addr)
+	if _, err := good.OPRFPublicKey(); err != nil {
+		t.Errorf("server unhealthy after garbage frame: %v", err)
+	}
+	_ = srv
+}
+
+func TestServerDropsOversizedHeader(t *testing.T) {
+	addr, _ := startServer(t)
+	conn := rawDial(t, addr)
+	// Claim a 4 GiB payload: the server must drop the connection, not
+	// allocate.
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], 0xffffffff)
+	hdr[4] = byte(wire.TypeUploadReq)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := io.ReadAll(conn); err != nil && err != io.EOF {
+		// Any outcome but a hang is acceptable; typical is clean close.
+		t.Logf("connection ended with %v", err)
+	}
+	// Server still healthy for others.
+	good := dial(t, addr)
+	if _, err := good.OPRFPublicKey(); err != nil {
+		t.Errorf("server unhealthy after oversized header: %v", err)
+	}
+}
+
+func TestServerSurvivesMidFrameDisconnect(t *testing.T) {
+	addr, _ := startServer(t)
+	conn := rawDial(t, addr)
+	// Write half a frame header and slam the connection.
+	if _, err := conn.Write([]byte{0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	good := dial(t, addr)
+	if _, err := good.OPRFPublicKey(); err != nil {
+		t.Errorf("server unhealthy after mid-frame disconnect: %v", err)
+	}
+}
+
+func TestServerSurvivesMalformedPayload(t *testing.T) {
+	addr, _ := startServer(t)
+	conn := rawDial(t, addr)
+	// Valid type, garbage payload: decode error -> error frame, not a
+	// crash or silent drop.
+	if err := wire.WriteFrame(conn, wire.TypeUploadReq, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("no response to malformed payload: %v", err)
+	}
+	if typ != wire.TypeError {
+		t.Errorf("got type %d, want error frame", typ)
+	}
+}
+
+func TestOPRFBatchOverNetwork(t *testing.T) {
+	addr, _ := startServer(t)
+	conn := dial(t, addr)
+	srv := testOPRF(t)
+	pk := srv.PublicKey()
+
+	inputs := [][]byte{[]byte("k1"), []byte("k2"), []byte("k3")}
+	viaNet, err := oprf.EvalBatch(pk, conn, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range inputs {
+		local, err := oprf.Eval(pk, srv, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(viaNet[i]) != string(local) {
+			t.Errorf("network batch output %d diverges from local", i)
+		}
+	}
+}
+
+func TestOPRFBatchRejectsOversize(t *testing.T) {
+	addr, _ := startServer(t)
+	conn := dial(t, addr)
+	xs := make([]*big.Int, 65)
+	for i := range xs {
+		xs[i] = big.NewInt(int64(i + 2))
+	}
+	if _, err := conn.EvaluateBatch(xs); err == nil {
+		t.Error("65-element batch accepted (server cap is 64)")
+	}
+	// Connection healthy afterwards.
+	if _, err := conn.OPRFPublicKey(); err != nil {
+		t.Errorf("connection dead after rejected batch: %v", err)
+	}
+	_ = client.ErrServer
+}
+
+func TestConnectionTimeoutReaped(t *testing.T) {
+	// A server with a very short read timeout drops idle connections but
+	// keeps accepting new ones.
+	srv, err := New(Config{OPRF: testOPRF(t), ReadTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(context.Background()) }()
+
+	idle := rawDial(t, a.String())
+	time.Sleep(400 * time.Millisecond)
+	// The idle connection should be closed by now.
+	idle.SetReadDeadline(time.Now().Add(time.Second))
+	if _, _, err := wire.ReadFrame(idle); err == nil {
+		t.Error("idle connection still alive past read timeout")
+	}
+	// New connections still served.
+	fresh, err := client.Dial(a.String(), client.Options{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if _, err := fresh.OPRFPublicKey(); err != nil {
+		t.Errorf("fresh connection failed: %v", err)
+	}
+	srv.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Error("server did not stop")
+	}
+}
+
+func TestMaxDistanceQueryOverNetwork(t *testing.T) {
+	addr, srv := startServer(t)
+	conn := dial(t, addr)
+
+	// Hand-rolled entries give exact control over order sums.
+	up := func(id uint32, keyHash string, sum int64) {
+		err := srv.Store().Upload(matchEntryForTest(id, keyHash, sum))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	up(1, "b", 100)
+	up(2, "b", 104)
+	up(3, "b", 120)
+	up(4, "other", 101)
+
+	results, err := conn.QueryMaxDistance(1, big.NewInt(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].ID != 2 {
+		t.Fatalf("max-distance results = %+v, want only user 2", results)
+	}
+	if _, err := conn.QueryMaxDistance(1, nil); err == nil {
+		t.Error("nil bound accepted")
+	}
+}

@@ -1,0 +1,299 @@
+// Package server hosts the untrusted S-MATCH server over TCP+TLS: it stores
+// encrypted profiles, answers matching queries (internal/match), and runs
+// the RSA-OPRF evaluator side of key generation (internal/oprf). This is
+// the PC side of the paper's testbed.
+//
+// The server is "untrusted" in the protocol sense: nothing it stores or
+// computes requires it to see plaintext profiles. TLS protects the channel
+// from third parties (the paper's SSL socket), not from the server itself.
+package server
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+	"time"
+
+	"smatch/internal/match"
+	"smatch/internal/oprf"
+	"smatch/internal/wire"
+)
+
+// maxOPRFBatch caps a single batched OPRF request; multi-probe key
+// generation needs a handful, so the cap only stops abuse.
+const maxOPRFBatch = 64
+
+// Config carries the server's dependencies and tunables.
+type Config struct {
+	// OPRF is the key-generation evaluator. Required.
+	OPRF *oprf.Server
+	// MaxTopK caps the per-query result count a client may request.
+	MaxTopK int
+	// ReadTimeout bounds how long the server waits for a frame on an
+	// open connection.
+	ReadTimeout time.Duration
+	// Logf receives structured-ish log lines; nil disables logging.
+	Logf func(format string, args ...any)
+	// Store supplies a pre-populated matching store (e.g. restored from a
+	// snapshot); nil starts empty.
+	Store *match.Server
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxTopK == 0 {
+		c.MaxTopK = 100
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is a running S-MATCH service endpoint.
+type Server struct {
+	cfg   Config
+	store *match.Server
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New creates a server around a fresh matching store.
+func New(cfg Config) (*Server, error) {
+	if cfg.OPRF == nil {
+		return nil, errors.New("server: nil OPRF evaluator")
+	}
+	store := cfg.Store
+	if store == nil {
+		store = match.NewServer()
+	}
+	return &Server{
+		cfg:   cfg.withDefaults(),
+		store: store,
+		conns: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Store exposes the matching store (for in-process inspection and tests).
+func (s *Server) Store() *match.Server { return s.store }
+
+// Listen starts accepting TLS connections on addr (e.g. "127.0.0.1:0") with
+// a fresh self-signed certificate, returning the bound address. Serve loops
+// until ctx is cancelled or Close is called.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	cert, err := SelfSignedCert()
+	if err != nil {
+		return nil, err
+	}
+	ln, err := tls.Listen("tcp", addr, &tls.Config{Certificates: []tls.Certificate{cert}})
+	if err != nil {
+		return nil, fmt.Errorf("server: listen: %w", err)
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections until the context is cancelled. It returns nil
+// on clean shutdown.
+func (s *Server) Serve(ctx context.Context) error {
+	if s.ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	go func() {
+		<-ctx.Done()
+		s.Close()
+	}()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || ctx.Err() != nil {
+				s.wg.Wait()
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener and all open connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+			return
+		}
+		t, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // EOF, timeout or protocol garbage: drop the connection
+		}
+		if err := s.dispatch(conn, t, payload); err != nil {
+			s.cfg.Logf("server: %v", err)
+			if werr := s.writeError(conn, err); werr != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, t wire.MsgType, payload []byte) error {
+	switch t {
+	case wire.TypeUploadReq:
+		req, err := wire.DecodeUploadReq(payload)
+		if err != nil {
+			return err
+		}
+		entry, err := req.Entry()
+		if err != nil {
+			return err
+		}
+		if err := s.store.Upload(entry); err != nil {
+			return err
+		}
+		return wire.WriteFrame(conn, wire.TypeUploadResp, nil)
+
+	case wire.TypeQueryReq:
+		req, err := wire.DecodeQueryReq(payload)
+		if err != nil {
+			return err
+		}
+		var results []match.Result
+		switch req.Mode {
+		case wire.ModeMaxDistance:
+			results, err = s.store.MatchMaxDistance(req.ID, req.MaxDist)
+			if err != nil {
+				return err
+			}
+			if len(results) > s.cfg.MaxTopK {
+				results = results[:s.cfg.MaxTopK]
+			}
+		default:
+			k := int(req.TopK)
+			if k > s.cfg.MaxTopK {
+				k = s.cfg.MaxTopK
+			}
+			if results, err = s.store.Match(req.ID, k); err != nil {
+				return err
+			}
+		}
+		resp := wire.QueryResp{QueryID: req.QueryID, Timestamp: time.Now().Unix(), Results: results}
+		return wire.WriteFrame(conn, wire.TypeQueryResp, resp.Encode())
+
+	case wire.TypeOPRFKeyReq:
+		pk := s.cfg.OPRF.PublicKey()
+		resp := wire.OPRFKeyResp{N: pk.N, E: uint32(pk.E)}
+		return wire.WriteFrame(conn, wire.TypeOPRFKeyResp, resp.Encode())
+
+	case wire.TypeOPRFBatchReq:
+		req, err := wire.DecodeOPRFBatchReq(payload)
+		if err != nil {
+			return err
+		}
+		if len(req.Xs) > maxOPRFBatch {
+			return fmt.Errorf("server: OPRF batch of %d exceeds limit %d", len(req.Xs), maxOPRFBatch)
+		}
+		ys, err := s.cfg.OPRF.EvaluateBatch(req.Xs)
+		if err != nil {
+			return err
+		}
+		resp := wire.OPRFBatchResp{Ys: ys}
+		return wire.WriteFrame(conn, wire.TypeOPRFBatchResp, resp.Encode())
+
+	case wire.TypeOPRFReq:
+		req, err := wire.DecodeOPRFReq(payload)
+		if err != nil {
+			return err
+		}
+		y, err := s.cfg.OPRF.Evaluate(req.X)
+		if err != nil {
+			return err
+		}
+		resp := wire.OPRFResp{Y: y}
+		return wire.WriteFrame(conn, wire.TypeOPRFResp, resp.Encode())
+
+	default:
+		return fmt.Errorf("%w: %d", wire.ErrBadType, t)
+	}
+}
+
+func (s *Server) writeError(conn net.Conn, err error) error {
+	msg := wire.ErrorMsg{Text: err.Error()}
+	return wire.WriteFrame(conn, wire.TypeError, msg.Encode())
+}
+
+// SelfSignedCert generates an ephemeral ECDSA certificate for the TLS
+// listener. Clients in this reproduction connect with certificate pinning
+// disabled (InsecureSkipVerify) because channel privacy, not server
+// authentication, is what the testbed models.
+func SelfSignedCert() (tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("server: generating key: %w", err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: big.NewInt(time.Now().UnixNano()),
+		Subject:      pkix.Name{CommonName: "smatch-server"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		DNSNames:     []string{"localhost"},
+		IPAddresses:  []net.IP{net.IPv4(127, 0, 0, 1), net.IPv6loopback},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("server: creating certificate: %w", err)
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}, nil
+}

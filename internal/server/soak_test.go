@@ -1,0 +1,133 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"smatch/internal/client"
+	"smatch/internal/core"
+	"smatch/internal/dataset"
+	"smatch/internal/profile"
+)
+
+// TestSoakWeiboOverNetwork drives a Weibo-scale slice of the full system
+// through real TLS: hundreds of devices bootstrap over the network OPRF,
+// upload, query concurrently, and verify. Guarded by -short because it is
+// a soak, not a unit test.
+func TestSoakWeiboOverNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped with -short")
+	}
+	addr, _ := startServer(t)
+	ds := dataset.Weibo(300)
+
+	conn := dial(t, addr)
+	oprfPK, err := conn.OPRFPublicKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(ds.Schema, ds.EmpiricalDist(),
+		core.Params{PlaintextBits: 64, Theta: 8}, oprfPK, testGroup(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent uploads across several connections.
+	const workers = 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	chunk := (len(ds.Profiles) + workers - 1) / workers
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ds.Profiles) {
+			hi = len(ds.Profiles)
+		}
+		wg.Add(1)
+		go func(profiles []profile.Profile) {
+			defer wg.Done()
+			c, err := client.Dial(addr, client.Options{Timeout: 30 * time.Second})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			for _, p := range profiles {
+				dev, err := sys.NewClient(c, []byte(fmt.Sprintf("soak-%d", p.ID)))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				entry, _, err := dev.PrepareUpload(p)
+				if err != nil {
+					errCh <- fmt.Errorf("user %d: %w", p.ID, err)
+					return
+				}
+				if err := c.Upload(entry); err != nil {
+					errCh <- fmt.Errorf("user %d upload: %w", p.ID, err)
+					return
+				}
+			}
+		}(ds.Profiles[lo:hi])
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	t.Logf("uploaded %d users over TLS in %v", len(ds.Profiles), time.Since(start).Round(time.Millisecond))
+
+	// Concurrent queries + verification for a sample of users.
+	var qwg sync.WaitGroup
+	qErr := make(chan error, 10)
+	var verifiedTotal int64
+	var mu sync.Mutex
+	for i := 0; i < 30; i++ {
+		p := ds.Profiles[i*7%len(ds.Profiles)]
+		qwg.Add(1)
+		go func(p profile.Profile) {
+			defer qwg.Done()
+			c, err := client.Dial(addr, client.Options{Timeout: 30 * time.Second})
+			if err != nil {
+				qErr <- err
+				return
+			}
+			defer c.Close()
+			dev, err := sys.NewClient(c, []byte(fmt.Sprintf("soak-%d", p.ID)))
+			if err != nil {
+				qErr <- err
+				return
+			}
+			results, err := c.Query(p.ID, 5)
+			if err != nil {
+				qErr <- fmt.Errorf("query %d: %w", p.ID, err)
+				return
+			}
+			key, err := dev.Keygen(p)
+			if err != nil {
+				qErr <- err
+				return
+			}
+			verified, _, err := dev.VerifyResults(key, results)
+			if err != nil {
+				qErr <- err
+				return
+			}
+			mu.Lock()
+			verifiedTotal += int64(len(verified))
+			mu.Unlock()
+		}(p)
+	}
+	qwg.Wait()
+	close(qErr)
+	for err := range qErr {
+		t.Fatal(err)
+	}
+	if verifiedTotal == 0 {
+		t.Error("soak produced zero verified matches across 30 queriers")
+	}
+	t.Logf("30 concurrent queriers verified %d matches", verifiedTotal)
+}

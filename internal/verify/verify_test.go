@@ -1,0 +1,224 @@
+package verify
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"smatch/internal/group"
+	"smatch/internal/profile"
+)
+
+// The suite runs on a small generated group for speed; one test checks the
+// default group path.
+var (
+	verifierOnce sync.Once
+	verifierVal  *Verifier
+)
+
+func testVerifier(t testing.TB) *Verifier {
+	t.Helper()
+	verifierOnce.Do(func() {
+		grp, err := group.Generate(256, nil)
+		if err != nil {
+			panic(err)
+		}
+		verifierVal, err = New(grp)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return verifierVal
+}
+
+var (
+	keyAlice = []byte("profile-key-alice-0123456789abcd")
+	keyOther = []byte("profile-key-other-0123456789abcd")
+)
+
+func TestAuthVerifyRoundTrip(t *testing.T) {
+	v := testVerifier(t)
+	ciph, err := v.Auth(keyAlice, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := v.Verify(keyAlice, 42, ciph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("honest auth info failed verification")
+	}
+}
+
+func TestVerifyFailsWithDifferentProfileKey(t *testing.T) {
+	// An honest-but-curious user with a different profile key must not be
+	// able to verify (or learn anything from) the auth info.
+	v := testVerifier(t)
+	ciph, err := v.Auth(keyAlice, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := v.Verify(keyOther, 42, ciph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("auth info verified under the wrong profile key")
+	}
+}
+
+func TestVerifyFailsWithWrongID(t *testing.T) {
+	// A malicious server returning user A's auth blob under user B's ID
+	// must be caught: the tag binds the ID.
+	v := testVerifier(t)
+	ciph, err := v.Auth(keyAlice, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := v.Verify(keyAlice, 43, ciph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("auth info verified under a different user ID")
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	v := testVerifier(t)
+	ciph, err := v.Auth(keyAlice, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{0, ivLen + 3, len(ciph) - 1} {
+		tampered := append([]byte(nil), ciph...)
+		tampered[pos] ^= 0x01
+		ok, err := v.Verify(keyAlice, 7, tampered)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("bit flip at %d went undetected", pos)
+		}
+	}
+}
+
+func TestVerifyMalformedLength(t *testing.T) {
+	v := testVerifier(t)
+	if _, err := v.Verify(keyAlice, 1, []byte{1, 2, 3}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("short blob: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	v := testVerifier(t)
+	if _, err := v.Auth(nil, 1, nil); err == nil {
+		t.Error("Auth accepted empty key")
+	}
+	if _, err := v.Verify(nil, 1, make([]byte, v.AuthLen())); err == nil {
+		t.Error("Verify accepted empty key")
+	}
+}
+
+func TestAuthIsRandomized(t *testing.T) {
+	// Fresh s_u and IV every time: two auth blobs for the same user must
+	// differ (otherwise the server could correlate re-uploads).
+	v := testVerifier(t)
+	a, _ := v.Auth(keyAlice, 9, nil)
+	b, _ := v.Auth(keyAlice, 9, nil)
+	if string(a) == string(b) {
+		t.Error("two Auth calls produced identical blobs")
+	}
+	// Both verify.
+	for _, blob := range [][]byte{a, b} {
+		ok, err := v.Verify(keyAlice, 9, blob)
+		if err != nil || !ok {
+			t.Error("randomized auth blob failed verification")
+		}
+	}
+}
+
+func TestAuthLenMatchesOutput(t *testing.T) {
+	v := testVerifier(t)
+	ciph, _ := v.Auth(keyAlice, 1, nil)
+	if len(ciph) != v.AuthLen() {
+		t.Errorf("AuthLen() = %d but Auth produced %d bytes", v.AuthLen(), len(ciph))
+	}
+}
+
+func TestCrossUserScenarioFromPaper(t *testing.T) {
+	// The paper's Section VI example: users B and C share profile key
+	// kp1, user A has kp2. B verifies C's auth info but not A's.
+	v := testVerifier(t)
+	kp1 := []byte("shared-profile-key-B-and-C-00000")
+	kp2 := []byte("different-profile-key-A-00000000")
+	ciphC, err := v.Auth(kp1, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ciphA, err := v.Auth(kp2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := v.Verify(kp1, 3, ciphC); !ok {
+		t.Error("B cannot verify C (same key)")
+	}
+	if ok, _ := v.Verify(kp1, 1, ciphA); ok {
+		t.Error("B verified A despite different keys")
+	}
+}
+
+func TestNilGroupUsesDefault(t *testing.T) {
+	v, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Group().P.BitLen() != 2048 {
+		t.Errorf("default group is %d bits, want 2048", v.Group().P.BitLen())
+	}
+}
+
+func TestVerifierRejectsBadGroup(t *testing.T) {
+	bad := &group.Group{}
+	if _, err := New(bad); err == nil {
+		t.Error("invalid group accepted")
+	}
+}
+
+func TestManyIDs(t *testing.T) {
+	v := testVerifier(t)
+	for _, id := range []profile.ID{1, 2, 255, 65535, 1 << 31} {
+		ciph, err := v.Auth(keyAlice, id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := v.Verify(keyAlice, id, ciph)
+		if err != nil || !ok {
+			t.Errorf("round trip failed for ID %d", id)
+		}
+	}
+}
+
+func BenchmarkAuth(b *testing.B) {
+	v := testVerifier(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Auth(keyAlice, 42, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	v := testVerifier(b)
+	ciph, _ := v.Auth(keyAlice, 42, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Verify(keyAlice, 42, ciph); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,512 @@
+// Package wire defines the framed binary protocol between S-MATCH clients
+// and the untrusted server, mirroring the paper's implementation section:
+// clients talk to the server over an authenticated encrypted channel (TLS
+// here, SSL sockets in the paper) and exchange profile uploads, matching
+// queries Qq = <q, t, IDv>, matching results Rq = <q, t, ID1, ciph1, ...>,
+// and RSA-OPRF evaluation rounds for key generation.
+//
+// Frame layout: 4-byte big-endian payload length, 1-byte message type,
+// payload. Payload encodings are fixed-layout binary with explicit length
+// prefixes; every decoder rejects malformed input rather than guessing.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"smatch/internal/chain"
+	"smatch/internal/match"
+	"smatch/internal/profile"
+)
+
+// MsgType identifies a frame's payload.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	TypeUploadReq MsgType = iota + 1
+	TypeUploadResp
+	TypeQueryReq
+	TypeQueryResp
+	TypeOPRFReq
+	TypeOPRFResp
+	TypeError
+	TypeOPRFKeyReq
+	TypeOPRFKeyResp
+	TypeOPRFBatchReq
+	TypeOPRFBatchResp
+)
+
+// MaxFrameSize bounds a frame payload; large enough for a 2048-bit, many-
+// attribute chain with headroom, small enough to stop memory-exhaustion
+// games from a malicious peer.
+const MaxFrameSize = 16 << 20
+
+// Protocol errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameSize")
+	ErrTruncated     = errors.New("wire: truncated payload")
+	ErrBadType       = errors.New("wire: unknown message type")
+)
+
+// UploadReq carries message format (3): ID, h(Kup), encrypted chain, auth.
+type UploadReq struct {
+	ID       profile.ID
+	KeyHash  []byte
+	CtBits   uint32
+	NumAttrs uint16
+	Chain    []byte // chain.Chain.Bytes()
+	Auth     []byte
+}
+
+// Entry converts the request into the matching server's record.
+func (u *UploadReq) Entry() (match.Entry, error) {
+	ch, err := chain.Parse(u.Chain, int(u.NumAttrs), uint(u.CtBits))
+	if err != nil {
+		return match.Entry{}, err
+	}
+	return match.Entry{ID: u.ID, KeyHash: u.KeyHash, Chain: ch, Auth: u.Auth}, nil
+}
+
+// QueryMode selects the server-side matching algorithm.
+type QueryMode uint8
+
+// Matching algorithms (Section VI: "any matching algorithm (e.g., kNN
+// matching and MAX-distance matching)").
+const (
+	ModeKNN QueryMode = iota
+	ModeMaxDistance
+)
+
+// QueryReq is the matching query Qq = <q, t, IDv> plus the result count
+// (kNN mode) or the order-sum distance bound (MAX-distance mode).
+type QueryReq struct {
+	QueryID   uint64
+	Timestamp int64
+	ID        profile.ID
+	TopK      uint16
+	Mode      QueryMode
+	MaxDist   *big.Int // used in ModeMaxDistance; nil otherwise
+}
+
+// QueryResp is the result message Rq = <q, t, ID1, ciph1, ..., IDk, ciphk>.
+type QueryResp struct {
+	QueryID   uint64
+	Timestamp int64
+	Results   []match.Result
+}
+
+// OPRFReq carries the blinded element x for an RSA-OPRF round.
+type OPRFReq struct {
+	X *big.Int
+}
+
+// OPRFResp carries the evaluation y = x^d mod N.
+type OPRFResp struct {
+	Y *big.Int
+}
+
+// OPRFBatchReq carries several blinded elements for one batched RSA-OPRF
+// round (multi-probe key generation derives all candidate keys in a single
+// exchange).
+type OPRFBatchReq struct {
+	Xs []*big.Int
+}
+
+// Encode serializes the batch request.
+func (o *OPRFBatchReq) Encode() []byte {
+	var e encoder
+	e.u16(uint16(len(o.Xs)))
+	for _, x := range o.Xs {
+		e.bytes(x.Bytes())
+	}
+	return e.buf
+}
+
+// DecodeOPRFBatchReq parses a batch request payload.
+func DecodeOPRFBatchReq(payload []byte) (*OPRFBatchReq, error) {
+	d := decoder{buf: payload}
+	n, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	out := &OPRFBatchReq{Xs: make([]*big.Int, n)}
+	for i := range out.Xs {
+		b, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		out.Xs[i] = new(big.Int).SetBytes(b)
+	}
+	return out, d.done()
+}
+
+// OPRFBatchResp carries the batched evaluations.
+type OPRFBatchResp struct {
+	Ys []*big.Int
+}
+
+// Encode serializes the batch response.
+func (o *OPRFBatchResp) Encode() []byte {
+	var e encoder
+	e.u16(uint16(len(o.Ys)))
+	for _, y := range o.Ys {
+		e.bytes(y.Bytes())
+	}
+	return e.buf
+}
+
+// DecodeOPRFBatchResp parses a batch response payload.
+func DecodeOPRFBatchResp(payload []byte) (*OPRFBatchResp, error) {
+	d := decoder{buf: payload}
+	n, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	out := &OPRFBatchResp{Ys: make([]*big.Int, n)}
+	for i := range out.Ys {
+		b, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		out.Ys[i] = new(big.Int).SetBytes(b)
+	}
+	return out, d.done()
+}
+
+// OPRFKeyResp carries the server's OPRF public key (N, e) so clients can
+// bootstrap without out-of-band configuration. The request has an empty
+// payload.
+type OPRFKeyResp struct {
+	N *big.Int
+	E uint32
+}
+
+// Encode serializes the OPRF key response.
+func (o *OPRFKeyResp) Encode() []byte {
+	var e encoder
+	e.bytes(o.N.Bytes())
+	e.u32(o.E)
+	return e.buf
+}
+
+// DecodeOPRFKeyResp parses an OPRF key response payload.
+func DecodeOPRFKeyResp(payload []byte) (*OPRFKeyResp, error) {
+	d := decoder{buf: payload}
+	nb, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	ev, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &OPRFKeyResp{N: new(big.Int).SetBytes(nb), E: ev}, nil
+}
+
+// ErrorMsg reports a server-side failure for the preceding request.
+type ErrorMsg struct {
+	Text string
+}
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrameSize {
+		return 0, nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: reading payload: %w", err)
+	}
+	return MsgType(hdr[4]), payload, nil
+}
+
+// --- payload encoding helpers ---
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+type decoder struct{ buf []byte }
+
+func (d *decoder) u16() (uint16, error) {
+	if len(d.buf) < 2 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint16(d.buf)
+	d.buf = d.buf[2:]
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if len(d.buf) < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if len(d.buf) < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v, nil
+}
+
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(d.buf)) < n {
+		return nil, ErrTruncated
+	}
+	v := d.buf[:n:n]
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *decoder) done() error {
+	if len(d.buf) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", len(d.buf))
+	}
+	return nil
+}
+
+// --- message codecs ---
+
+// Encode serializes the upload request.
+func (u *UploadReq) Encode() []byte {
+	var e encoder
+	e.u32(uint32(u.ID))
+	e.bytes(u.KeyHash)
+	e.u32(u.CtBits)
+	e.u16(u.NumAttrs)
+	e.bytes(u.Chain)
+	e.bytes(u.Auth)
+	return e.buf
+}
+
+// DecodeUploadReq parses an upload request payload.
+func DecodeUploadReq(payload []byte) (*UploadReq, error) {
+	d := decoder{buf: payload}
+	var u UploadReq
+	id, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	u.ID = profile.ID(id)
+	if u.KeyHash, err = d.bytes(); err != nil {
+		return nil, err
+	}
+	if u.CtBits, err = d.u32(); err != nil {
+		return nil, err
+	}
+	if u.NumAttrs, err = d.u16(); err != nil {
+		return nil, err
+	}
+	if u.Chain, err = d.bytes(); err != nil {
+		return nil, err
+	}
+	if u.Auth, err = d.bytes(); err != nil {
+		return nil, err
+	}
+	return &u, d.done()
+}
+
+// Encode serializes the query request.
+func (q *QueryReq) Encode() []byte {
+	var e encoder
+	e.u64(q.QueryID)
+	e.u64(uint64(q.Timestamp))
+	e.u32(uint32(q.ID))
+	e.u16(q.TopK)
+	e.buf = append(e.buf, byte(q.Mode))
+	md := q.MaxDist
+	if md == nil {
+		md = new(big.Int)
+	}
+	e.bytes(md.Bytes())
+	return e.buf
+}
+
+// DecodeQueryReq parses a query request payload.
+func DecodeQueryReq(payload []byte) (*QueryReq, error) {
+	d := decoder{buf: payload}
+	var q QueryReq
+	var err error
+	if q.QueryID, err = d.u64(); err != nil {
+		return nil, err
+	}
+	ts, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	q.Timestamp = int64(ts)
+	id, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	q.ID = profile.ID(id)
+	if q.TopK, err = d.u16(); err != nil {
+		return nil, err
+	}
+	if len(d.buf) < 1 {
+		return nil, ErrTruncated
+	}
+	q.Mode = QueryMode(d.buf[0])
+	d.buf = d.buf[1:]
+	if q.Mode != ModeKNN && q.Mode != ModeMaxDistance {
+		return nil, fmt.Errorf("wire: unknown query mode %d", q.Mode)
+	}
+	md, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if q.Mode == ModeMaxDistance {
+		q.MaxDist = new(big.Int).SetBytes(md)
+	}
+	return &q, d.done()
+}
+
+// Encode serializes the query response.
+func (q *QueryResp) Encode() []byte {
+	var e encoder
+	e.u64(q.QueryID)
+	e.u64(uint64(q.Timestamp))
+	e.u16(uint16(len(q.Results)))
+	for _, r := range q.Results {
+		e.u32(uint32(r.ID))
+		e.bytes(r.Auth)
+	}
+	return e.buf
+}
+
+// DecodeQueryResp parses a query response payload.
+func DecodeQueryResp(payload []byte) (*QueryResp, error) {
+	d := decoder{buf: payload}
+	var q QueryResp
+	var err error
+	if q.QueryID, err = d.u64(); err != nil {
+		return nil, err
+	}
+	ts, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	q.Timestamp = int64(ts)
+	n, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	q.Results = make([]match.Result, n)
+	for i := range q.Results {
+		id, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		auth, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		q.Results[i] = match.Result{ID: profile.ID(id), Auth: auth}
+	}
+	return &q, d.done()
+}
+
+// Encode serializes the OPRF request.
+func (o *OPRFReq) Encode() []byte {
+	var e encoder
+	e.bytes(o.X.Bytes())
+	return e.buf
+}
+
+// DecodeOPRFReq parses an OPRF request payload.
+func DecodeOPRFReq(payload []byte) (*OPRFReq, error) {
+	d := decoder{buf: payload}
+	b, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &OPRFReq{X: new(big.Int).SetBytes(b)}, nil
+}
+
+// Encode serializes the OPRF response.
+func (o *OPRFResp) Encode() []byte {
+	var e encoder
+	e.bytes(o.Y.Bytes())
+	return e.buf
+}
+
+// DecodeOPRFResp parses an OPRF response payload.
+func DecodeOPRFResp(payload []byte) (*OPRFResp, error) {
+	d := decoder{buf: payload}
+	b, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &OPRFResp{Y: new(big.Int).SetBytes(b)}, nil
+}
+
+// Encode serializes an error message.
+func (m *ErrorMsg) Encode() []byte {
+	var e encoder
+	e.bytes([]byte(m.Text))
+	return e.buf
+}
+
+// DecodeErrorMsg parses an error payload.
+func DecodeErrorMsg(payload []byte) (*ErrorMsg, error) {
+	d := decoder{buf: payload}
+	b, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &ErrorMsg{Text: string(b)}, nil
+}

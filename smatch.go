@@ -1,0 +1,178 @@
+// Package smatch is a Go implementation of S-MATCH (Liao, Uluagac, Beyah —
+// "S-MATCH: Verifiable Privacy-Preserving Profile Matching for Mobile
+// Social Services", DSN 2014): privacy-preserving, verifiable profile
+// matching for mobile social services built on property-preserving
+// encryption instead of homomorphic encryption.
+//
+// # Overview
+//
+// Users hold low-entropy social profiles (country, education, interests…).
+// An untrusted server matches encrypted profiles and returns each querier's
+// k nearest users; the querier cryptographically verifies every result, so
+// even a malicious server cannot fake matches. The pipeline per user:
+//
+//  1. Fuzzy key generation — the profile is quantized and Reed-Solomon
+//     decoded so that Definition-3-close profiles derive the same OPE key,
+//     hardened through an RSA-OPRF against offline brute force.
+//  2. Entropy increase — each attribute value is mapped one-to-N into a
+//     k-bit message space (the "big-jump" mapping), defeating the
+//     known-plaintext pruning attacks OPE otherwise invites on
+//     low-entropy data.
+//  3. Attribute chaining — attributes are permuted into a per-device
+//     secret order and OPE-encrypted; the server ranks users by
+//     ciphertext order sums without learning anything but order.
+//  4. Verification — each user publishes a reversed fuzzy commitment that
+//     only same-key (i.e. genuinely matching) users can open and check.
+//
+// # Quick start
+//
+//	oprfServer, _ := smatch.NewOPRFServer(2048)
+//	sys, _ := smatch.NewSystem(schema, dist, smatch.Params{PlaintextBits: 64, Theta: 8},
+//	        oprfServer.PublicKey(), nil)
+//	device, _ := sys.NewClient(oprfServer, deviceSecret)
+//	entry, key, _ := device.PrepareUpload(profile)
+//	server := smatch.NewMatchServer()
+//	_ = server.Upload(entry)
+//	results, _ := server.Match(profile.ID, 5)
+//	verified, rejected, _ := device.VerifyResults(key, results)
+//
+// See examples/ for runnable end-to-end programs, including a TCP/TLS
+// deployment (examples/friendfinder) mirroring the paper's Android/PC
+// testbed.
+package smatch
+
+import (
+	"io"
+
+	"smatch/internal/client"
+	"smatch/internal/core"
+	"smatch/internal/dataset"
+	"smatch/internal/group"
+	"smatch/internal/homopm"
+	"smatch/internal/keygen"
+	"smatch/internal/match"
+	"smatch/internal/oprf"
+	"smatch/internal/profile"
+	"smatch/internal/server"
+)
+
+// Profile model.
+type (
+	// ID identifies a user (32-bit, per the paper's cost model).
+	ID = profile.ID
+	// Profile is a user's attribute vector.
+	Profile = profile.Profile
+	// Schema is the shared profile format.
+	Schema = profile.Schema
+	// AttributeSpec describes one attribute.
+	AttributeSpec = profile.AttributeSpec
+)
+
+// Scheme types.
+type (
+	// Params are the scheme parameters (plaintext size k, OPE range,
+	// RS-decoder threshold theta, result count).
+	Params = core.Params
+	// System is a deployment's shared public configuration.
+	System = core.System
+	// Client is one user device: Keygen, InitData, Enc, Auth, Vf.
+	Client = core.Client
+	// Key is a fuzzy profile key.
+	Key = keygen.Key
+)
+
+// Server-side types.
+type (
+	// MatchServer is the untrusted matching store (Algorithm Match).
+	MatchServer = match.Server
+	// Entry is a stored encrypted profile record.
+	Entry = match.Entry
+	// Result is one matched user with auth info.
+	Result = match.Result
+	// OPRFServer evaluates blind RSA-OPRF requests for key generation.
+	OPRFServer = oprf.Server
+	// OPRFPublicKey is the client's view of the OPRF key.
+	OPRFPublicKey = oprf.PublicKey
+	// Group is the verification protocol's Schnorr group.
+	Group = group.Group
+)
+
+// Networking types.
+type (
+	// NetServer hosts matching + OPRF over TCP/TLS.
+	NetServer = server.Server
+	// NetServerConfig configures a NetServer.
+	NetServerConfig = server.Config
+	// NetConn is a client connection to a NetServer; it implements the
+	// OPRF evaluator interface so devices can bootstrap over the network.
+	NetConn = client.Conn
+	// NetOptions tune a client connection.
+	NetOptions = client.Options
+)
+
+// Dataset types.
+type (
+	// Dataset is a synthetic stand-in for the paper's evaluation data.
+	Dataset = dataset.Dataset
+	// DatasetStats is a Table II row.
+	DatasetStats = dataset.Stats
+)
+
+// Baseline types (homoPM, the homomorphic-encryption comparison scheme).
+type (
+	// HomoPMSystem is a homoPM deployment (Paillier keys).
+	HomoPMSystem = homopm.System
+	// HomoPMServer is the homoPM matching server.
+	HomoPMServer = homopm.Server
+)
+
+// DefaultTopK is the paper's evaluation setting for results per query.
+const DefaultTopK = core.DefaultTopK
+
+// NewSystem builds a deployment configuration from the shared schema, the
+// published per-attribute value distributions, scheme parameters, the OPRF
+// service public key, and the verification group (nil for the standard
+// 2048-bit group).
+func NewSystem(schema Schema, dist [][]float64, params Params, oprfPK OPRFPublicKey, grp *Group) (*System, error) {
+	return core.NewSystem(schema, dist, params, oprfPK, grp)
+}
+
+// NewMatchServer returns an empty untrusted matching store.
+func NewMatchServer() *MatchServer { return match.NewServer() }
+
+// NewOPRFServer generates a fresh RSA-OPRF evaluator with the given
+// modulus size (2048 recommended; tests may use 1024).
+func NewOPRFServer(bits int) (*OPRFServer, error) { return oprf.NewServer(bits) }
+
+// NewNetServer creates a TCP/TLS server hosting matching and OPRF.
+func NewNetServer(cfg NetServerConfig) (*NetServer, error) { return server.New(cfg) }
+
+// Dial connects a device to a NetServer.
+func Dial(addr string, opts NetOptions) (*NetConn, error) { return client.Dial(addr, opts) }
+
+// NewHomoPMSystem creates the homomorphic-encryption baseline for
+// d-attribute profiles with the given plaintext size.
+func NewHomoPMSystem(plaintextBits uint, d int) (*HomoPMSystem, error) {
+	return homopm.NewSystem(plaintextBits, d, 1024)
+}
+
+// NewHomoPMServer creates a homoPM matching server.
+func NewHomoPMServer(sys *HomoPMSystem) *HomoPMServer { return homopm.NewServer(sys.PublicKey()) }
+
+// Datasets returns the three synthetic evaluation datasets (Infocom06,
+// Sigcomm09, Weibo at its default scale), calibrated to the paper's
+// Table II statistics.
+func Datasets() []*Dataset { return dataset.All() }
+
+// DatasetByName returns one dataset by its paper name.
+func DatasetByName(name string) (*Dataset, error) { return dataset.ByName(name) }
+
+// ReadDatasetCSV loads a profile dump in the smatch-datagen CSV format
+// (header "user_id,<attr names...>"), inferring attribute domains and
+// using the empirical value distributions — the path for matching over
+// your own data.
+func ReadDatasetCSV(r io.Reader, name string) (*Dataset, error) { return dataset.ReadCSV(r, name) }
+
+// Distance is the paper's Definition-3 profile distance (max attribute
+// difference).
+func Distance(u, v Profile) (int, error) { return profile.Distance(u, v) }
