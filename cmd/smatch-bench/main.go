@@ -13,6 +13,11 @@
 //
 // -quick trims the parameter sweeps for a fast sanity pass; -csv emits
 // machine-readable output; -weibo-nodes rescales the Weibo stand-in.
+//
+// -match-bench switches to the match-store throughput benchmark (Upload /
+// Match / mixed ops/sec for the sharded store vs the single-lock baseline
+// at 1, 8 and 32 goroutines); -match-out writes the JSON report that is
+// committed as BENCH_match.json.
 package main
 
 import (
@@ -35,8 +40,19 @@ func main() {
 		weiboNodes = flag.Int("weibo-nodes", 1000, "node count for the Weibo stand-in (paper: 1000000)")
 		costUsers  = flag.Int("cost-users", 3, "users averaged per point in the cost experiments")
 		outPath    = flag.String("out", "", "also write the report to this file")
+		matchBench = flag.Bool("match-bench", false, "run the match-store throughput benchmark instead of the paper experiments")
+		matchDur   = flag.Duration("match-dur", 500*time.Millisecond, "measurement window per match-bench cell")
+		matchOut   = flag.String("match-out", "", "write the match-bench JSON report to this file (e.g. BENCH_match.json)")
 	)
 	flag.Parse()
+
+	if *matchBench {
+		if err := runMatchBench(os.Stdout, *matchDur, *matchOut, []int{1, 8, 32}); err != nil {
+			fmt.Fprintln(os.Stderr, "smatch-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := experiment.Options{WeiboNodes: *weiboNodes, CostUsers: *costUsers}
 	if *quick {

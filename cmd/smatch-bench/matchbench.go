@@ -1,0 +1,183 @@
+// Match-store throughput bench: measures Upload and Match ops/sec for the
+// sharded store against the single-lock baseline at several goroutine
+// counts, and writes the numbers as JSON (BENCH_match.json in this repo)
+// so successive PRs can track the perf trajectory.
+//
+//	smatch-bench -match-bench -match-out BENCH_match.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/big"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smatch/internal/chain"
+	"smatch/internal/match"
+	"smatch/internal/profile"
+)
+
+// matchBenchCell is one (store, op, goroutines) measurement.
+type matchBenchCell struct {
+	Store      string  `json:"store"`
+	Op         string  `json:"op"`
+	Goroutines int     `json:"goroutines"`
+	Ops        int64   `json:"ops"`
+	Seconds    float64 `json:"seconds"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// matchBenchReport is the BENCH_match.json document.
+type matchBenchReport struct {
+	GOMAXPROCS     int              `json:"gomaxprocs"`
+	NumCPU         int              `json:"num_cpu"`
+	Shards         int              `json:"shards"`
+	PreloadedUsers int              `json:"preloaded_users"`
+	Buckets        int              `json:"buckets"`
+	DurationPerOp  string           `json:"duration_per_cell"`
+	Caveat         string           `json:"caveat,omitempty"`
+	Results        []matchBenchCell `json:"results"`
+}
+
+const (
+	matchBenchUsers   = 20000
+	matchBenchBuckets = 256
+)
+
+func benchEntry(id profile.ID, bucket int, sum int64) match.Entry {
+	return match.Entry{
+		ID:      id,
+		KeyHash: []byte(fmt.Sprintf("bench-bucket-%03d", bucket)),
+		Chain:   &chain.Chain{Cts: []*big.Int{big.NewInt(sum)}, CtBits: 48},
+		Auth:    []byte("bench-auth"),
+	}
+}
+
+func preload(s match.Store) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 1; i <= matchBenchUsers; i++ {
+		if err := s.Upload(benchEntry(profile.ID(i), i%matchBenchBuckets, int64(rng.Intn(1<<30)))); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// benchCell runs op against s from n goroutines for roughly dur and
+// reports aggregate throughput. op receives a per-goroutine RNG and a
+// per-goroutine worker index; it performs one operation per call.
+func benchCell(s match.Store, n int, dur time.Duration, op func(g int, i int64, rng *rand.Rand)) (int64, float64) {
+	var (
+		stop  atomic.Bool
+		total atomic.Int64
+		wg    sync.WaitGroup
+	)
+	start := time.Now()
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 100))
+			var done int64
+			for !stop.Load() {
+				op(g, done, rng)
+				done++
+			}
+			total.Add(done)
+		}(g)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return total.Load(), elapsed
+}
+
+func runMatchBench(w io.Writer, dur time.Duration, outPath string, goroutines []int) error {
+	report := matchBenchReport{
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		Shards:         match.NewServer().NumShards(),
+		PreloadedUsers: matchBenchUsers,
+		Buckets:        matchBenchBuckets,
+		DurationPerOp:  dur.String(),
+	}
+	if runtime.NumCPU() == 1 {
+		report.Caveat = "single-CPU host: goroutines timeshare one core, so lock " +
+			"contention cannot manifest and both stores are work-bound; re-run on " +
+			"multicore hardware to observe the sharding win"
+	}
+	stores := []struct {
+		name string
+		mk   func() match.Store
+	}{
+		{"single-lock", func() match.Store { return match.NewUnsharded() }},
+		{"sharded", func() match.Store { return match.NewServer() }},
+	}
+	ops := []struct {
+		name string
+		run  func(s match.Store) func(g int, i int64, rng *rand.Rand)
+	}{
+		{"upload", func(s match.Store) func(int, int64, *rand.Rand) {
+			// Fresh IDs above the preloaded range: every call inserts.
+			// The stride keeps 32 goroutines' ID ranges disjoint within
+			// uint32 (32 x 100M < 2^32).
+			return func(g int, i int64, rng *rand.Rand) {
+				id := profile.ID(matchBenchUsers + 1 + int64(g)*100_000_000 + i)
+				_ = s.Upload(benchEntry(id, rng.Intn(matchBenchBuckets), int64(rng.Intn(1<<30))))
+			}
+		}},
+		{"match", func(s match.Store) func(int, int64, *rand.Rand) {
+			return func(g int, i int64, rng *rand.Rand) {
+				_, _ = s.Match(profile.ID(1+rng.Intn(matchBenchUsers)), 5)
+			}
+		}},
+		{"mixed", func(s match.Store) func(int, int64, *rand.Rand) {
+			// The bursty production shape: mostly queries, a steady
+			// trickle of (re-)uploads.
+			return func(g int, i int64, rng *rand.Rand) {
+				if rng.Intn(4) == 0 {
+					id := profile.ID(1 + rng.Intn(matchBenchUsers))
+					_ = s.Upload(benchEntry(id, rng.Intn(matchBenchBuckets), int64(rng.Intn(1<<30))))
+				} else {
+					_, _ = s.Match(profile.ID(1+rng.Intn(matchBenchUsers)), 5)
+				}
+			}
+		}},
+	}
+
+	for _, st := range stores {
+		for _, op := range ops {
+			for _, n := range goroutines {
+				s := st.mk()
+				preload(s)
+				ops2, secs := benchCell(s, n, dur, op.run(s))
+				cell := matchBenchCell{
+					Store: st.name, Op: op.name, Goroutines: n,
+					Ops: ops2, Seconds: secs, OpsPerSec: float64(ops2) / secs,
+				}
+				report.Results = append(report.Results, cell)
+				fmt.Fprintf(w, "%-12s %-7s g=%-3d %12.0f ops/sec\n",
+					cell.Store, cell.Op, cell.Goroutines, cell.OpsPerSec)
+			}
+		}
+	}
+
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, doc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", outPath)
+	}
+	return nil
+}

@@ -3,7 +3,12 @@
 // for fuzzy key generation, all over TCP+TLS (a self-signed certificate is
 // generated at startup).
 //
-//	smatch-server -listen 127.0.0.1:7788 -oprf-bits 2048
+//	smatch-server -listen 127.0.0.1:7788 -oprf-bits 2048 -metrics 127.0.0.1:7789
+//
+// With -metrics, GET /metrics on the given address returns an expvar-style
+// JSON document: operation counters, latency histograms (p50/p95/p99),
+// connection gauges, and the store's bucket-size distribution. The same
+// summary is logged every 30 seconds.
 package main
 
 import (
@@ -12,32 +17,35 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"smatch/internal/match"
+	"smatch/internal/metrics"
 	"smatch/internal/oprf"
 	"smatch/internal/server"
 )
 
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:7788", "address to listen on")
-		oprfBits  = flag.Int("oprf-bits", 2048, "RSA-OPRF modulus size")
-		maxTopK   = flag.Int("max-topk", 100, "cap on per-query result count")
-		storePath = flag.String("store", "", "snapshot file: restored at startup, saved on shutdown and every 5 minutes")
+		listen      = flag.String("listen", "127.0.0.1:7788", "address to listen on")
+		oprfBits    = flag.Int("oprf-bits", 2048, "RSA-OPRF modulus size")
+		maxTopK     = flag.Int("max-topk", 100, "cap on per-query result count")
+		storePath   = flag.String("store", "", "snapshot file: restored at startup, saved on shutdown and every 5 minutes")
+		metricsAddr = flag.String("metrics", "", "serve GET /metrics (JSON) on this address; empty disables the endpoint")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *oprfBits, *maxTopK, *storePath); err != nil {
+	if err := run(*listen, *oprfBits, *maxTopK, *storePath, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "smatch-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, oprfBits, maxTopK int, storePath string) error {
+func run(listen string, oprfBits, maxTopK int, storePath, metricsAddr string) error {
 	log.Printf("generating %d-bit RSA-OPRF key...", oprfBits)
 	oprfSrv, err := oprf.NewServer(oprfBits)
 	if err != nil {
@@ -53,12 +61,14 @@ func run(listen string, oprfBits, maxTopK int, storePath string) error {
 			return err
 		}
 	}
+	reg := metrics.New()
 	srv, err := server.New(server.Config{
 		OPRF:        oprfSrv,
 		MaxTopK:     maxTopK,
 		ReadTimeout: 60 * time.Second,
 		Logf:        log.Printf,
 		Store:       store,
+		Metrics:     reg,
 	})
 	if err != nil {
 		return err
@@ -67,10 +77,29 @@ func run(listen string, oprfBits, maxTopK int, storePath string) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("listening on %s (TLS, self-signed)", addr)
+	log.Printf("listening on %s (TLS, self-signed, %d store shards)", addr, srv.Store().NumShards())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		msrv := &http.Server{Addr: metricsAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			log.Printf("metrics on http://%s/metrics", metricsAddr)
+			if err := msrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		go func() {
+			<-ctx.Done()
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = msrv.Shutdown(shutdownCtx)
+		}()
+	}
+
 	go func() {
 		ticker := time.NewTicker(30 * time.Second)
 		defer ticker.Stop()
@@ -79,8 +108,8 @@ func run(listen string, oprfBits, maxTopK int, storePath string) error {
 			case <-ctx.Done():
 				return
 			case <-ticker.C:
-				log.Printf("stored profiles: %d in %d key buckets",
-					srv.Store().NumUsers(), srv.Store().NumBuckets())
+				log.Printf("stored profiles: %d in %d key buckets | %s",
+					srv.Store().NumUsers(), srv.Store().NumBuckets(), reg.Summary())
 			}
 		}
 	}()

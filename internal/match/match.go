@@ -9,13 +9,29 @@
 // chains, opaque key hashes and opaque auth blobs, and compares only
 // ciphertext order sums — exactly the honest-but-curious interface the
 // security analysis assumes.
+//
+// # Sharding
+//
+// Buckets are independent in the paper's cost model (each query touches
+// only the buckets under its key hashes), so the store is lock-striped:
+// profile records are spread over N bucket shards keyed by a hash of
+// h(Kup), each shard owning its own bucket map and RWMutex, plus N ID
+// stripes (keyed by user ID) that map IDs to records. Uploads and queries
+// against different shards never contend.
+//
+// Lock-ordering rule (deadlock freedom): an operation takes at most one
+// ID-stripe lock, always BEFORE any bucket-shard lock; when an operation
+// needs several bucket shards (a re-keying Upload, or a multi-bucket
+// MatchProbe), it acquires them in ascending shard index. Snapshot, which
+// walks every stripe, likewise locks stripes in ascending index.
 package match
 
 import (
-	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"math/big"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -27,6 +43,17 @@ import (
 var (
 	ErrUnknownUser = errors.New("match: unknown user")
 	ErrNoBucket    = errors.New("match: no profiles under this key hash")
+)
+
+// Field-size limits enforced on upload and on snapshot restore. A real
+// key hash is a digest (tens of bytes) and a real auth blob is one fuzzy
+// commitment, so these are abuse backstops, not working limits. Keeping
+// Upload and Restore in agreement guarantees every snapshot the store can
+// write is a snapshot it can read back.
+const (
+	MaxKeyHashLen = 1 << 10
+	MaxAuthLen    = 1 << 16
+	MaxChainBytes = 1 << 22
 )
 
 // Entry is one user's stored record: message format (3) from the paper
@@ -45,8 +72,17 @@ func (e Entry) validate() error {
 	if len(e.KeyHash) == 0 {
 		return errors.New("match: empty key hash")
 	}
+	if len(e.KeyHash) > MaxKeyHashLen {
+		return fmt.Errorf("match: key hash of %d bytes exceeds limit %d", len(e.KeyHash), MaxKeyHashLen)
+	}
+	if len(e.Auth) > MaxAuthLen {
+		return fmt.Errorf("match: auth blob of %d bytes exceeds limit %d", len(e.Auth), MaxAuthLen)
+	}
 	if e.Chain == nil || e.Chain.NumAttrs() == 0 {
 		return errors.New("match: empty chain")
+	}
+	if size := e.Chain.NumAttrs() * int(e.Chain.CtBits+7) / 8; size > MaxChainBytes {
+		return fmt.Errorf("match: chain of %d bytes exceeds limit %d", size, MaxChainBytes)
 	}
 	return nil
 }
@@ -64,19 +100,85 @@ type Result struct {
 	Auth []byte
 }
 
-// Server is the in-memory matching store. Safe for concurrent use.
-type Server struct {
-	mu      sync.RWMutex
-	byID    map[profile.ID]*stored
-	buckets map[string][]*stored // key-hash hex -> entries sorted by order sum
+// Store is the matching interface satisfied by both the production
+// sharded Server and the single-lock Unsharded reference; equivalence
+// tests and benchmarks run the same workload against either.
+type Store interface {
+	Upload(Entry) error
+	Remove(profile.ID) error
+	Match(id profile.ID, k int) ([]Result, error)
+	MatchProbe(id profile.ID, altKeyHashes [][]byte, k int) ([]Result, error)
+	MatchMaxDistance(id profile.ID, maxDist *big.Int) ([]Result, error)
+	NumUsers() int
+	NumBuckets() int
+	BucketSize(keyHash []byte) int
 }
 
-// NewServer returns an empty matching server.
-func NewServer() *Server {
-	return &Server{
-		byID:    make(map[profile.ID]*stored),
-		buckets: make(map[string][]*stored),
+// bucketShard owns a disjoint subset of the key-hash buckets.
+type bucketShard struct {
+	mu      sync.RWMutex
+	buckets map[string][]*stored // key hash (raw bytes as string) -> entries sorted by order sum
+}
+
+// idStripe owns a disjoint subset of the ID -> record directory.
+type idStripe struct {
+	mu sync.RWMutex
+	m  map[profile.ID]*stored
+}
+
+// Server is the in-memory matching store. Safe for concurrent use.
+type Server struct {
+	mask   uint64 // len(shards)-1; len is a power of two
+	seed   maphash.Seed
+	ids    []idStripe
+	shards []bucketShard
+}
+
+// NewServer returns an empty matching server with the default shard count:
+// the smallest power of two >= max(16, GOMAXPROCS).
+func NewServer() *Server { return NewServerShards(0) }
+
+// NewServerShards returns an empty matching server with n shards, rounded
+// up to a power of two; n <= 0 selects the default.
+func NewServerShards(n int) *Server {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n < 16 {
+			n = 16
+		}
 	}
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	s := &Server{
+		mask:   uint64(shards - 1),
+		seed:   maphash.MakeSeed(),
+		ids:    make([]idStripe, shards),
+		shards: make([]bucketShard, shards),
+	}
+	for i := range s.ids {
+		s.ids[i].m = make(map[profile.ID]*stored)
+	}
+	for i := range s.shards {
+		s.shards[i].buckets = make(map[string][]*stored)
+	}
+	return s
+}
+
+// NumShards reports the shard count (a power of two).
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// shardIndex maps a key hash to its bucket shard. Real key hashes are
+// uniformly distributed (they are h(Kup) outputs), but tests use short
+// labels, so the index hashes the whole key rather than trusting its
+// first bytes.
+func (s *Server) shardIndex(keyHash []byte) uint64 {
+	return maphash.Bytes(s.seed, keyHash) & s.mask
+}
+
+func (s *Server) stripe(id profile.ID) *idStripe {
+	return &s.ids[uint64(id)&s.mask]
 }
 
 // Upload stores or replaces a user's encrypted profile (users "update
@@ -86,57 +188,112 @@ func (s *Server) Upload(e Entry) error {
 		return err
 	}
 	rec := &stored{Entry: e, orderSum: e.Chain.OrderSum()}
-	key := hex.EncodeToString(e.KeyHash)
+	newIdx := s.shardIndex(e.KeyHash)
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.byID[e.ID]; ok {
-		s.removeFromBucketLocked(old)
+	st := s.stripe(e.ID)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	old := st.m[e.ID]
+	st.m[e.ID] = rec
+
+	if old == nil {
+		sh := &s.shards[newIdx]
+		sh.mu.Lock()
+		insertSorted(sh.buckets, rec)
+		sh.mu.Unlock()
+		return nil
 	}
-	s.byID[e.ID] = rec
-	bucket := s.buckets[key]
+	oldIdx := s.shardIndex(old.KeyHash)
+	// Ascending-index acquisition when the re-upload moves buckets across
+	// shards (the lock-ordering rule).
+	lo, hi := oldIdx, newIdx
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	s.shards[lo].mu.Lock()
+	if hi != lo {
+		s.shards[hi].mu.Lock()
+	}
+	removeSorted(s.shards[oldIdx].buckets, old)
+	insertSorted(s.shards[newIdx].buckets, rec)
+	if hi != lo {
+		s.shards[hi].mu.Unlock()
+	}
+	s.shards[lo].mu.Unlock()
+	return nil
+}
+
+// insertSorted files rec into its bucket, keeping the bucket sorted by
+// order sum (ties keep insertion position, matching the historical
+// single-lock behavior).
+func insertSorted(buckets map[string][]*stored, rec *stored) {
+	key := string(rec.KeyHash)
+	bucket := buckets[key]
 	pos := sort.Search(len(bucket), func(i int) bool {
 		return bucket[i].orderSum.Cmp(rec.orderSum) >= 0
 	})
 	bucket = append(bucket, nil)
 	copy(bucket[pos+1:], bucket[pos:])
 	bucket[pos] = rec
-	s.buckets[key] = bucket
-	return nil
+	buckets[key] = bucket
 }
 
-func (s *Server) removeFromBucketLocked(rec *stored) {
-	key := hex.EncodeToString(rec.KeyHash)
-	bucket := s.buckets[key]
+func removeSorted(buckets map[string][]*stored, rec *stored) {
+	key := string(rec.KeyHash)
+	bucket := buckets[key]
 	for i, r := range bucket {
 		if r == rec {
-			s.buckets[key] = append(bucket[:i], bucket[i+1:]...)
+			buckets[key] = append(bucket[:i], bucket[i+1:]...)
 			break
 		}
 	}
-	if len(s.buckets[key]) == 0 {
-		delete(s.buckets, key)
+	if len(buckets[key]) == 0 {
+		delete(buckets, key)
 	}
 }
 
 // Remove deletes a user's record.
 func (s *Server) Remove(id profile.ID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.byID[id]
+	st := s.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rec, ok := st.m[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownUser, id)
 	}
-	s.removeFromBucketLocked(rec)
-	delete(s.byID, id)
+	sh := &s.shards[s.shardIndex(rec.KeyHash)]
+	sh.mu.Lock()
+	removeSorted(sh.buckets, rec)
+	sh.mu.Unlock()
+	delete(st.m, id)
 	return nil
 }
 
 // NumUsers returns the number of stored profiles.
 func (s *Server) NumUsers() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.byID)
+	n := 0
+	for i := range s.ids {
+		s.ids[i].mu.RLock()
+		n += len(s.ids[i].m)
+		s.ids[i].mu.RUnlock()
+	}
+	return n
+}
+
+// lookup returns the querier's record under its stripe's read lock; the
+// caller must release the stripe via the returned function after it is
+// done with any dependent bucket-shard reads (stripe before shard, per the
+// lock-ordering rule, so Upload/Remove cannot slide the record out from
+// under an in-flight query).
+func (s *Server) lookup(id profile.ID) (*stored, func(), error) {
+	st := s.stripe(id)
+	st.mu.RLock()
+	rec, ok := st.m[id]
+	if !ok {
+		st.mu.RUnlock()
+		return nil, nil, fmt.Errorf("%w: %d", ErrUnknownUser, id)
+	}
+	return rec, st.mu.RUnlock, nil
 }
 
 // Match answers a profile-matching query Qq = <q, t, IDv>: it returns the
@@ -147,14 +304,15 @@ func (s *Server) Match(id profile.ID, k int) ([]Result, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("match: non-positive k=%d", k)
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	me, ok := s.byID[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, id)
+	me, release, err := s.lookup(id)
+	if err != nil {
+		return nil, err
 	}
-	bucket := s.buckets[hex.EncodeToString(me.KeyHash)]
-	return nearest(bucket, me, k), nil
+	defer release()
+	sh := &s.shards[s.shardIndex(me.KeyHash)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return nearest(sh.buckets[string(me.KeyHash)], me, k), nil
 }
 
 // nearest expands outward from the querier's sorted position, picking the
@@ -207,14 +365,16 @@ func (s *Server) MatchFresh(id profile.ID, k int) ([]Result, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("match: non-positive k=%d", k)
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	me, ok := s.byID[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, id)
+	me, release, err := s.lookup(id)
+	if err != nil {
+		return nil, err
 	}
+	defer release()
+	sh := &s.shards[s.shardIndex(me.KeyHash)]
+	sh.mu.RLock()
 	// EXTRA: copy the bucket (the stored list is shared state).
-	bucket := append([]*stored(nil), s.buckets[hex.EncodeToString(me.KeyHash)]...)
+	bucket := append([]*stored(nil), sh.buckets[string(me.KeyHash)]...)
+	sh.mu.RUnlock()
 	// SORT by order sum.
 	sort.Slice(bucket, func(i, j int) bool {
 		return bucket[i].orderSum.Cmp(bucket[j].orderSum) < 0
@@ -228,7 +388,8 @@ func (s *Server) MatchFresh(id profile.ID, k int) ([]Result, error) {
 // the query-side multi-probe extension that recovers matches lost to
 // quantization-boundary key splits (see internal/keygen's
 // ProfileKeyCandidates). Results are globally ranked by order-sum
-// distance; the querier is excluded.
+// distance, ties broken by ascending user ID so identical queries return
+// identical orderings; the querier is excluded.
 //
 // Order sums from different buckets are encrypted under different profile
 // keys; cross-bucket comparisons are exact in the paper's N = M
@@ -240,35 +401,72 @@ func (s *Server) MatchProbe(id profile.ID, altKeyHashes [][]byte, k int) ([]Resu
 	if k <= 0 {
 		return nil, fmt.Errorf("match: non-positive k=%d", k)
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	me, ok := s.byID[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, id)
+	me, release, err := s.lookup(id)
+	if err != nil {
+		return nil, err
 	}
-	own := hex.EncodeToString(me.KeyHash)
-	buckets := map[string][]*stored{own: s.buckets[own]}
+	defer release()
+
+	// Deduplicate probed key hashes, then the shards that own them; lock
+	// the shards in ascending index (the lock-ordering rule for
+	// multi-bucket probes).
+	keys := map[string]struct{}{string(me.KeyHash): {}}
 	for _, kh := range altKeyHashes {
-		key := hex.EncodeToString(kh)
-		if _, dup := buckets[key]; !dup {
-			buckets[key] = s.buckets[key]
+		keys[string(kh)] = struct{}{}
+	}
+	shardSet := map[uint64]struct{}{}
+	for key := range keys {
+		shardSet[s.shardIndex([]byte(key))] = struct{}{}
+	}
+	shardIdx := make([]uint64, 0, len(shardSet))
+	for idx := range shardSet {
+		shardIdx = append(shardIdx, idx)
+	}
+	sort.Slice(shardIdx, func(i, j int) bool { return shardIdx[i] < shardIdx[j] })
+	for _, idx := range shardIdx {
+		s.shards[idx].mu.RLock()
+	}
+	defer func() {
+		for i := len(shardIdx) - 1; i >= 0; i-- {
+			s.shards[shardIdx[i]].mu.RUnlock()
 		}
+	}()
+
+	pool := make([]scored, 0)
+	for key := range keys {
+		bucket := s.shards[s.shardIndex([]byte(key))].buckets[key]
+		pool = appendScored(pool, bucket, me)
 	}
-	type scored struct {
-		rec  *stored
-		dist *big.Int
-	}
-	var pool []scored
-	for _, bucket := range buckets {
-		for _, rec := range bucket {
-			if rec == me {
-				continue
-			}
-			d := new(big.Int).Sub(rec.orderSum, me.orderSum)
-			pool = append(pool, scored{rec: rec, dist: d.Abs(d)})
+	return rankScored(pool, k), nil
+}
+
+// scored is a candidate with its absolute order-sum distance.
+type scored struct {
+	rec  *stored
+	dist *big.Int
+}
+
+func appendScored(pool []scored, bucket []*stored, me *stored) []scored {
+	for _, rec := range bucket {
+		if rec == me {
+			continue
 		}
+		d := new(big.Int).Sub(rec.orderSum, me.orderSum)
+		pool = append(pool, scored{rec: rec, dist: d.Abs(d)})
 	}
-	sort.Slice(pool, func(i, j int) bool { return pool[i].dist.Cmp(pool[j].dist) < 0 })
+	return pool
+}
+
+// rankScored sorts candidates by (distance, ID) — the ID tie-break makes
+// probe results deterministic even though candidates are gathered from an
+// unordered map of buckets — and returns the top k.
+func rankScored(pool []scored, k int) []Result {
+	sort.Slice(pool, func(i, j int) bool {
+		if c := pool[i].dist.Cmp(pool[j].dist); c != 0 {
+			return c < 0
+		}
+		return pool[i].rec.ID < pool[j].rec.ID
+	})
 	if k > len(pool) {
 		k = len(pool)
 	}
@@ -276,7 +474,7 @@ func (s *Server) MatchProbe(id profile.ID, altKeyHashes [][]byte, k int) ([]Resu
 	for i := 0; i < k; i++ {
 		results[i] = Result{ID: pool[i].rec.ID, Auth: pool[i].rec.Auth}
 	}
-	return results, nil
+	return results
 }
 
 // MatchMaxDistance returns every same-bucket user whose Definition-4
@@ -286,15 +484,16 @@ func (s *Server) MatchMaxDistance(id profile.ID, maxDist *big.Int) ([]Result, er
 	if maxDist == nil || maxDist.Sign() < 0 {
 		return nil, errors.New("match: negative or nil distance bound")
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	me, ok := s.byID[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, id)
+	me, release, err := s.lookup(id)
+	if err != nil {
+		return nil, err
 	}
-	bucket := s.buckets[hex.EncodeToString(me.KeyHash)]
+	defer release()
+	sh := &s.shards[s.shardIndex(me.KeyHash)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	var results []Result
-	for _, rec := range bucket {
+	for _, rec := range sh.buckets[string(me.KeyHash)] {
 		if rec == me {
 			continue
 		}
@@ -309,14 +508,59 @@ func (s *Server) MatchMaxDistance(id profile.ID, maxDist *big.Int) ([]Result, er
 // BucketSize reports how many users share the given key hash — the |V|
 // in the paper's O(|V| log |V|) server cost.
 func (s *Server) BucketSize(keyHash []byte) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.buckets[hex.EncodeToString(keyHash)])
+	sh := &s.shards[s.shardIndex(keyHash)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.buckets[string(keyHash)])
 }
 
 // NumBuckets reports the number of distinct profile-key hashes stored.
 func (s *Server) NumBuckets() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.buckets)
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].buckets)
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// BucketStats summarizes the bucket-size distribution (the |V| the
+// per-query cost depends on); exported for the metrics endpoint.
+type BucketStats struct {
+	Buckets int     `json:"buckets"`
+	Users   int     `json:"users"`
+	Min     int     `json:"min"`
+	Max     int     `json:"max"`
+	Mean    float64 `json:"mean"`
+	P50     int     `json:"p50"`
+	P95     int     `json:"p95"`
+}
+
+// BucketStats computes the current bucket-size distribution. It locks one
+// shard at a time, so the snapshot is per-shard consistent, not global —
+// fine for observability.
+func (s *Server) BucketStats() BucketStats {
+	var sizes []int
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		for _, b := range s.shards[i].buckets {
+			sizes = append(sizes, len(b))
+		}
+		s.shards[i].mu.RUnlock()
+	}
+	st := BucketStats{Buckets: len(sizes)}
+	if len(sizes) == 0 {
+		return st
+	}
+	sort.Ints(sizes)
+	st.Min = sizes[0]
+	st.Max = sizes[len(sizes)-1]
+	for _, n := range sizes {
+		st.Users += n
+	}
+	st.Mean = float64(st.Users) / float64(len(sizes))
+	st.P50 = sizes[len(sizes)/2]
+	st.P95 = sizes[(len(sizes)*95)/100]
+	return st
 }

@@ -1,6 +1,7 @@
 package match
 
 import (
+	"fmt"
 	"testing"
 
 	"smatch/internal/profile"
@@ -97,5 +98,54 @@ func TestMatchProbeNoAltsEquivalentToMatch(t *testing.T) {
 		if !plainSet[r.ID] {
 			t.Errorf("probe-without-alts returned %d not in plain match %v", r.ID, idsOf(plain))
 		}
+	}
+}
+
+func TestMatchProbeDeterministicOrdering(t *testing.T) {
+	// Equal-distance candidates used to come back in Go-map iteration
+	// order (random per query). The (distance, ID) tie-break must make
+	// repeated identical queries return the identical ordering — and tied
+	// IDs must come back ascending.
+	for _, store := range []Store{NewServer(), NewUnsharded()} {
+		s := store
+		must(t, s.Upload(entry(1, "a", 100)))
+		// All at distance 5, spread over three probed buckets.
+		must(t, s.Upload(entry(9, "a", 105)))
+		must(t, s.Upload(entry(4, "b", 95)))
+		must(t, s.Upload(entry(7, "b", 105)))
+		must(t, s.Upload(entry(2, "c", 95)))
+		alts := [][]byte{[]byte("b"), []byte("c")}
+		first, err := s.MatchProbe(1, alts, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []profile.ID{2, 4, 7, 9} // all distance 5: ascending ID
+		if fmt.Sprint(idsOf(first)) != fmt.Sprint(want) {
+			t.Fatalf("%T: tie ordering = %v, want %v", s, idsOf(first), want)
+		}
+		for i := 0; i < 50; i++ {
+			again, err := s.MatchProbe(1, alts, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(idsOf(again)) != fmt.Sprint(idsOf(first)) {
+				t.Fatalf("%T: query %d returned %v, first returned %v",
+					s, i, idsOf(again), idsOf(first))
+			}
+		}
+	}
+}
+
+func TestMatchProbeDistanceStillDominatesTieBreak(t *testing.T) {
+	s := NewServer()
+	must(t, s.Upload(entry(1, "a", 100)))
+	must(t, s.Upload(entry(9, "a", 101))) // distance 1: must outrank lower IDs farther away
+	must(t, s.Upload(entry(2, "b", 110)))
+	results, err := s.MatchProbe(1, [][]byte{[]byte("b")}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].ID != 9 || results[1].ID != 2 {
+		t.Errorf("ranking = %v, want [9 2]", idsOf(results))
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"smatch/internal/chain"
 	"smatch/internal/profile"
@@ -22,15 +23,28 @@ const maxSnapshotEntries = 1 << 24 // backstop against corrupted counts
 // Snapshot serializes every stored record so a server can restart without
 // requiring all users to re-upload ("users update encrypted profiles
 // periodically" — but the store should survive a restart regardless).
+// Entries are written in ascending user-ID order, so two snapshots of the
+// same state are byte-identical. Every ID stripe is read-locked (in
+// ascending index, per the package lock-ordering rule) for the duration,
+// giving a globally consistent snapshot.
 func (s *Server) Snapshot(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	for i := range s.ids {
+		s.ids[i].mu.RLock()
+		defer s.ids[i].mu.RUnlock()
+	}
+	var recs []*stored
+	for i := range s.ids {
+		for _, rec := range s.ids[i].m {
+			recs = append(recs, rec)
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
 
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return fmt.Errorf("match: writing snapshot magic: %w", err)
 	}
-	if err := binary.Write(bw, binary.BigEndian, uint32(len(s.byID))); err != nil {
+	if err := binary.Write(bw, binary.BigEndian, uint32(len(recs))); err != nil {
 		return fmt.Errorf("match: writing snapshot count: %w", err)
 	}
 	writeBytes := func(b []byte) error {
@@ -40,7 +54,7 @@ func (s *Server) Snapshot(w io.Writer) error {
 		_, err := bw.Write(b)
 		return err
 	}
-	for _, rec := range s.byID {
+	for _, rec := range recs {
 		if err := binary.Write(bw, binary.BigEndian, uint32(rec.ID)); err != nil {
 			return fmt.Errorf("match: writing entry: %w", err)
 		}
@@ -101,7 +115,7 @@ func Restore(r io.Reader) (*Server, error) {
 		if err := binary.Read(br, binary.BigEndian, &id); err != nil {
 			return nil, fmt.Errorf("match: entry %d: %w", i, err)
 		}
-		keyHash, err := readBytes(1 << 10)
+		keyHash, err := readBytes(MaxKeyHashLen)
 		if err != nil {
 			return nil, fmt.Errorf("match: entry %d key hash: %w", i, err)
 		}
@@ -113,11 +127,11 @@ func Restore(r io.Reader) (*Server, error) {
 		if err := binary.Read(br, binary.BigEndian, &numAttrs); err != nil {
 			return nil, fmt.Errorf("match: entry %d: %w", i, err)
 		}
-		chainBytes, err := readBytes(1 << 22)
+		chainBytes, err := readBytes(MaxChainBytes)
 		if err != nil {
 			return nil, fmt.Errorf("match: entry %d chain: %w", i, err)
 		}
-		auth, err := readBytes(1 << 16)
+		auth, err := readBytes(MaxAuthLen)
 		if err != nil {
 			return nil, fmt.Errorf("match: entry %d auth: %w", i, err)
 		}

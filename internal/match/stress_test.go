@@ -1,0 +1,130 @@
+package match
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"smatch/internal/profile"
+)
+
+// TestShardedStoreStress hammers one sharded store from many goroutines
+// with overlapping buckets and overlapping IDs: uploads (including
+// bucket-moving re-uploads, which take two shard locks), removes, every
+// query flavor, snapshots, and the stat accessors. Run under -race this is
+// the store's primary concurrency safety net; the invariant checks at the
+// end catch lost or duplicated bucket entries.
+func TestShardedStoreStress(t *testing.T) {
+	const (
+		workers   = 12
+		opsPerG   = 400
+		idSpace   = 64 // small: forces ID collisions across workers
+		bucketFan = 8  // small: forces bucket collisions across shards
+	)
+	s := NewServerShards(8) // fewer shards than buckets: shards are shared
+	bucketName := func(n int) string { return fmt.Sprintf("bucket-%d", n%bucketFan) }
+
+	// Seed so queries have someone to find.
+	for i := 1; i <= idSpace; i++ {
+		must(t, s.Upload(entry(profile.ID(i), bucketName(i), int64(i*3))))
+	}
+
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < opsPerG; i++ {
+				id := profile.ID(1 + rng.Intn(idSpace))
+				switch rng.Intn(10) {
+				case 0, 1, 2:
+					// Re-upload, frequently into a different bucket (the
+					// two-shard lock path).
+					_ = s.Upload(entry(id, bucketName(rng.Intn(bucketFan)), int64(rng.Intn(1000))))
+				case 3:
+					_ = s.Remove(id)
+				case 4, 5:
+					_, _ = s.Match(id, 1+rng.Intn(5))
+				case 6:
+					alts := [][]byte{
+						[]byte(bucketName(rng.Intn(bucketFan))),
+						[]byte(bucketName(rng.Intn(bucketFan))),
+					}
+					_, _ = s.MatchProbe(id, alts, 3)
+				case 7:
+					_, _ = s.MatchFresh(id, 3)
+				case 8:
+					var buf bytes.Buffer
+					if err := s.Snapshot(&buf); err != nil {
+						t.Errorf("snapshot: %v", err)
+					}
+				default:
+					_ = s.NumUsers()
+					_ = s.NumBuckets()
+					_ = s.BucketSize([]byte(bucketName(rng.Intn(bucketFan))))
+					_ = s.BucketStats()
+				}
+				ops.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := ops.Load(); got != workers*opsPerG {
+		t.Fatalf("completed %d ops, want %d", got, workers*opsPerG)
+	}
+
+	// Invariants after the dust settles: the ID directory and the buckets
+	// agree exactly (no lost entries, no duplicates, no strays).
+	stats := s.BucketStats()
+	if stats.Users != s.NumUsers() {
+		t.Errorf("buckets hold %d users, directory holds %d", stats.Users, s.NumUsers())
+	}
+	if stats.Buckets != s.NumBuckets() {
+		t.Errorf("BucketStats sees %d buckets, NumBuckets %d", stats.Buckets, s.NumBuckets())
+	}
+	// Every surviving user is findable and its bucket is consistent.
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(&buf)
+	if err != nil {
+		t.Fatalf("post-stress snapshot does not restore: %v", err)
+	}
+	if restored.NumUsers() != s.NumUsers() {
+		t.Errorf("restored %d users, live store has %d", restored.NumUsers(), s.NumUsers())
+	}
+}
+
+// TestStressRemoveAllThenEmpty interleaves uploads and removes to a single
+// contended bucket and checks the store drains to empty — the bucket
+// cleanup path under contention.
+func TestStressRemoveAllThenEmpty(t *testing.T) {
+	s := NewServerShards(4)
+	const n = 200
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				id := profile.ID(1 + g*n + i)
+				_ = s.Upload(entry(id, "hot", int64(i)))
+				_, _ = s.Match(id, 2)
+				_ = s.Remove(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.NumUsers(); got != 0 {
+		t.Errorf("NumUsers = %d after removing everything", got)
+	}
+	if got := s.NumBuckets(); got != 0 {
+		t.Errorf("NumBuckets = %d after removing everything (empty bucket not reaped)", got)
+	}
+}

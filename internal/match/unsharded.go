@@ -1,0 +1,148 @@
+package match
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"smatch/internal/profile"
+)
+
+// Unsharded is the historical single-RWMutex store: one global lock, one
+// byID map, one bucket map. It is kept as the reference implementation —
+// equivalence tests assert the sharded Server returns identical results,
+// and the parallel benchmarks use it as the pre-sharding contention
+// baseline. Production callers want Server.
+type Unsharded struct {
+	mu      sync.RWMutex
+	byID    map[profile.ID]*stored
+	buckets map[string][]*stored // key hash -> entries sorted by order sum
+}
+
+// NewUnsharded returns an empty single-lock matching store.
+func NewUnsharded() *Unsharded {
+	return &Unsharded{
+		byID:    make(map[profile.ID]*stored),
+		buckets: make(map[string][]*stored),
+	}
+}
+
+// Upload stores or replaces a user's encrypted profile.
+func (s *Unsharded) Upload(e Entry) error {
+	if err := e.validate(); err != nil {
+		return err
+	}
+	rec := &stored{Entry: e, orderSum: e.Chain.OrderSum()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.byID[e.ID]; ok {
+		removeSorted(s.buckets, old)
+	}
+	s.byID[e.ID] = rec
+	insertSorted(s.buckets, rec)
+	return nil
+}
+
+// Remove deletes a user's record.
+func (s *Unsharded) Remove(id profile.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownUser, id)
+	}
+	removeSorted(s.buckets, rec)
+	delete(s.byID, id)
+	return nil
+}
+
+// NumUsers returns the number of stored profiles.
+func (s *Unsharded) NumUsers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byID)
+}
+
+// Match returns the k users nearest to the querier in the querier's own
+// bucket.
+func (s *Unsharded) Match(id profile.ID, k int) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("match: non-positive k=%d", k)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	me, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, id)
+	}
+	return nearest(s.buckets[string(me.KeyHash)], me, k), nil
+}
+
+// MatchProbe unions the querier's bucket with the alternate buckets and
+// returns the k globally nearest candidates, ties broken by ID (same
+// deterministic ordering contract as Server.MatchProbe).
+func (s *Unsharded) MatchProbe(id profile.ID, altKeyHashes [][]byte, k int) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("match: non-positive k=%d", k)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	me, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, id)
+	}
+	keys := map[string]struct{}{string(me.KeyHash): {}}
+	for _, kh := range altKeyHashes {
+		keys[string(kh)] = struct{}{}
+	}
+	pool := make([]scored, 0)
+	for key := range keys {
+		pool = appendScored(pool, s.buckets[key], me)
+	}
+	return rankScored(pool, k), nil
+}
+
+// MatchMaxDistance returns every same-bucket user within maxDist.
+func (s *Unsharded) MatchMaxDistance(id profile.ID, maxDist *big.Int) ([]Result, error) {
+	if maxDist == nil || maxDist.Sign() < 0 {
+		return nil, errors.New("match: negative or nil distance bound")
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	me, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, id)
+	}
+	var results []Result
+	for _, rec := range s.buckets[string(me.KeyHash)] {
+		if rec == me {
+			continue
+		}
+		d := new(big.Int).Sub(rec.orderSum, me.orderSum)
+		if d.CmpAbs(maxDist) <= 0 {
+			results = append(results, Result{ID: rec.ID, Auth: rec.Auth})
+		}
+	}
+	return results, nil
+}
+
+// BucketSize reports how many users share the given key hash.
+func (s *Unsharded) BucketSize(keyHash []byte) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.buckets[string(keyHash)])
+}
+
+// NumBuckets reports the number of distinct profile-key hashes stored.
+func (s *Unsharded) NumBuckets() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.buckets)
+}
+
+// Both implementations satisfy Store.
+var (
+	_ Store = (*Server)(nil)
+	_ Store = (*Unsharded)(nil)
+)

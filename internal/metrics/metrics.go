@@ -1,0 +1,202 @@
+// Package metrics is the server's observability layer: lock-free atomic
+// counters and latency histograms for the hot operations (upload, match,
+// remove, OPRF), live connection gauges, and pluggable callback gauges
+// (e.g. the match store's bucket-size distribution). A Registry renders
+// itself as an expvar-style JSON document over HTTP and as a one-line
+// summary for periodic logging.
+//
+// Everything on the record path is a single atomic add — safe to leave on
+// in production and meaningful under the sharded store's concurrency.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets; bucket i
+// counts observations with ceil(log2(µs)) == i, so the histogram spans
+// 1µs .. ~35min with no allocation and no locks.
+const histBuckets = 32
+
+// Histogram is a fixed-bucket, power-of-two latency histogram. The zero
+// value is ready to use.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sumUS  atomic.Uint64
+}
+
+// Observe records one operation latency.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	h.count.Add(1)
+	h.sumUS.Add(uint64(us))
+	h.counts[bucketFor(us)].Add(1)
+}
+
+func bucketFor(us int64) int {
+	b := int(math.Ceil(math.Log2(float64(us + 1))))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for
+// reporting: totals, the mean, and bucket-interpolated quantiles.
+type HistogramSnapshot struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	var counts [histBuckets]uint64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.MeanUS = float64(h.sumUS.Load()) / float64(s.Count)
+	s.P50US = quantile(counts[:], s.Count, 0.50)
+	s.P95US = quantile(counts[:], s.Count, 0.95)
+	s.P99US = quantile(counts[:], s.Count, 0.99)
+	return s
+}
+
+// quantile returns the upper bound (in µs) of the bucket holding the q-th
+// observation — a bucket-resolution estimate, which is all a power-of-two
+// histogram can honestly claim.
+func quantile(counts []uint64, total uint64, q float64) float64 {
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum > target {
+			return math.Exp2(float64(i)) - 1
+		}
+	}
+	return math.Exp2(float64(len(counts) - 1))
+}
+
+// Registry aggregates the server's counters, histograms and gauges.
+type Registry struct {
+	start time.Time
+
+	// Operation counters.
+	Uploads   atomic.Uint64
+	Matches   atomic.Uint64
+	Removes   atomic.Uint64
+	OPRFEvals atomic.Uint64
+	Errors    atomic.Uint64
+
+	// Connection gauges.
+	ActiveConns atomic.Int64
+	TotalConns  atomic.Uint64
+
+	// Per-operation latency.
+	UploadLatency Histogram
+	MatchLatency  Histogram
+	RemoveLatency Histogram
+	OPRFLatency   Histogram
+
+	mu     sync.Mutex
+	gauges map[string]func() any
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{start: time.Now(), gauges: make(map[string]func() any)}
+}
+
+// RegisterGauge installs a named callback evaluated at snapshot time; its
+// value must be JSON-serializable (the match store registers its
+// bucket-size distribution this way). Re-registering a name replaces it.
+func (r *Registry) RegisterGauge(name string, fn func() any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// Snapshot renders the registry as an ordered JSON-ready map.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{
+		"uptime_seconds": time.Since(r.start).Seconds(),
+		"uploads":        r.Uploads.Load(),
+		"matches":        r.Matches.Load(),
+		"removes":        r.Removes.Load(),
+		"oprf_evals":     r.OPRFEvals.Load(),
+		"errors":         r.Errors.Load(),
+		"active_conns":   r.ActiveConns.Load(),
+		"total_conns":    r.TotalConns.Load(),
+		"upload_latency": r.UploadLatency.Snapshot(),
+		"match_latency":  r.MatchLatency.Snapshot(),
+		"remove_latency": r.RemoveLatency.Snapshot(),
+		"oprf_latency":   r.OPRFLatency.Snapshot(),
+	}
+	r.mu.Lock()
+	for name, fn := range r.gauges {
+		out[name] = fn()
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Handler serves the snapshot as pretty-printed JSON (expvar-style: one
+// GET, one document).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Summary renders a stable one-line digest for periodic Logf output.
+func (r *Registry) Summary() string {
+	snap := r.Snapshot()
+	keys := []string{"uploads", "matches", "removes", "oprf_evals", "errors",
+		"active_conns", "total_conns"}
+	parts := make([]string, 0, len(keys)+2)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, snap[k]))
+	}
+	m := r.MatchLatency.Snapshot()
+	parts = append(parts, fmt.Sprintf("match_p50_us=%.0f match_p95_us=%.0f", m.P50US, m.P95US))
+	// Callback gauges, sorted for a stable line.
+	r.mu.Lock()
+	names := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		b, err := json.Marshal(snap[name])
+		if err != nil {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%s", name, b))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast ops (~8µs), 10 slow ops (~1ms).
+	for i := 0; i < 90; i++ {
+		h.Observe(8 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.P50US > 100 {
+		t.Errorf("p50 = %.0fµs, want fast-bucket (<100µs)", s.P50US)
+	}
+	if s.P99US < 500 {
+		t.Errorf("p99 = %.0fµs, want slow-bucket (>=500µs)", s.P99US)
+	}
+	if s.MeanUS <= 0 {
+		t.Errorf("mean = %f, want > 0", s.MeanUS)
+	}
+}
+
+func TestHistogramZeroValueAndEdge(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.P99US != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+	h.Observe(0)               // sub-microsecond
+	h.Observe(-time.Second)    // clock went backwards: clamp, don't panic
+	h.Observe(100 * time.Hour) // beyond the last bucket: clamp
+	if s := h.Snapshot(); s.Count != 3 {
+		t.Errorf("count = %d, want 3", s.Count)
+	}
+}
+
+func TestRegistryCountersConcurrent(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Uploads.Add(1)
+				r.MatchLatency.Observe(time.Microsecond * time.Duration(i%50))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Uploads.Load(); got != 8000 {
+		t.Errorf("uploads = %d, want 8000", got)
+	}
+	if got := r.MatchLatency.Snapshot().Count; got != 8000 {
+		t.Errorf("latency count = %d, want 8000", got)
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	r := New()
+	r.Uploads.Add(3)
+	r.RegisterGauge("bucket_stats", func() any { return map[string]int{"buckets": 2} })
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc["uploads"] != float64(3) {
+		t.Errorf("uploads = %v, want 3", doc["uploads"])
+	}
+	gauge, ok := doc["bucket_stats"].(map[string]any)
+	if !ok || gauge["buckets"] != float64(2) {
+		t.Errorf("bucket_stats = %v", doc["bucket_stats"])
+	}
+}
+
+func TestSummaryLine(t *testing.T) {
+	r := New()
+	r.Matches.Add(7)
+	r.RegisterGauge("g", func() any { return 42 })
+	line := r.Summary()
+	for _, want := range []string{"matches=7", "g=42", "match_p50_us="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("summary %q missing %q", line, want)
+		}
+	}
+	if strings.Contains(line, "\n") {
+		t.Error("summary is not one line")
+	}
+}

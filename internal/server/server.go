@@ -21,9 +21,11 @@ import (
 	"math/big"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"smatch/internal/match"
+	"smatch/internal/metrics"
 	"smatch/internal/oprf"
 	"smatch/internal/wire"
 )
@@ -46,6 +48,10 @@ type Config struct {
 	// Store supplies a pre-populated matching store (e.g. restored from a
 	// snapshot); nil starts empty.
 	Store *match.Server
+	// Metrics receives operation counters and latency histograms; nil
+	// creates a private registry (recording is always on — it is atomic
+	// adds only). Retrieve it with Server.Metrics.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -63,9 +69,10 @@ func (c Config) withDefaults() Config {
 
 // Server is a running S-MATCH service endpoint.
 type Server struct {
-	cfg   Config
-	store *match.Server
-	ln    net.Listener
+	cfg     Config
+	store   *match.Server
+	metrics *metrics.Registry
+	ln      net.Listener
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -82,15 +89,27 @@ func New(cfg Config) (*Server, error) {
 	if store == nil {
 		store = match.NewServer()
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
+	// The store's bucket-size distribution (the |V| behind per-query cost)
+	// is a gauge: computed on scrape, not on the hot path.
+	reg.RegisterGauge("bucket_stats", func() any { return store.BucketStats() })
+	reg.RegisterGauge("shards", func() any { return store.NumShards() })
 	return &Server{
-		cfg:   cfg.withDefaults(),
-		store: store,
-		conns: make(map[net.Conn]struct{}),
+		cfg:     cfg.withDefaults(),
+		store:   store,
+		metrics: reg,
+		conns:   make(map[net.Conn]struct{}),
 	}, nil
 }
 
 // Store exposes the matching store (for in-process inspection and tests).
 func (s *Server) Store() *match.Server { return s.store }
+
+// Metrics exposes the server's observability registry.
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
 
 // Listen starts accepting TLS connections on addr (e.g. "127.0.0.1:0") with
 // a fresh self-signed certificate, returning the bound address. Serve loops
@@ -164,7 +183,10 @@ func (s *Server) Close() {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	s.metrics.TotalConns.Add(1)
+	s.metrics.ActiveConns.Add(1)
 	defer func() {
+		s.metrics.ActiveConns.Add(-1)
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -179,6 +201,7 @@ func (s *Server) handle(conn net.Conn) {
 			return // EOF, timeout or protocol garbage: drop the connection
 		}
 		if err := s.dispatch(conn, t, payload); err != nil {
+			s.metrics.Errors.Add(1)
 			s.cfg.Logf("server: %v", err)
 			if werr := s.writeError(conn, err); werr != nil {
 				return
@@ -187,9 +210,16 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// observe records one operation's count and latency in the registry.
+func (s *Server) observe(counter *atomic.Uint64, hist *metrics.Histogram, start time.Time) {
+	counter.Add(1)
+	hist.Observe(time.Since(start))
+}
+
 func (s *Server) dispatch(conn net.Conn, t wire.MsgType, payload []byte) error {
 	switch t {
 	case wire.TypeUploadReq:
+		defer s.observe(&s.metrics.Uploads, &s.metrics.UploadLatency, time.Now())
 		req, err := wire.DecodeUploadReq(payload)
 		if err != nil {
 			return err
@@ -204,6 +234,7 @@ func (s *Server) dispatch(conn net.Conn, t wire.MsgType, payload []byte) error {
 		return wire.WriteFrame(conn, wire.TypeUploadResp, nil)
 
 	case wire.TypeQueryReq:
+		defer s.observe(&s.metrics.Matches, &s.metrics.MatchLatency, time.Now())
 		req, err := wire.DecodeQueryReq(payload)
 		if err != nil {
 			return err
@@ -236,6 +267,7 @@ func (s *Server) dispatch(conn net.Conn, t wire.MsgType, payload []byte) error {
 		return wire.WriteFrame(conn, wire.TypeOPRFKeyResp, resp.Encode())
 
 	case wire.TypeOPRFBatchReq:
+		defer s.observe(&s.metrics.OPRFEvals, &s.metrics.OPRFLatency, time.Now())
 		req, err := wire.DecodeOPRFBatchReq(payload)
 		if err != nil {
 			return err
@@ -251,6 +283,7 @@ func (s *Server) dispatch(conn net.Conn, t wire.MsgType, payload []byte) error {
 		return wire.WriteFrame(conn, wire.TypeOPRFBatchResp, resp.Encode())
 
 	case wire.TypeOPRFReq:
+		defer s.observe(&s.metrics.OPRFEvals, &s.metrics.OPRFLatency, time.Now())
 		req, err := wire.DecodeOPRFReq(payload)
 		if err != nil {
 			return err

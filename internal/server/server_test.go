@@ -297,3 +297,57 @@ func matchEntryForTest(id uint32, keyHash string, sum int64) match.Entry {
 		Auth:    []byte{1},
 	}
 }
+
+func TestMetricsRecordOperations(t *testing.T) {
+	addr, srv := startServer(t)
+	conn := dial(t, addr)
+
+	entry := match.Entry{
+		ID:      41,
+		KeyHash: []byte("metrics-bucket"),
+		Chain:   &chain.Chain{Cts: []*big.Int{big.NewInt(7)}, CtBits: 48},
+		Auth:    []byte("auth"),
+	}
+	if err := conn.Upload(entry); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Query(41, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Query(999, 3); !errors.Is(err, client.ErrServer) {
+		t.Fatalf("unknown user: err = %v", err)
+	}
+	if _, err := oprf.Eval(testOPRF(t).PublicKey(), conn, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := srv.Metrics()
+	if got := reg.Uploads.Load(); got != 1 {
+		t.Errorf("uploads = %d, want 1", got)
+	}
+	if got := reg.Matches.Load(); got != 2 {
+		t.Errorf("matches = %d, want 2 (one ok, one error)", got)
+	}
+	if got := reg.Errors.Load(); got != 1 {
+		t.Errorf("errors = %d, want 1", got)
+	}
+	if got := reg.OPRFEvals.Load(); got == 0 {
+		t.Error("OPRF evals not recorded")
+	}
+	if got := reg.MatchLatency.Snapshot().Count; got != 2 {
+		t.Errorf("match latency count = %d, want 2", got)
+	}
+	if got := reg.TotalConns.Load(); got == 0 {
+		t.Error("connections not counted")
+	}
+
+	// The store gauges are wired in.
+	snap := reg.Snapshot()
+	stats, ok := snap["bucket_stats"].(match.BucketStats)
+	if !ok {
+		t.Fatalf("bucket_stats gauge = %T", snap["bucket_stats"])
+	}
+	if stats.Users != 1 || stats.Buckets != 1 {
+		t.Errorf("bucket_stats = %+v, want 1 user in 1 bucket", stats)
+	}
+}
