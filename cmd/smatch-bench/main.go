@@ -18,6 +18,11 @@
 // Match / mixed ops/sec for the sharded store vs the single-lock baseline
 // at 1, 8 and 32 goroutines); -match-out writes the JSON report that is
 // committed as BENCH_match.json.
+//
+// -wal-bench switches to the write-ahead-log benchmark (durable
+// appends/sec with group commit vs one fsync per append, again at 1, 8
+// and 32 goroutines); -wal-out writes the JSON report that is committed
+// as BENCH_wal.json.
 package main
 
 import (
@@ -43,11 +48,21 @@ func main() {
 		matchBench = flag.Bool("match-bench", false, "run the match-store throughput benchmark instead of the paper experiments")
 		matchDur   = flag.Duration("match-dur", 500*time.Millisecond, "measurement window per match-bench cell")
 		matchOut   = flag.String("match-out", "", "write the match-bench JSON report to this file (e.g. BENCH_match.json)")
+		walBench   = flag.Bool("wal-bench", false, "run the write-ahead-log append benchmark instead of the paper experiments")
+		walDur     = flag.Duration("wal-dur", 500*time.Millisecond, "measurement window per wal-bench cell")
+		walOut     = flag.String("wal-out", "", "write the wal-bench JSON report to this file (e.g. BENCH_wal.json)")
 	)
 	flag.Parse()
 
 	if *matchBench {
 		if err := runMatchBench(os.Stdout, *matchDur, *matchOut, []int{1, 8, 32}); err != nil {
+			fmt.Fprintln(os.Stderr, "smatch-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *walBench {
+		if err := runWALBench(os.Stdout, *walDur, *walOut, []int{1, 8, 32}); err != nil {
 			fmt.Fprintln(os.Stderr, "smatch-bench:", err)
 			os.Exit(1)
 		}

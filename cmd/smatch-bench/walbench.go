@@ -1,0 +1,147 @@
+// WAL throughput bench: measures durable appends/sec with group commit
+// (concurrent appenders batched into one fsync) against the
+// fsync-per-append baseline at several goroutine counts, and writes the
+// numbers as JSON (BENCH_wal.json in this repo) so successive PRs can
+// track the perf trajectory. Every append is a real fsync'd write to a
+// temp directory — run it on the filesystem the server would use.
+//
+//	smatch-bench -wal-bench -wal-out BENCH_wal.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smatch/internal/metrics"
+	"smatch/internal/wal"
+)
+
+// walBenchCell is one (mode, goroutines) measurement.
+type walBenchCell struct {
+	Mode          string  `json:"mode"`
+	Goroutines    int     `json:"goroutines"`
+	Appends       int64   `json:"appends"`
+	Seconds       float64 `json:"seconds"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+	Fsyncs        uint64  `json:"fsyncs"`
+	MeanBatch     float64 `json:"mean_batch"`
+}
+
+// walBenchReport is the BENCH_wal.json document.
+type walBenchReport struct {
+	GOMAXPROCS    int            `json:"gomaxprocs"`
+	NumCPU        int            `json:"num_cpu"`
+	PayloadBytes  int            `json:"payload_bytes"`
+	DurationPerOp string         `json:"duration_per_cell"`
+	Caveat        string         `json:"caveat,omitempty"`
+	Results       []walBenchCell `json:"results"`
+}
+
+const walBenchPayload = 256 // roughly one encoded upload record
+
+// walBenchCellRun appends from n goroutines for roughly dur against a
+// fresh WAL in its own temp directory and reports durable throughput.
+func walBenchCellRun(mode string, n int, dur time.Duration) (walBenchCell, error) {
+	dir, err := os.MkdirTemp("", "smatch-walbench-*")
+	if err != nil {
+		return walBenchCell{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	reg := metrics.New()
+	w, err := wal.Open(wal.Options{
+		Dir:                dir,
+		DisableGroupCommit: mode == "fsync-per-append",
+		Metrics:            reg,
+	})
+	if err != nil {
+		return walBenchCell{}, err
+	}
+	defer w.Close()
+
+	payload := make([]byte, walBenchPayload)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var (
+		stop  atomic.Bool
+		total atomic.Int64
+		wg    sync.WaitGroup
+	)
+	start := time.Now()
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var done int64
+			for !stop.Load() {
+				if _, err := w.Append(payload); err != nil {
+					panic(err)
+				}
+				done++
+			}
+			total.Add(done)
+		}()
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	appends := total.Load()
+	fsyncs := reg.WALFsyncs.Load()
+	cell := walBenchCell{
+		Mode: mode, Goroutines: n,
+		Appends: appends, Seconds: elapsed,
+		AppendsPerSec: float64(appends) / elapsed,
+		Fsyncs:        fsyncs,
+	}
+	if batch := reg.WALBatchSize.ValueSnapshot(); batch.Count > 0 {
+		cell.MeanBatch = batch.Mean
+	}
+	return cell, nil
+}
+
+func runWALBench(out io.Writer, dur time.Duration, outPath string, goroutines []int) error {
+	report := walBenchReport{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		PayloadBytes:  walBenchPayload,
+		DurationPerOp: dur.String(),
+	}
+	if runtime.NumCPU() == 1 {
+		report.Caveat = "single-CPU host: appenders timeshare one core, which caps how " +
+			"many can pile up behind an in-flight fsync; group-commit batches (and its " +
+			"advantage) grow on multicore hardware"
+	}
+	for _, mode := range []string{"fsync-per-append", "group-commit"} {
+		for _, n := range goroutines {
+			cell, err := walBenchCellRun(mode, n, dur)
+			if err != nil {
+				return err
+			}
+			report.Results = append(report.Results, cell)
+			fmt.Fprintf(out, "%-17s g=%-3d %10.0f appends/sec  (%d fsyncs, mean batch %.1f)\n",
+				cell.Mode, cell.Goroutines, cell.AppendsPerSec, cell.Fsyncs, cell.MeanBatch)
+		}
+	}
+
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, doc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", outPath)
+	}
+	return nil
+}

@@ -28,7 +28,7 @@ func main() {
 	var (
 		server  = flag.String("server", "127.0.0.1:7788", "server address")
 		dsName  = flag.String("dataset", "Infocom06", "deployment dataset (Infocom06, Sigcomm09, Weibo)")
-		cmd     = flag.String("cmd", "", "upload | upload-all | query")
+		cmd     = flag.String("cmd", "", "upload | upload-all | query | remove")
 		userID  = flag.Uint("user", 1, "user ID within the dataset")
 		topK    = flag.Int("topk", core.DefaultTopK, "results per query")
 		theta   = flag.Int("theta", 8, "RS decoder threshold")
@@ -151,7 +151,14 @@ func run(server, dsName, cmd string, userID profile.ID, topK, theta int, kBits u
 		}
 		return nil
 
+	case "remove":
+		if err := conn.Remove(userID); err != nil {
+			return err
+		}
+		fmt.Printf("removed user %d\n", userID)
+		return nil
+
 	default:
-		return fmt.Errorf("unknown -cmd %q (want upload, upload-all or query)", cmd)
+		return fmt.Errorf("unknown -cmd %q (want upload, upload-all, query or remove)", cmd)
 	}
 }

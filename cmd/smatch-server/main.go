@@ -9,6 +9,15 @@
 // JSON document: operation counters, latency histograms (p50/p95/p99),
 // connection gauges, and the store's bucket-size distribution. The same
 // summary is logged every 30 seconds.
+//
+// With -wal DIR, every upload and remove is journaled (and fsynced,
+// group-committed under load) to a write-ahead log before it is
+// acknowledged, so a crash loses nothing: startup restores the newest
+// checkpoint in DIR and replays the log tail. Without -wal, only -store's
+// periodic snapshot survives a crash — up to 5 minutes of acknowledged
+// uploads do not. -wal and -store compose: checkpoints are mirrored to the
+// -store snapshot path, and a pre-existing -store snapshot seeds a fresh
+// WAL directory.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -27,6 +37,7 @@ import (
 	"smatch/internal/metrics"
 	"smatch/internal/oprf"
 	"smatch/internal/server"
+	"smatch/internal/wal"
 )
 
 func main() {
@@ -35,17 +46,18 @@ func main() {
 		oprfBits    = flag.Int("oprf-bits", 2048, "RSA-OPRF modulus size")
 		maxTopK     = flag.Int("max-topk", 100, "cap on per-query result count")
 		storePath   = flag.String("store", "", "snapshot file: restored at startup, saved on shutdown and every 5 minutes")
+		walDir      = flag.String("wal", "", "write-ahead log directory: journal every mutation before acknowledging it, recover checkpoint+log at startup")
 		metricsAddr = flag.String("metrics", "", "serve GET /metrics (JSON) on this address; empty disables the endpoint")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *oprfBits, *maxTopK, *storePath, *metricsAddr); err != nil {
+	if err := run(*listen, *oprfBits, *maxTopK, *storePath, *walDir, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "smatch-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, oprfBits, maxTopK int, storePath, metricsAddr string) error {
+func run(listen string, oprfBits, maxTopK int, storePath, walDir, metricsAddr string) error {
 	log.Printf("generating %d-bit RSA-OPRF key...", oprfBits)
 	oprfSrv, err := oprf.NewServer(oprfBits)
 	if err != nil {
@@ -54,14 +66,14 @@ func run(listen string, oprfBits, maxTopK int, storePath, metricsAddr string) er
 	pk := oprfSrv.PublicKey()
 	log.Printf("OPRF public key: N=%d bits, e=%d", pk.N.BitLen(), pk.E)
 
-	var store *match.Server
-	if storePath != "" {
-		store, err = loadStore(storePath)
-		if err != nil {
-			return err
-		}
-	}
 	reg := metrics.New()
+	store, journal, err := openState(walDir, storePath, reg)
+	if err != nil {
+		return err
+	}
+	if journal != nil {
+		defer journal.Close()
+	}
 	srv, err := server.New(server.Config{
 		OPRF:        oprfSrv,
 		MaxTopK:     maxTopK,
@@ -69,6 +81,7 @@ func run(listen string, oprfBits, maxTopK int, storePath, metricsAddr string) er
 		Logf:        log.Printf,
 		Store:       store,
 		Metrics:     reg,
+		Journal:     journal,
 	})
 	if err != nil {
 		return err
@@ -113,7 +126,7 @@ func run(listen string, oprfBits, maxTopK int, storePath, metricsAddr string) er
 			}
 		}
 	}()
-	if storePath != "" {
+	if storePath != "" || journal != nil {
 		go func() {
 			ticker := time.NewTicker(5 * time.Minute)
 			defer ticker.Stop()
@@ -122,8 +135,8 @@ func run(listen string, oprfBits, maxTopK int, storePath, metricsAddr string) er
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					if err := saveStore(srv.Store(), storePath); err != nil {
-						log.Printf("periodic snapshot: %v", err)
+					if err := checkpointState(srv.Store(), journal, storePath); err != nil {
+						log.Printf("periodic checkpoint: %v", err)
 					}
 				}
 			}
@@ -131,20 +144,80 @@ func run(listen string, oprfBits, maxTopK int, storePath, metricsAddr string) er
 	}
 
 	err = srv.Serve(ctx)
-	if storePath != "" {
-		if serr := saveStore(srv.Store(), storePath); serr != nil {
-			log.Printf("final snapshot: %v", serr)
+	if storePath != "" || journal != nil {
+		if serr := checkpointState(srv.Store(), journal, storePath); serr != nil {
+			log.Printf("final checkpoint: %v", serr)
 		} else {
-			log.Printf("snapshot saved to %s (%d users)", storePath, srv.Store().NumUsers())
+			log.Printf("final checkpoint written (%d users)", srv.Store().NumUsers())
 		}
 	}
 	log.Printf("shut down")
 	return err
 }
 
-// loadStore restores a snapshot if the file exists; a missing file starts
-// an empty store (first run).
+// openState assembles the store and (optionally) its write-ahead log from
+// the -wal and -store flags.
+//
+// With -wal, the WAL directory is the source of truth: recovery restores
+// the newest checkpoint and replays the log tail. A -store snapshot is
+// consulted only when the WAL directory holds no prior state (first boot
+// after enabling -wal): the snapshot seeds the store and is immediately
+// checkpointed into the WAL so the directory is self-contained from then
+// on. Without -wal, the legacy snapshot-only path is unchanged.
+func openState(walDir, storePath string, reg *metrics.Registry) (*match.Server, *server.Journal, error) {
+	if walDir == "" {
+		store, err := loadStore(storePath)
+		return store, nil, err
+	}
+	journal, store, recovered, err := server.OpenJournal(wal.Options{Dir: walDir, Metrics: reg})
+	if err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case recovered:
+		log.Printf("recovered %d users from WAL %s (checkpoint LSN %d, last LSN %d)",
+			store.NumUsers(), walDir, journal.WAL().CheckpointLSN(), journal.WAL().LastLSN())
+	case storePath != "":
+		seed, err := loadStore(storePath)
+		if err != nil {
+			journal.Close()
+			return nil, nil, err
+		}
+		if seed != nil {
+			store = seed
+			if err := journal.Checkpoint(store); err != nil {
+				journal.Close()
+				return nil, nil, fmt.Errorf("seeding WAL from %s: %w", storePath, err)
+			}
+			log.Printf("seeded WAL %s from snapshot %s (%d users)", walDir, storePath, store.NumUsers())
+		}
+	}
+	return store, journal, nil
+}
+
+// checkpointState makes the current store state durable: a WAL checkpoint
+// (which also prunes covered segments) when the journal is enabled, and a
+// -store snapshot when that path is configured. With both flags set the
+// WAL checkpoint is mirrored to the store path, keeping the legacy
+// snapshot loadable by older tooling.
+func checkpointState(store *match.Server, journal *server.Journal, storePath string) error {
+	if journal != nil {
+		if err := journal.Checkpoint(store); err != nil {
+			return err
+		}
+	}
+	if storePath != "" {
+		return saveStore(store, storePath)
+	}
+	return nil
+}
+
+// loadStore restores a snapshot if the file exists; a missing (or
+// unconfigured) file starts an empty store (first run).
 func loadStore(path string) (*match.Server, error) {
+	if path == "" {
+		return nil, nil
+	}
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		log.Printf("no snapshot at %s; starting empty", path)
@@ -162,7 +235,11 @@ func loadStore(path string) (*match.Server, error) {
 	return store, nil
 }
 
-// saveStore writes a snapshot atomically (temp file + rename).
+// saveStore writes a snapshot atomically AND durably: the rename is only
+// crash-atomic if the bytes it publishes are on disk first, so the temp
+// file is fsynced before the rename and the parent directory after it
+// (otherwise power loss can leave the new name pointing at a hole, or the
+// old name pointing at nothing).
 func saveStore(store *match.Server, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -174,9 +251,23 @@ func saveStore(store *match.Server, path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
 }

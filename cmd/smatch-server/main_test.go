@@ -9,7 +9,10 @@ import (
 
 	"smatch/internal/chain"
 	"smatch/internal/match"
+	"smatch/internal/metrics"
 	"smatch/internal/profile"
+	"smatch/internal/server"
+	"smatch/internal/wire"
 )
 
 func testStore(t *testing.T, users int) *match.Server {
@@ -77,6 +80,177 @@ func TestSaveStoreAtomicOnError(t *testing.T) {
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
 		t.Error("partial target file created")
+	}
+}
+
+// journalUpload pushes one user through the serving path's journal-then-
+// apply sequence, so openState tests exercise real WAL records.
+func journalUpload(t *testing.T, j *server.Journal, s *match.Server, id profile.ID, sum int64) {
+	t.Helper()
+	ch := &chain.Chain{Cts: []*big.Int{big.NewInt(sum)}, CtBits: 48}
+	req := &wire.UploadReq{
+		ID:       id,
+		KeyHash:  []byte("bucket"),
+		CtBits:   uint32(ch.CtBits),
+		NumAttrs: uint16(ch.NumAttrs()),
+		Chain:    ch.Bytes(),
+		Auth:     []byte{byte(id)},
+	}
+	if err := j.AppendUpload(req); err != nil {
+		t.Fatal(err)
+	}
+	entry, err := req.Entry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Upload(entry); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenStateFreshWALDirThenRecover(t *testing.T) {
+	// -wal on an empty directory: fresh start, then a reopen replays the
+	// journaled tail with no checkpoint present.
+	walDir := t.TempDir()
+	store, journal, err := openState(walDir, "", metrics.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if journal == nil {
+		t.Fatal("-wal did not produce a journal")
+	}
+	if store.NumUsers() != 0 {
+		t.Fatalf("fresh WAL dir yielded %d users", store.NumUsers())
+	}
+	for i := 1; i <= 3; i++ {
+		journalUpload(t, journal, store, profile.ID(i), int64(i))
+	}
+	journal.Close()
+
+	store2, journal2, err := openState(walDir, "", metrics.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer journal2.Close()
+	if store2.NumUsers() != 3 {
+		t.Fatalf("recovered %d users from log tail, want 3", store2.NumUsers())
+	}
+	if got := journal2.WAL().LastLSN(); got != 3 {
+		t.Errorf("recovered LastLSN = %d, want 3", got)
+	}
+}
+
+func TestOpenStateRecoversCheckpointPlusTail(t *testing.T) {
+	// Crash after a checkpoint with more journaled writes on top: recovery
+	// must compose both.
+	walDir := t.TempDir()
+	store, journal, err := openState(walDir, "", metrics.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalUpload(t, journal, store, 1, 10)
+	journalUpload(t, journal, store, 2, 20)
+	if err := checkpointState(store, journal, ""); err != nil {
+		t.Fatal(err)
+	}
+	journalUpload(t, journal, store, 3, 30)
+	journal.Close()
+
+	store2, journal2, err := openState(walDir, "", metrics.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer journal2.Close()
+	if store2.NumUsers() != 3 {
+		t.Fatalf("recovered %d users from checkpoint+tail, want 3", store2.NumUsers())
+	}
+	if got := journal2.WAL().CheckpointLSN(); got != 2 {
+		t.Errorf("recovered checkpoint LSN = %d, want 2", got)
+	}
+}
+
+func TestCheckpointStateMirrorsToStorePath(t *testing.T) {
+	// -wal and -store together: a checkpoint lands in the WAL directory
+	// AND refreshes the legacy snapshot file.
+	walDir := t.TempDir()
+	storePath := filepath.Join(t.TempDir(), "store.bin")
+	store, journal, err := openState(walDir, storePath, metrics.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalUpload(t, journal, store, 1, 10)
+	journalUpload(t, journal, store, 2, 20)
+	if err := checkpointState(store, journal, storePath); err != nil {
+		t.Fatal(err)
+	}
+	journal.Close()
+
+	mirrored, err := loadStore(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mirrored == nil || mirrored.NumUsers() != 2 {
+		t.Fatalf("mirrored snapshot missing or wrong size: %v", mirrored)
+	}
+	ckpts, err := filepath.Glob(filepath.Join(walDir, "checkpoint-*.ckpt"))
+	if err != nil || len(ckpts) == 0 {
+		t.Fatalf("no checkpoint in WAL dir (err=%v)", err)
+	}
+}
+
+func TestOpenStateSeedsFreshWALFromSnapshot(t *testing.T) {
+	// First boot after enabling -wal next to an existing -store snapshot:
+	// the snapshot seeds the store and is checkpointed into the WAL, which
+	// is self-contained from then on.
+	storePath := filepath.Join(t.TempDir(), "store.bin")
+	if err := saveStore(testStore(t, 5), storePath); err != nil {
+		t.Fatal(err)
+	}
+	walDir := t.TempDir()
+	store, journal, err := openState(walDir, storePath, metrics.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.NumUsers() != 5 {
+		t.Fatalf("seeded store has %d users, want 5", store.NumUsers())
+	}
+	journal.Close()
+
+	// The WAL alone (no -store) must now reproduce the seeded state.
+	store2, journal2, err := openState(walDir, "", metrics.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer journal2.Close()
+	if store2.NumUsers() != 5 {
+		t.Fatalf("WAL not self-contained after seeding: %d users, want 5", store2.NumUsers())
+	}
+}
+
+func TestOpenStateWALStateWinsOverSnapshot(t *testing.T) {
+	// Once the WAL directory holds state, it is the source of truth; a
+	// (possibly stale) -store snapshot must not override it.
+	walDir := t.TempDir()
+	store, journal, err := openState(walDir, "", metrics.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		journalUpload(t, journal, store, profile.ID(i), int64(i))
+	}
+	journal.Close()
+
+	storePath := filepath.Join(t.TempDir(), "stale.bin")
+	if err := saveStore(testStore(t, 7), storePath); err != nil {
+		t.Fatal(err)
+	}
+	store2, journal2, err := openState(walDir, storePath, metrics.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer journal2.Close()
+	if store2.NumUsers() != 3 {
+		t.Fatalf("recovered %d users, want 3 (WAL must win over the stale snapshot)", store2.NumUsers())
 	}
 }
 

@@ -107,6 +107,14 @@ func (c *Conn) Upload(e match.Entry) error {
 	return err
 }
 
+// Remove deletes the user's stored record from the server (opt-out or
+// device decommissioning).
+func (c *Conn) Remove(id profile.ID) error {
+	req := wire.RemoveReq{ID: id}
+	_, err := c.roundTrip(wire.TypeRemoveReq, req.Encode(), wire.TypeRemoveResp)
+	return err
+}
+
 // Query issues a matching query for the given user and result count.
 func (c *Conn) Query(id profile.ID, topK int) ([]match.Result, error) {
 	if topK < 1 || topK > 65535 {

@@ -65,7 +65,11 @@ type Entry struct {
 	Auth    []byte       // ciph_u for result verification
 }
 
-func (e Entry) validate() error {
+// Validate checks the entry against the store's invariants and size
+// limits. Upload runs it internally; the server also runs it before
+// journaling an upload to its write-ahead log, so every journaled record
+// is one the store is guaranteed to accept on replay.
+func (e Entry) Validate() error {
 	if e.ID == 0 {
 		return errors.New("match: zero user ID")
 	}
@@ -184,7 +188,7 @@ func (s *Server) stripe(id profile.ID) *idStripe {
 // Upload stores or replaces a user's encrypted profile (users "update
 // encrypted social profiles on the untrusted server periodically").
 func (s *Server) Upload(e Entry) error {
-	if err := e.validate(); err != nil {
+	if err := e.Validate(); err != nil {
 		return err
 	}
 	rec := &stored{Entry: e, orderSum: e.Chain.OrderSum()}

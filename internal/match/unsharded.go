@@ -30,7 +30,7 @@ func NewUnsharded() *Unsharded {
 
 // Upload stores or replaces a user's encrypted profile.
 func (s *Unsharded) Upload(e Entry) error {
-	if err := e.validate(); err != nil {
+	if err := e.Validate(); err != nil {
 		return err
 	}
 	rec := &stored{Entry: e, orderSum: e.Chain.OrderSum()}

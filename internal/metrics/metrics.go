@@ -36,13 +36,19 @@ type Histogram struct {
 
 // Observe records one operation latency.
 func (h *Histogram) Observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
+	h.ObserveValue(d.Microseconds())
+}
+
+// ObserveValue records one unitless value (e.g. a group-commit batch
+// size) in the same power-of-two buckets; pair it with ValueSnapshot so
+// the report does not mislabel the numbers as microseconds.
+func (h *Histogram) ObserveValue(v int64) {
+	if v < 0 {
+		v = 0
 	}
 	h.count.Add(1)
-	h.sumUS.Add(uint64(us))
-	h.counts[bucketFor(us)].Add(1)
+	h.sumUS.Add(uint64(v))
+	h.counts[bucketFor(v)].Add(1)
 }
 
 func bucketFor(us int64) int {
@@ -81,6 +87,22 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// ValueHistogramSnapshot is HistogramSnapshot for histograms of unitless
+// values recorded with ObserveValue.
+type ValueHistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// ValueSnapshot summarizes a histogram of unitless values.
+func (h *Histogram) ValueSnapshot() ValueHistogramSnapshot {
+	s := h.Snapshot()
+	return ValueHistogramSnapshot{Count: s.Count, Mean: s.MeanUS, P50: s.P50US, P95: s.P95US, P99: s.P99US}
+}
+
 // quantile returns the upper bound (in µs) of the bucket holding the q-th
 // observation — a bucket-resolution estimate, which is all a power-of-two
 // histogram can honestly claim.
@@ -117,6 +139,17 @@ type Registry struct {
 	RemoveLatency Histogram
 	OPRFLatency   Histogram
 
+	// Write-ahead log durability counters (populated when the server runs
+	// with -wal). Appends and fsyncs diverge under group commit: one
+	// fsync covers a whole batch.
+	WALAppends       atomic.Uint64
+	WALAppendedBytes atomic.Uint64
+	WALFsyncs        atomic.Uint64
+	WALRotations     atomic.Uint64
+	WALCheckpoints   atomic.Uint64
+	WALFsyncLatency  Histogram
+	WALBatchSize     Histogram // records per group commit (ObserveValue)
+
 	mu     sync.Mutex
 	gauges map[string]func() any
 }
@@ -150,6 +183,14 @@ func (r *Registry) Snapshot() map[string]any {
 		"match_latency":  r.MatchLatency.Snapshot(),
 		"remove_latency": r.RemoveLatency.Snapshot(),
 		"oprf_latency":   r.OPRFLatency.Snapshot(),
+
+		"wal_appends":        r.WALAppends.Load(),
+		"wal_appended_bytes": r.WALAppendedBytes.Load(),
+		"wal_fsyncs":         r.WALFsyncs.Load(),
+		"wal_rotations":      r.WALRotations.Load(),
+		"wal_checkpoints":    r.WALCheckpoints.Load(),
+		"wal_fsync_latency":  r.WALFsyncLatency.Snapshot(),
+		"wal_batch_size":     r.WALBatchSize.ValueSnapshot(),
 	}
 	r.mu.Lock()
 	for name, fn := range r.gauges {

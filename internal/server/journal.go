@@ -1,0 +1,171 @@
+// Journal: the server's write-ahead-log integration. Every mutating
+// operation (upload, remove — including bucket-moving re-uploads, which
+// are just uploads) is encoded as a WAL record and made durable BEFORE it
+// is applied to the match store; only then is the client acknowledged. A
+// crash therefore loses nothing that was acknowledged: recovery restores
+// the newest checkpoint and replays the tail of the log.
+//
+// Replay is idempotent — an upload is a full-record replace and a
+// replayed remove tolerates an already-absent user — which lets
+// Checkpoint run concurrently with traffic: the checkpoint LSN is taken
+// under a barrier (the applyMu write lock waits out every in-flight
+// journal-then-apply pair), so the snapshot is guaranteed to contain at
+// least the prefix up to that LSN, and any later operations it happens to
+// also contain are simply re-applied on recovery.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"smatch/internal/match"
+	"smatch/internal/profile"
+	"smatch/internal/wal"
+	"smatch/internal/wire"
+)
+
+// WAL record op codes (first payload byte).
+const (
+	opUpload byte = 1
+	opRemove byte = 2
+)
+
+// Journal pairs a write-ahead log with the apply-barrier checkpoints need.
+type Journal struct {
+	wal *wal.WAL
+
+	// applyMu's read side spans each journal-then-apply pair; its write
+	// side is the Checkpoint barrier guaranteeing every journaled record
+	// up to the chosen LSN has reached the store.
+	applyMu sync.RWMutex
+}
+
+// OpenJournal opens (or creates) the write-ahead log in opts.Dir and
+// recovers the store it protects: the newest checkpoint is restored, tail
+// segments are replayed on top, and a torn tail record is truncated away.
+// recovered reports whether the directory held any prior state.
+func OpenJournal(opts wal.Options) (j *Journal, store *match.Server, recovered bool, err error) {
+	w, err := wal.Open(opts)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	defer func() {
+		if err != nil {
+			w.Close()
+		}
+	}()
+	store = match.NewServer()
+	rc, _, ok, err := w.LatestCheckpoint()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if ok {
+		store, err = match.Restore(rc)
+		rc.Close()
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("server: restoring checkpoint: %w", err)
+		}
+		recovered = true
+	}
+	err = w.Replay(func(lsn uint64, data []byte) error {
+		recovered = true
+		if aerr := applyOp(store, data, true); aerr != nil {
+			return fmt.Errorf("server: replaying LSN %d: %w", lsn, aerr)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return &Journal{wal: w}, store, recovered, nil
+}
+
+// NewJournal wraps an already-open WAL (tests; production callers want
+// OpenJournal, which also performs recovery).
+func NewJournal(w *wal.WAL) *Journal { return &Journal{wal: w} }
+
+// WAL exposes the underlying log (for checkpoint scheduling and tests).
+func (j *Journal) WAL() *wal.WAL { return j.wal }
+
+// begin pins one journal-then-apply pair against the checkpoint barrier;
+// the caller must invoke the returned release after applying the
+// operation to the store.
+func (j *Journal) begin() func() {
+	j.applyMu.RLock()
+	return j.applyMu.RUnlock
+}
+
+// AppendUpload journals an upload; when it returns nil the record is
+// durable.
+func (j *Journal) AppendUpload(req *wire.UploadReq) error {
+	payload := req.Encode()
+	rec := make([]byte, 0, 1+len(payload))
+	rec = append(rec, opUpload)
+	rec = append(rec, payload...)
+	if _, err := j.wal.Append(rec); err != nil {
+		return fmt.Errorf("server: journaling upload: %w", err)
+	}
+	return nil
+}
+
+// AppendRemove journals a remove; when it returns nil the record is
+// durable.
+func (j *Journal) AppendRemove(id profile.ID) error {
+	var rec [5]byte
+	rec[0] = opRemove
+	binary.BigEndian.PutUint32(rec[1:], uint32(id))
+	if _, err := j.wal.Append(rec[:]); err != nil {
+		return fmt.Errorf("server: journaling remove: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint writes a durable snapshot of the store into the WAL
+// directory and prunes segments the snapshot covers. Safe to run while
+// the server is serving traffic.
+func (j *Journal) Checkpoint(store *match.Server) error {
+	// Barrier: once the write lock is held, every record appended so far
+	// has also been applied, so a snapshot taken from here on covers at
+	// least the prefix up to upTo.
+	j.applyMu.Lock()
+	upTo := j.wal.LastLSN()
+	j.applyMu.Unlock()
+	return j.wal.Checkpoint(upTo, store.Snapshot)
+}
+
+// Close flushes and closes the underlying log.
+func (j *Journal) Close() error { return j.wal.Close() }
+
+// applyOp decodes one journaled operation and applies it to the store.
+// During replay a remove of an unknown user is ignored: the checkpoint
+// the replay runs on top of may already reflect the removal.
+func applyOp(store *match.Server, rec []byte, replay bool) error {
+	if len(rec) == 0 {
+		return errors.New("server: empty journal record")
+	}
+	switch rec[0] {
+	case opUpload:
+		req, err := wire.DecodeUploadReq(rec[1:])
+		if err != nil {
+			return err
+		}
+		entry, err := req.Entry()
+		if err != nil {
+			return err
+		}
+		return store.Upload(entry)
+	case opRemove:
+		if len(rec) != 5 {
+			return fmt.Errorf("server: remove record of %d bytes", len(rec))
+		}
+		err := store.Remove(profile.ID(binary.BigEndian.Uint32(rec[1:])))
+		if replay && errors.Is(err, match.ErrUnknownUser) {
+			return nil
+		}
+		return err
+	default:
+		return fmt.Errorf("server: unknown journal op %d", rec[0])
+	}
+}

@@ -52,6 +52,11 @@ type Config struct {
 	// creates a private registry (recording is always on — it is atomic
 	// adds only). Retrieve it with Server.Metrics.
 	Metrics *metrics.Registry
+	// Journal, when non-nil, makes mutations durable: every upload and
+	// remove is appended (and fsynced) to the write-ahead log before it
+	// touches the store, and only then acknowledged. Pair it with the
+	// store recovered by OpenJournal.
+	Journal *Journal
 }
 
 func (c Config) withDefaults() Config {
@@ -228,10 +233,42 @@ func (s *Server) dispatch(conn net.Conn, t wire.MsgType, payload []byte) error {
 		if err != nil {
 			return err
 		}
+		// Validate before journaling so the log only ever holds records
+		// the store accepts on replay.
+		if err := entry.Validate(); err != nil {
+			return err
+		}
+		if j := s.cfg.Journal; j != nil {
+			release := j.begin()
+			defer release()
+			if err := j.AppendUpload(req); err != nil {
+				return err
+			}
+		}
 		if err := s.store.Upload(entry); err != nil {
 			return err
 		}
 		return wire.WriteFrame(conn, wire.TypeUploadResp, nil)
+
+	case wire.TypeRemoveReq:
+		defer s.observe(&s.metrics.Removes, &s.metrics.RemoveLatency, time.Now())
+		req, err := wire.DecodeRemoveReq(payload)
+		if err != nil {
+			return err
+		}
+		if j := s.cfg.Journal; j != nil {
+			release := j.begin()
+			defer release()
+			if err := j.AppendRemove(req.ID); err != nil {
+				return err
+			}
+		}
+		// A remove of an unknown user errors to the client; the journal
+		// record it may have left is harmless — replay ignores it.
+		if err := s.store.Remove(req.ID); err != nil {
+			return err
+		}
+		return wire.WriteFrame(conn, wire.TypeRemoveResp, nil)
 
 	case wire.TypeQueryReq:
 		defer s.observe(&s.metrics.Matches, &s.metrics.MatchLatency, time.Now())

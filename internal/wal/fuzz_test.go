@@ -1,0 +1,114 @@
+// Native Go fuzz targets for the log's crash boundary: after a crash the
+// tail of a segment file is attacker-grade garbage (torn writes, bit rot,
+// misdirected blocks), and recovery must neither panic nor hallucinate
+// records — it recovers exactly a valid prefix and stays appendable.
+// Run with `go test -fuzz=FuzzWALRecover ./internal/wal`.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func FuzzWALRecordDecode(f *testing.F) {
+	// Seeds: a valid frame, a truncated frame, a CRC-corrupted frame, a
+	// wrong-version frame, and an absurd length prefix.
+	good := appendRecord(nil, []byte("payload"))
+	f.Add(good)
+	f.Add(good[:len(good)-2])
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0xFF
+	f.Add(bad)
+	wrongVer := append([]byte(nil), good...)
+	wrongVer[4] = 9
+	f.Add(wrongVer)
+	f.Add(binary.BigEndian.AppendUint32(nil, 0xFFFFFFFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, n, err := parseRecord(data)
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		if n < recOverhead || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if len(payload) != n-recOverhead {
+			t.Fatalf("payload %d bytes from a %d-byte frame", len(payload), n)
+		}
+		// A frame the decoder accepts must be exactly what the encoder
+		// writes for that payload: one canonical encoding, or recovery
+		// offsets would diverge between writer and reader.
+		if !bytes.Equal(appendRecord(nil, payload), data[:n]) {
+			t.Fatalf("accepted frame %x is not canonical for payload %x", data[:n], payload)
+		}
+	})
+}
+
+func FuzzWALRecover(f *testing.F) {
+	// Seeds: an empty tail, one valid record, a valid record plus torn
+	// garbage, and raw garbage.
+	rec := appendRecord(nil, []byte("op"))
+	f.Add([]byte{})
+	f.Add(rec)
+	f.Add(append(append([]byte(nil), rec...), 0xDE, 0xAD, 0xBE)[:len(rec)+3])
+	f.Add([]byte("garbage tail that is not a record"))
+
+	f.Fuzz(func(t *testing.T, tail []byte) {
+		dir := t.TempDir()
+		// A well-formed segment header followed by an arbitrary tail —
+		// the state a crash leaves behind.
+		seg := make([]byte, 0, segHeaderLen+len(tail))
+		seg = append(seg, segMagic...)
+		seg = binary.BigEndian.AppendUint64(seg, 1)
+		seg = append(seg, tail...)
+		path := filepath.Join(dir, segPrefix+"0000000000000001"+segSuffix)
+		if err := os.WriteFile(path, seg, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		w, err := Open(Options{Dir: dir, NoSync: true})
+		if err != nil {
+			t.Fatalf("recovery failed on torn tail: %v", err)
+		}
+		defer w.Close()
+
+		// What recovery kept must be the maximal valid record prefix of
+		// the tail, as defined by the frame decoder itself.
+		var want [][]byte
+		rest := tail
+		for {
+			payload, n, err := parseRecord(rest)
+			if err != nil {
+				break
+			}
+			want = append(want, append([]byte(nil), payload...))
+			rest = rest[n:]
+		}
+		var got [][]byte
+		if err := w.Replay(func(lsn uint64, data []byte) error {
+			got = append(got, append([]byte(nil), data...))
+			return nil
+		}); err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("recovered %d records, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("record %d: got %x want %x", i, got[i], want[i])
+			}
+		}
+		// The truncated log must accept new records at the right LSN.
+		lsn, err := w.Append([]byte("resumed"))
+		if err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		if wantLSN := uint64(len(want)) + 1; lsn != wantLSN {
+			t.Fatalf("resumed at LSN %d, want %d", lsn, wantLSN)
+		}
+	})
+}

@@ -38,6 +38,8 @@ const (
 	TypeOPRFKeyResp
 	TypeOPRFBatchReq
 	TypeOPRFBatchResp
+	TypeRemoveReq
+	TypeRemoveResp
 )
 
 // MaxFrameSize bounds a frame payload; large enough for a 2048-bit, many-
@@ -69,6 +71,33 @@ func (u *UploadReq) Entry() (match.Entry, error) {
 		return match.Entry{}, err
 	}
 	return match.Entry{ID: u.ID, KeyHash: u.KeyHash, Chain: ch, Auth: u.Auth}, nil
+}
+
+// RemoveReq asks the server to delete the user's stored record (device
+// decommissioning, opt-out, or a pre-upload reset). The response carries
+// no payload.
+type RemoveReq struct {
+	ID profile.ID
+}
+
+// Encode serializes the remove request.
+func (r *RemoveReq) Encode() []byte {
+	var e encoder
+	e.u32(uint32(r.ID))
+	return e.buf
+}
+
+// DecodeRemoveReq parses a remove request payload.
+func DecodeRemoveReq(payload []byte) (*RemoveReq, error) {
+	d := decoder{buf: payload}
+	id, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &RemoveReq{ID: profile.ID(id)}, nil
 }
 
 // QueryMode selects the server-side matching algorithm.
