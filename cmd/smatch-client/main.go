@@ -35,21 +35,23 @@ func main() {
 		kBits   = flag.Uint("k", 64, "plaintext size (bits)")
 		verify  = flag.Bool("verify", false, "verify query results (Vf)")
 		timeout = flag.Duration("timeout", 30*time.Second, "request timeout")
+		retries = flag.Int("retries", 2, "max retries for idempotent requests (query/OPRF/remove) after connection failures; -1 disables")
+		backoff = flag.Duration("retry-backoff", 50*time.Millisecond, "base of the jittered exponential retry backoff")
 	)
 	flag.Parse()
 
-	if err := run(*server, *dsName, *cmd, profile.ID(*userID), *topK, *theta, *kBits, *verify, *timeout); err != nil {
+	if err := run(*server, *dsName, *cmd, profile.ID(*userID), *topK, *theta, *kBits, *verify, *timeout, *retries, *backoff); err != nil {
 		fmt.Fprintln(os.Stderr, "smatch-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, dsName, cmd string, userID profile.ID, topK, theta int, kBits uint, verify bool, timeout time.Duration) error {
+func run(server, dsName, cmd string, userID profile.ID, topK, theta int, kBits uint, verify bool, timeout time.Duration, retries int, backoff time.Duration) error {
 	ds, err := dataset.ByName(dsName)
 	if err != nil {
 		return err
 	}
-	conn, err := client.Dial(server, client.Options{Timeout: timeout})
+	conn, err := client.Dial(server, client.Options{Timeout: timeout, MaxRetries: retries, RetryBackoff: backoff})
 	if err != nil {
 		return err
 	}

@@ -18,6 +18,12 @@
 // uploads do not. -wal and -store compose: checkpoints are mirrored to the
 // -store snapshot path, and a pre-existing -store snapshot seeds a fresh
 // WAL directory.
+//
+// Connection lifecycle: every response write runs under -write-timeout so
+// a stalled reader can't park a goroutine, -max-conns caps concurrent
+// connections (overflow dials are turned away after a short backpressure
+// window), and SIGINT/SIGTERM triggers a graceful drain — stop accepting,
+// finish in-flight requests within -drain-timeout, then close.
 package main
 
 import (
@@ -42,22 +48,25 @@ import (
 
 func main() {
 	var (
-		listen      = flag.String("listen", "127.0.0.1:7788", "address to listen on")
-		oprfBits    = flag.Int("oprf-bits", 2048, "RSA-OPRF modulus size")
-		maxTopK     = flag.Int("max-topk", 100, "cap on per-query result count")
-		storePath   = flag.String("store", "", "snapshot file: restored at startup, saved on shutdown and every 5 minutes")
-		walDir      = flag.String("wal", "", "write-ahead log directory: journal every mutation before acknowledging it, recover checkpoint+log at startup")
-		metricsAddr = flag.String("metrics", "", "serve GET /metrics (JSON) on this address; empty disables the endpoint")
+		listen       = flag.String("listen", "127.0.0.1:7788", "address to listen on")
+		oprfBits     = flag.Int("oprf-bits", 2048, "RSA-OPRF modulus size")
+		maxTopK      = flag.Int("max-topk", 100, "cap on per-query result count")
+		maxConns     = flag.Int("max-conns", 0, "cap on concurrent connections (0 = unlimited); at the cap, accepts stop and overflow dials are turned away")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline; stalled readers are dropped")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for in-flight requests before force-close")
+		storePath    = flag.String("store", "", "snapshot file: restored at startup, saved on shutdown and every 5 minutes")
+		walDir       = flag.String("wal", "", "write-ahead log directory: journal every mutation before acknowledging it, recover checkpoint+log at startup")
+		metricsAddr  = flag.String("metrics", "", "serve GET /metrics (JSON) on this address; empty disables the endpoint")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *oprfBits, *maxTopK, *storePath, *walDir, *metricsAddr); err != nil {
+	if err := run(*listen, *oprfBits, *maxTopK, *maxConns, *writeTimeout, *drainTimeout, *storePath, *walDir, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "smatch-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, oprfBits, maxTopK int, storePath, walDir, metricsAddr string) error {
+func run(listen string, oprfBits, maxTopK, maxConns int, writeTimeout, drainTimeout time.Duration, storePath, walDir, metricsAddr string) error {
 	log.Printf("generating %d-bit RSA-OPRF key...", oprfBits)
 	oprfSrv, err := oprf.NewServer(oprfBits)
 	if err != nil {
@@ -75,13 +84,16 @@ func run(listen string, oprfBits, maxTopK int, storePath, walDir, metricsAddr st
 		defer journal.Close()
 	}
 	srv, err := server.New(server.Config{
-		OPRF:        oprfSrv,
-		MaxTopK:     maxTopK,
-		ReadTimeout: 60 * time.Second,
-		Logf:        log.Printf,
-		Store:       store,
-		Metrics:     reg,
-		Journal:     journal,
+		OPRF:         oprfSrv,
+		MaxTopK:      maxTopK,
+		ReadTimeout:  60 * time.Second,
+		WriteTimeout: writeTimeout,
+		MaxConns:     maxConns,
+		DrainTimeout: drainTimeout,
+		Logf:         log.Printf,
+		Store:        store,
+		Metrics:      reg,
+		Journal:      journal,
 	})
 	if err != nil {
 		return err

@@ -4,6 +4,15 @@
 // running RSA-OPRF rounds. It implements oprf.Evaluator, so a core.Client
 // can derive profile keys through the network exactly as the paper's
 // Android client does.
+//
+// The transport is resilient in the way a mobile device has to be: any
+// I/O error or stream desync marks the connection broken (it is never
+// reused, so an aborted response can't bleed into the next request), the
+// next request transparently redials, and idempotent requests — query,
+// OPRF, remove — are retried a bounded number of times with jittered
+// exponential backoff. Uploads are not idempotent over this protocol (a
+// duplicate is observable server-side), so they surface the error and let
+// the caller decide.
 package client
 
 import (
@@ -11,12 +20,14 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"smatch/internal/match"
+	"smatch/internal/metrics"
 	"smatch/internal/oprf"
 	"smatch/internal/profile"
 	"smatch/internal/wire"
@@ -25,75 +36,270 @@ import (
 // ErrServer wraps error messages reported by the server.
 var ErrServer = errors.New("client: server error")
 
+// ErrClosed is returned for requests issued after Close.
+var ErrClosed = errors.New("client: connection closed")
+
 // Conn is a client connection. Requests are serialized: the wire protocol
 // is strict request/response per connection. Safe for concurrent use.
 type Conn struct {
-	mu      sync.Mutex
-	conn    *tls.Conn
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	conn   *tls.Conn // nil until (re)connected
+	broken bool      // conn poisoned by an I/O error or desync
+	closed bool
+
 	queryID atomic.Uint64
-	timeout time.Duration
 }
 
 // Options tune the connection.
 type Options struct {
-	// Timeout bounds each request round trip. Zero means 30s.
+	// Timeout bounds each request round trip (and each dial + TLS
+	// handshake). Zero means 30s.
 	Timeout time.Duration
 	// TLSConfig overrides the TLS client configuration. Nil uses
 	// certificate pinning disabled (the reproduction's self-signed
 	// server), matching the paper's testbed trust model.
 	TLSConfig *tls.Config
+	// MaxRetries bounds how many times an idempotent request (query,
+	// OPRF round, remove) is re-sent after a connection-level failure,
+	// each attempt on a freshly dialed connection. Uploads are never
+	// retried automatically. Zero means 2; negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the base of the jittered exponential backoff
+	// between retries. Zero means 50ms.
+	RetryBackoff time.Duration
+	// MaxRetryBackoff caps the backoff envelope. Zero means 2s.
+	MaxRetryBackoff time.Duration
+	// Metrics, when non-nil, receives the client_* resilience counters
+	// (broken connections, reconnects, retries) — e.g. from a load
+	// generator exporting its own /metrics.
+	Metrics *metrics.Registry
+	// Dialer overrides the raw TCP dial; the TLS handshake still runs on
+	// top of the returned conn. Chaos tests use it to inject transport
+	// faults underneath TLS. Nil uses a net.Dialer with Timeout.
+	Dialer func(network, addr string) (net.Conn, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout == 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.TLSConfig == nil {
+		o.TLSConfig = &tls.Config{InsecureSkipVerify: true} // #nosec G402 — see Options doc
+	}
+	switch {
+	case o.MaxRetries == 0:
+		o.MaxRetries = 2
+	case o.MaxRetries < 0:
+		o.MaxRetries = 0
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.MaxRetryBackoff == 0 {
+		o.MaxRetryBackoff = 2 * time.Second
+	}
+	return o
 }
 
 // Dial connects to an S-MATCH server.
 func Dial(addr string, opts Options) (*Conn, error) {
-	cfg := opts.TLSConfig
-	if cfg == nil {
-		cfg = &tls.Config{InsecureSkipVerify: true} // #nosec G402 — see Options doc
-	}
-	timeout := opts.Timeout
-	if timeout == 0 {
-		timeout = 30 * time.Second
-	}
-	nc, err := tls.DialWithDialer(&net.Dialer{Timeout: timeout}, "tcp", addr, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
-	}
-	return &Conn{conn: nc, timeout: timeout}, nil
-}
-
-// Close shuts the connection down.
-func (c *Conn) Close() error { return c.conn.Close() }
-
-// roundTrip sends one frame and reads the response, translating server
-// error frames.
-func (c *Conn) roundTrip(t wire.MsgType, payload []byte, wantType wire.MsgType) ([]byte, error) {
+	c := &Conn{addr: addr, opts: opts.withDefaults()}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	deadline := time.Now().Add(c.timeout)
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connectLocked dials and completes the TLS handshake under the timeout.
+func (c *Conn) connectLocked() error {
+	dial := c.opts.Dialer
+	if dial == nil {
+		d := &net.Dialer{Timeout: c.opts.Timeout}
+		dial = d.Dial
+	}
+	raw, err := dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	tc := tls.Client(raw, c.opts.TLSConfig)
+	_ = tc.SetDeadline(time.Now().Add(c.opts.Timeout))
+	if err := tc.Handshake(); err != nil {
+		tc.Close()
+		return fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	_ = tc.SetDeadline(time.Time{})
+	c.conn = tc
+	c.broken = false
+	return nil
+}
+
+// Close shuts the connection down; subsequent requests fail with ErrClosed.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// connFailure marks an error that poisoned the connection (I/O failure or
+// stream desync): the conn must not be reused, and idempotent requests may
+// be retried on a fresh one.
+type connFailure struct{ err error }
+
+func (e *connFailure) Error() string { return e.err.Error() }
+func (e *connFailure) Unwrap() error { return e.err }
+
+func isConnFailure(err error) bool {
+	var cf *connFailure
+	return errors.As(err, &cf)
+}
+
+// backoffDelay computes the jittered delay before the n-th retry (n >= 1):
+// an exponential envelope doubling per attempt, capped at max, with the
+// delay drawn uniformly from [envelope/2, envelope] so synchronized
+// clients spread out instead of retrying in lockstep.
+func backoffDelay(n int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	env := base
+	for i := 1; i < n && env < max; i++ {
+		env *= 2
+	}
+	if env > max {
+		env = max
+	}
+	half := env / 2
+	return half + time.Duration(rand.Int64N(int64(half)+1))
+}
+
+func (c *Conn) markBrokenLocked() {
+	if c.broken {
+		return
+	}
+	c.broken = true
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	if m := c.opts.Metrics; m != nil {
+		m.ClientBrokenConns.Add(1)
+	}
+}
+
+// markBroken poisons the connection from outside the round-trip path
+// (e.g. a response that decodes but belongs to a different query).
+func (c *Conn) markBroken() {
+	c.mu.Lock()
+	c.markBrokenLocked()
+	c.mu.Unlock()
+}
+
+// roundTrip sends one frame and reads the response, translating server
+// error frames. Connection-level failures poison the conn; idempotent
+// requests are then retried on a fresh connection with backoff, while
+// non-idempotent ones surface the error (the next request will redial).
+func (c *Conn) roundTrip(t wire.MsgType, payload []byte, wantType wire.MsgType, idempotent bool) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	attempts := 1
+	if idempotent {
+		attempts += c.opts.MaxRetries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if c.closed {
+			return nil, ErrClosed
+		}
+		if attempt > 0 {
+			if m := c.opts.Metrics; m != nil {
+				m.ClientRetries.Add(1)
+			}
+			time.Sleep(backoffDelay(attempt, c.opts.RetryBackoff, c.opts.MaxRetryBackoff))
+			if c.closed {
+				return nil, ErrClosed
+			}
+		}
+		if c.conn == nil || c.broken {
+			if err := c.reconnectLocked(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		resp, err := c.exchangeLocked(t, payload, wantType)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !isConnFailure(err) {
+			return nil, err // server-reported error on a healthy stream
+		}
+		c.markBrokenLocked()
+		if !idempotent {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// reconnectLocked replaces a broken or missing conn with a fresh dial.
+func (c *Conn) reconnectLocked() error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	if err := c.connectLocked(); err != nil {
+		return err
+	}
+	if m := c.opts.Metrics; m != nil {
+		m.ClientReconnects.Add(1)
+	}
+	return nil
+}
+
+// exchangeLocked performs one request/response on the current conn.
+func (c *Conn) exchangeLocked(t wire.MsgType, payload []byte, wantType wire.MsgType) ([]byte, error) {
+	deadline := time.Now().Add(c.opts.Timeout)
 	if err := c.conn.SetDeadline(deadline); err != nil {
-		return nil, fmt.Errorf("client: setting deadline: %w", err)
+		return nil, &connFailure{fmt.Errorf("client: setting deadline: %w", err)}
 	}
 	if err := wire.WriteFrame(c.conn, t, payload); err != nil {
-		return nil, err
+		return nil, &connFailure{err}
 	}
 	respType, respPayload, err := wire.ReadFrame(c.conn)
 	if err != nil {
-		return nil, fmt.Errorf("client: reading response: %w", err)
+		return nil, &connFailure{fmt.Errorf("client: reading response: %w", err)}
 	}
 	if respType == wire.TypeError {
 		msg, derr := wire.DecodeErrorMsg(respPayload)
 		if derr != nil {
-			return nil, fmt.Errorf("%w: undecodable error frame", ErrServer)
+			return nil, &connFailure{fmt.Errorf("%w: undecodable error frame", ErrServer)}
 		}
 		return nil, fmt.Errorf("%w: %s", ErrServer, msg.Text)
 	}
 	if respType != wantType {
-		return nil, fmt.Errorf("client: got message type %d, want %d", respType, wantType)
+		// A mismatched type means the stream is desynchronized (e.g. the
+		// response to an earlier, abandoned request): poison the conn so
+		// no later request reads leftover bytes.
+		return nil, &connFailure{fmt.Errorf("client: got message type %d, want %d", respType, wantType)}
 	}
 	return respPayload, nil
 }
 
-// Upload sends an encrypted profile record to the server.
+// Upload sends an encrypted profile record to the server. Uploads are not
+// retried automatically: a timeout leaves it unknown whether the server
+// applied the mutation, so the error is surfaced to the caller (the
+// connection itself recovers — the next request redials).
 func (c *Conn) Upload(e match.Entry) error {
 	req := wire.UploadReq{
 		ID:       e.ID,
@@ -103,15 +309,17 @@ func (c *Conn) Upload(e match.Entry) error {
 		Chain:    e.Chain.Bytes(),
 		Auth:     e.Auth,
 	}
-	_, err := c.roundTrip(wire.TypeUploadReq, req.Encode(), wire.TypeUploadResp)
+	_, err := c.roundTrip(wire.TypeUploadReq, req.Encode(), wire.TypeUploadResp, false)
 	return err
 }
 
 // Remove deletes the user's stored record from the server (opt-out or
-// device decommissioning).
+// device decommissioning). Removal is idempotent (removing an absent user
+// is an application-level error, not a duplicated mutation), so it is
+// retried after connection failures.
 func (c *Conn) Remove(id profile.ID) error {
 	req := wire.RemoveReq{ID: id}
-	_, err := c.roundTrip(wire.TypeRemoveReq, req.Encode(), wire.TypeRemoveResp)
+	_, err := c.roundTrip(wire.TypeRemoveReq, req.Encode(), wire.TypeRemoveResp, true)
 	return err
 }
 
@@ -126,7 +334,7 @@ func (c *Conn) Query(id profile.ID, topK int) ([]match.Result, error) {
 		ID:        id,
 		TopK:      uint16(topK),
 	}
-	payload, err := c.roundTrip(wire.TypeQueryReq, req.Encode(), wire.TypeQueryResp)
+	payload, err := c.roundTrip(wire.TypeQueryReq, req.Encode(), wire.TypeQueryResp, true)
 	if err != nil {
 		return nil, err
 	}
@@ -135,6 +343,7 @@ func (c *Conn) Query(id profile.ID, topK int) ([]match.Result, error) {
 		return nil, err
 	}
 	if resp.QueryID != req.QueryID {
+		c.markBroken()
 		return nil, fmt.Errorf("client: response for query %d, want %d", resp.QueryID, req.QueryID)
 	}
 	return resp.Results, nil
@@ -155,7 +364,7 @@ func (c *Conn) QueryMaxDistance(id profile.ID, maxDist *big.Int) ([]match.Result
 		Mode:      wire.ModeMaxDistance,
 		MaxDist:   maxDist,
 	}
-	payload, err := c.roundTrip(wire.TypeQueryReq, req.Encode(), wire.TypeQueryResp)
+	payload, err := c.roundTrip(wire.TypeQueryReq, req.Encode(), wire.TypeQueryResp, true)
 	if err != nil {
 		return nil, err
 	}
@@ -164,6 +373,7 @@ func (c *Conn) QueryMaxDistance(id profile.ID, maxDist *big.Int) ([]match.Result
 		return nil, err
 	}
 	if resp.QueryID != req.QueryID {
+		c.markBroken()
 		return nil, fmt.Errorf("client: response for query %d, want %d", resp.QueryID, req.QueryID)
 	}
 	return resp.Results, nil
@@ -172,7 +382,7 @@ func (c *Conn) QueryMaxDistance(id profile.ID, maxDist *big.Int) ([]match.Result
 // OPRFPublicKey fetches the server's OPRF public key, the one piece of
 // bootstrap material a device needs beyond the server address.
 func (c *Conn) OPRFPublicKey() (oprf.PublicKey, error) {
-	payload, err := c.roundTrip(wire.TypeOPRFKeyReq, nil, wire.TypeOPRFKeyResp)
+	payload, err := c.roundTrip(wire.TypeOPRFKeyReq, nil, wire.TypeOPRFKeyResp, true)
 	if err != nil {
 		return oprf.PublicKey{}, err
 	}
@@ -193,7 +403,7 @@ func (c *Conn) Evaluate(x *big.Int) (*big.Int, error) {
 		return nil, errors.New("client: nil OPRF element")
 	}
 	req := wire.OPRFReq{X: x}
-	payload, err := c.roundTrip(wire.TypeOPRFReq, req.Encode(), wire.TypeOPRFResp)
+	payload, err := c.roundTrip(wire.TypeOPRFReq, req.Encode(), wire.TypeOPRFResp, true)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +424,7 @@ func (c *Conn) EvaluateBatch(xs []*big.Int) ([]*big.Int, error) {
 		return nil, fmt.Errorf("client: OPRF batch of %d too large", len(xs))
 	}
 	req := wire.OPRFBatchReq{Xs: xs}
-	payload, err := c.roundTrip(wire.TypeOPRFBatchReq, req.Encode(), wire.TypeOPRFBatchResp)
+	payload, err := c.roundTrip(wire.TypeOPRFBatchReq, req.Encode(), wire.TypeOPRFBatchResp, true)
 	if err != nil {
 		return nil, err
 	}

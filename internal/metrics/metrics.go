@@ -133,6 +133,29 @@ type Registry struct {
 	ActiveConns atomic.Int64
 	TotalConns  atomic.Uint64
 
+	// Connection-lifecycle counters (server side). ReadTimeouts counts
+	// idle/stalled reads reaped by the read deadline; WriteTimeouts counts
+	// response writes abandoned because the client stopped draining its
+	// socket; ConnsRejected counts connections turned away at the
+	// max-connections cap; ConnsDrained counts connections that finished
+	// their in-flight request and exited during a graceful drain;
+	// DrainForcedCloses counts connections force-closed because they were
+	// still busy when the drain deadline expired.
+	ReadTimeouts      atomic.Uint64
+	WriteTimeouts     atomic.Uint64
+	ConnsRejected     atomic.Uint64
+	ConnsDrained      atomic.Uint64
+	DrainForcedCloses atomic.Uint64
+
+	// Client resilience counters (populated when a client.Conn is built
+	// with this registry — e.g. a load generator exporting its own
+	// /metrics). BrokenConns counts connections marked unusable after an
+	// I/O error or stream desync; Reconnects counts successful redials;
+	// Retries counts re-sent idempotent requests.
+	ClientBrokenConns atomic.Uint64
+	ClientReconnects  atomic.Uint64
+	ClientRetries     atomic.Uint64
+
 	// Per-operation latency.
 	UploadLatency Histogram
 	MatchLatency  Histogram
@@ -179,10 +202,20 @@ func (r *Registry) Snapshot() map[string]any {
 		"errors":         r.Errors.Load(),
 		"active_conns":   r.ActiveConns.Load(),
 		"total_conns":    r.TotalConns.Load(),
-		"upload_latency": r.UploadLatency.Snapshot(),
-		"match_latency":  r.MatchLatency.Snapshot(),
-		"remove_latency": r.RemoveLatency.Snapshot(),
-		"oprf_latency":   r.OPRFLatency.Snapshot(),
+
+		"read_timeouts":       r.ReadTimeouts.Load(),
+		"write_timeouts":      r.WriteTimeouts.Load(),
+		"conns_rejected":      r.ConnsRejected.Load(),
+		"conns_drained":       r.ConnsDrained.Load(),
+		"drain_forced_closes": r.DrainForcedCloses.Load(),
+
+		"client_broken_conns": r.ClientBrokenConns.Load(),
+		"client_reconnects":   r.ClientReconnects.Load(),
+		"client_retries":      r.ClientRetries.Load(),
+		"upload_latency":      r.UploadLatency.Snapshot(),
+		"match_latency":       r.MatchLatency.Snapshot(),
+		"remove_latency":      r.RemoveLatency.Snapshot(),
+		"oprf_latency":        r.OPRFLatency.Snapshot(),
 
 		"wal_appends":        r.WALAppends.Load(),
 		"wal_appended_bytes": r.WALAppendedBytes.Load(),
@@ -217,7 +250,8 @@ func (r *Registry) Handler() http.Handler {
 func (r *Registry) Summary() string {
 	snap := r.Snapshot()
 	keys := []string{"uploads", "matches", "removes", "oprf_evals", "errors",
-		"active_conns", "total_conns"}
+		"active_conns", "total_conns", "read_timeouts", "write_timeouts",
+		"conns_rejected"}
 	parts := make([]string, 0, len(keys)+2)
 	for _, k := range keys {
 		parts = append(parts, fmt.Sprintf("%s=%v", k, snap[k]))

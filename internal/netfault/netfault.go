@@ -1,0 +1,135 @@
+// Package netfault wraps net.Conn with injectable transport faults for
+// chaos testing: fragmented (partial) writes, read/write delays, write
+// stalls that never make progress, and abrupt mid-frame resets after a
+// byte budget. The faults model what lossy mobile links and misbehaving
+// peers do to a long-lived connection, so the server's deadlines and the
+// client's reconnect/retry layer can be exercised deterministically and
+// under -race.
+//
+// Faults sit *below* TLS (wrap the raw TCP conn, then hand it to
+// crypto/tls): stalls, fragmentation and resets are all stream-legal, so
+// the TLS layer keeps working until the fault actually severs the
+// connection.
+package netfault
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults selects which behaviors a Conn injects. The zero value injects
+// nothing (the Conn is a transparent wrapper).
+type Faults struct {
+	// MaxWriteChunk splits every Write into chunks of at most this many
+	// bytes, each flushed to the underlying conn separately (with
+	// ChunkDelay between them). This simulates TCP fragmentation and
+	// partial writes without violating the io.Writer contract. 0 disables.
+	MaxWriteChunk int
+	// ChunkDelay sleeps between fragmented chunks (only meaningful with
+	// MaxWriteChunk > 0).
+	ChunkDelay time.Duration
+	// ReadDelay sleeps before every Read, simulating a slow or congested
+	// downlink.
+	ReadDelay time.Duration
+	// WriteDelay sleeps before every Write, simulating a slow uplink.
+	WriteDelay time.Duration
+	// StallWritesAfter stalls every Write indefinitely once this many
+	// bytes have been written — the peer sees a connection that stops
+	// making progress mid-stream. The stall is released only by Close
+	// (local or via deadline-driven peer close). 0 disables.
+	StallWritesAfter int64
+	// ResetAfterWrite severs the connection after this many bytes have
+	// been written: the write that crosses the budget flushes only the
+	// prefix up to the budget, then closes the underlying conn — a
+	// mid-frame reset. 0 disables.
+	ResetAfterWrite int64
+}
+
+// Conn is a net.Conn wrapper that injects the configured faults.
+type Conn struct {
+	net.Conn
+	f Faults
+
+	written atomic.Int64
+
+	closeOnce sync.Once
+	closed    chan struct{} // closed by Close; releases stalls
+}
+
+// New wraps a connection with fault injection.
+func New(c net.Conn, f Faults) *Conn {
+	return &Conn{Conn: c, f: f, closed: make(chan struct{})}
+}
+
+// BytesWritten reports how many bytes have reached the underlying conn,
+// so tests can assert exactly where a reset or stall cut the stream.
+func (c *Conn) BytesWritten() int64 { return c.written.Load() }
+
+// Close releases any in-progress stall and closes the underlying conn.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// sleep waits for d unless the conn is closed first.
+func (c *Conn) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.closed:
+	}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.sleep(c.f.ReadDelay)
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.sleep(c.f.WriteDelay)
+	total := 0
+	for len(p) > 0 {
+		if c.f.StallWritesAfter > 0 && c.written.Load() >= c.f.StallWritesAfter {
+			// Stop making progress until someone gives up and closes.
+			<-c.closed
+			return total, net.ErrClosed
+		}
+		chunk := p
+		if c.f.MaxWriteChunk > 0 && len(chunk) > c.f.MaxWriteChunk {
+			chunk = chunk[:c.f.MaxWriteChunk]
+		}
+		if budget := c.f.ResetAfterWrite; budget > 0 {
+			remaining := budget - c.written.Load()
+			if remaining <= 0 {
+				c.Close()
+				return total, net.ErrClosed
+			}
+			if int64(len(chunk)) > remaining {
+				// Flush the prefix that fits the budget, then slam the
+				// connection mid-frame.
+				n, _ := c.Conn.Write(chunk[:remaining])
+				c.written.Add(int64(n))
+				total += n
+				c.Close()
+				return total, net.ErrClosed
+			}
+		}
+		n, err := c.Conn.Write(chunk)
+		c.written.Add(int64(n))
+		total += n
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+		if len(p) > 0 {
+			c.sleep(c.f.ChunkDelay)
+		}
+	}
+	return total, nil
+}

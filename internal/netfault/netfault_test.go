@@ -1,0 +1,145 @@
+package netfault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two ends of a real loopback TCP connection, so write
+// buffering behaves like production (net.Pipe has none).
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	client, cerr := net.Dial("tcp", ln.Addr().String())
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestTransparentWhenZeroFaults(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := New(a, Faults{})
+	msg := []byte("hello over a clean wrapper")
+	if _, err := fc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("got %q, want %q", got, msg)
+	}
+	if fc.BytesWritten() != int64(len(msg)) {
+		t.Errorf("BytesWritten = %d, want %d", fc.BytesWritten(), len(msg))
+	}
+}
+
+func TestChunkedWritesReassemble(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := New(a, Faults{MaxWriteChunk: 3})
+	msg := bytes.Repeat([]byte("fragmented-frame!"), 50)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := fc.Write(msg)
+		errCh <- err
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Error("fragmented stream did not reassemble to the original bytes")
+	}
+}
+
+func TestResetMidStream(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := New(a, Faults{ResetAfterWrite: 10})
+	n, err := fc.Write(bytes.Repeat([]byte{0xAB}, 64))
+	if err == nil {
+		t.Fatal("write across the reset budget succeeded")
+	}
+	if n != 10 {
+		t.Errorf("wrote %d bytes before reset, want exactly 10", n)
+	}
+	// The peer sees the 10-byte prefix, then EOF/reset — a torn frame.
+	got, rerr := io.ReadAll(b)
+	if len(got) != 10 {
+		t.Errorf("peer read %d bytes, want 10 (err=%v)", len(got), rerr)
+	}
+	// Subsequent writes fail fast: the conn is gone.
+	if _, err := fc.Write([]byte("more")); err == nil {
+		t.Error("write after reset succeeded")
+	}
+}
+
+func TestStalledWriteReleasedByClose(t *testing.T) {
+	a, _ := tcpPair(t)
+	fc := New(a, Faults{StallWritesAfter: 1})
+	if _, err := fc.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := fc.Write([]byte("this write never progresses"))
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		t.Fatalf("stalled write returned early: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	fc.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Errorf("stalled write err = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not release the stalled write")
+	}
+}
+
+func TestDelaysApply(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := New(a, Faults{WriteDelay: 50 * time.Millisecond})
+	start := time.Now()
+	if _, err := fc.Write([]byte("delayed")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("write returned after %v, want >= ~50ms delay", elapsed)
+	}
+	got := make([]byte, 7)
+	rc := New(b, Faults{ReadDelay: 50 * time.Millisecond})
+	start = time.Now()
+	if _, err := io.ReadFull(rc, got); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("read returned after %v, want >= ~50ms delay", elapsed)
+	}
+}

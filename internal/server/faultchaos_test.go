@@ -1,0 +1,175 @@
+// Chaos suite: clients with injected transport faults (fragmented writes,
+// slow reads, mid-frame resets) hammer a capped server concurrently, under
+// -race. The invariants: the server never serves more connections than
+// MaxConns, stays healthy for clean clients throughout, and drains within
+// the deadline at the end; faulty clients recover via reconnect+backoff.
+package server
+
+import (
+	"context"
+	"math/big"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smatch/internal/client"
+	"smatch/internal/netfault"
+)
+
+// faultFlavors are the per-worker transport faults; flavor 0 is a clean
+// client and must always succeed.
+var faultFlavors = []netfault.Faults{
+	{}, // clean
+	{MaxWriteChunk: 7, ChunkDelay: 200 * time.Microsecond}, // fragmented uplink
+	{ReadDelay: 5 * time.Millisecond},                      // slow downlink
+	{ResetAfterWrite: 1200},                                // dies mid-frame after ~a request
+}
+
+// faultDialer wraps the raw TCP conn (underneath TLS) with the flavor's
+// faults.
+func faultDialer(f netfault.Faults) func(network, addr string) (net.Conn, error) {
+	return func(network, addr string) (net.Conn, error) {
+		raw, err := net.DialTimeout(network, addr, 2*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		return netfault.New(raw, f), nil
+	}
+}
+
+// dialWithRetry keeps dialing through cap rejections (the server turns
+// overflow connections away; a real device would back off and redial).
+func dialWithRetry(addr string, opts client.Options, attempts int) (*client.Conn, error) {
+	var c *client.Conn
+	var err error
+	for i := 0; i < attempts; i++ {
+		if c, err = client.Dial(addr, opts); err == nil {
+			return c, nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return nil, err
+}
+
+func TestChaosFaultyClientsUnderConnectionCap(t *testing.T) {
+	const maxConns = 4
+	srv, err := New(Config{
+		OPRF:          testOPRF(t),
+		MaxConns:      maxConns,
+		AcceptBackoff: 50 * time.Millisecond,
+		ReadTimeout:   2 * time.Second,
+		WriteTimeout:  500 * time.Millisecond,
+		DrainTimeout:  3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(1); i <= 4; i++ {
+		if err := srv.Store().Upload(matchEntryForTest(i, "b", int64(i*10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := a.String()
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx) }()
+
+	// Invariant monitor: ActiveConns (incremented by handler goroutines,
+	// which are gated by the semaphore) must never exceed the cap.
+	var maxActive atomic.Int64
+	monStop := make(chan struct{})
+	var monWG sync.WaitGroup
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		for {
+			select {
+			case <-monStop:
+				return
+			default:
+			}
+			if n := srv.Metrics().ActiveConns.Load(); n > maxActive.Load() {
+				maxActive.Store(n)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	const workers = 12
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers*8)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			flavor := faultFlavors[w%len(faultFlavors)]
+			clean := w%len(faultFlavors) == 0
+			opts := client.Options{
+				Timeout:      2 * time.Second,
+				MaxRetries:   3,
+				RetryBackoff: 5 * time.Millisecond,
+				Dialer:       faultDialer(flavor),
+			}
+			for iter := 0; iter < 3; iter++ {
+				c, err := dialWithRetry(addr, opts, 40)
+				if err != nil {
+					if clean {
+						errCh <- err
+					}
+					continue
+				}
+				if _, err := c.OPRFPublicKey(); err != nil && clean {
+					errCh <- err
+				}
+				if _, err := c.Evaluate(big.NewInt(12345)); err != nil && clean {
+					errCh <- err
+				}
+				if _, err := c.Query(1, 3); err != nil && clean {
+					errCh <- err
+				}
+				c.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(monStop)
+	monWG.Wait()
+
+	for len(errCh) > 0 {
+		t.Errorf("clean client failed under chaos: %v", <-errCh)
+	}
+	if got := maxActive.Load(); got > maxConns {
+		t.Errorf("active connections peaked at %d, exceeding cap %d", got, maxConns)
+	}
+
+	// The server is still healthy for a fresh, clean client.
+	c, err := dialWithRetry(addr, client.Options{Timeout: 2 * time.Second}, 40)
+	if err != nil {
+		t.Fatalf("server unhealthy after chaos: %v", err)
+	}
+	if _, err := c.OPRFPublicKey(); err != nil {
+		t.Errorf("server unhealthy after chaos: %v", err)
+	}
+	c.Close()
+
+	// And it drains within the deadline.
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Errorf("Serve returned %v after chaos", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not drain within the deadline after chaos")
+	}
+	if elapsed := time.Since(start); elapsed > 4*time.Second {
+		t.Errorf("drain took %v, want under the 3s drain deadline plus slack", elapsed)
+	}
+}

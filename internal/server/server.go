@@ -43,6 +43,23 @@ type Config struct {
 	// ReadTimeout bounds how long the server waits for a frame on an
 	// open connection.
 	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write. Without it, one client
+	// that stops draining its socket parks a server goroutine in
+	// wire.WriteFrame forever; with it, the stalled connection is dropped
+	// and the goroutine released.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrently served connections. At the cap, Serve
+	// stops accepting (kernel-backlog backpressure); connections still
+	// pending after AcceptBackoff are accepted and immediately closed so
+	// dialers fail fast instead of hanging in the TLS handshake.
+	// 0 means unlimited.
+	MaxConns int
+	// AcceptBackoff is how long Serve waits for a slot to free before
+	// rejecting pending connections when at MaxConns. Zero means 500ms.
+	AcceptBackoff time.Duration
+	// DrainTimeout bounds a graceful shutdown: after it expires,
+	// connections still mid-request are force-closed. Zero means 5s.
+	DrainTimeout time.Duration
 	// Logf receives structured-ish log lines; nil disables logging.
 	Logf func(format string, args ...any)
 	// Store supplies a pre-populated matching store (e.g. restored from a
@@ -66,6 +83,15 @@ func (c Config) withDefaults() Config {
 	if c.ReadTimeout == 0 {
 		c.ReadTimeout = 30 * time.Second
 	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.AcceptBackoff == 0 {
+		c.AcceptBackoff = 500 * time.Millisecond
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -78,11 +104,21 @@ type Server struct {
 	store   *match.Server
 	metrics *metrics.Registry
 	ln      net.Listener
+	sem     chan struct{} // MaxConns slots; nil means unlimited
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*connState
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// connState tracks whether a connection is mid-request, so a graceful
+// drain can close idle connections immediately while letting busy ones
+// finish their in-flight request.
+type connState struct {
+	mu      sync.Mutex
+	busy    bool
+	closing bool
 }
 
 // New creates a server around a fresh matching store.
@@ -90,6 +126,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.OPRF == nil {
 		return nil, errors.New("server: nil OPRF evaluator")
 	}
+	cfg = cfg.withDefaults()
 	store := cfg.Store
 	if store == nil {
 		store = match.NewServer()
@@ -102,12 +139,16 @@ func New(cfg Config) (*Server, error) {
 	// is a gauge: computed on scrape, not on the hot path.
 	reg.RegisterGauge("bucket_stats", func() any { return store.BucketStats() })
 	reg.RegisterGauge("shards", func() any { return store.NumShards() })
-	return &Server{
-		cfg:     cfg.withDefaults(),
+	s := &Server{
+		cfg:     cfg,
 		store:   store,
 		metrics: reg,
-		conns:   make(map[net.Conn]struct{}),
-	}, nil
+		conns:   make(map[net.Conn]*connState),
+	}
+	if cfg.MaxConns > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConns)
+	}
+	return s, nil
 }
 
 // Store exposes the matching store (for in-process inspection and tests).
@@ -132,19 +173,35 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-// Serve accepts connections until the context is cancelled. It returns nil
-// on clean shutdown.
+// Serve accepts connections until the context is cancelled, at which point
+// the server drains gracefully (stop accepting, finish in-flight requests
+// under DrainTimeout, then close). It returns nil on clean shutdown.
 func (s *Server) Serve(ctx context.Context) error {
 	if s.ln == nil {
 		return errors.New("server: Serve before Listen")
 	}
-	go func() {
-		<-ctx.Done()
-		s.Close()
-	}()
+	stop := context.AfterFunc(ctx, func() { s.Shutdown() })
+	defer stop()
 	for {
+		// Backpressure: at the connection cap, stop accepting and wait for
+		// a slot. Dials queue in the kernel backlog; if no slot frees
+		// within AcceptBackoff we accept-and-close pending connections so
+		// their dialers fail fast instead of hanging in the handshake.
+		atCap := false
+		if s.sem != nil {
+			timer := time.NewTimer(s.cfg.AcceptBackoff)
+			select {
+			case s.sem <- struct{}{}:
+				timer.Stop()
+			case <-timer.C:
+				atCap = true
+			}
+		}
 		conn, err := s.ln.Accept()
 		if err != nil {
+			if s.sem != nil && !atCap {
+				<-s.sem
+			}
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
@@ -152,25 +209,50 @@ func (s *Server) Serve(ctx context.Context) error {
 				s.wg.Wait()
 				return nil
 			}
+			// Accept failed while serving: tear down tracked connections
+			// and wait for their handlers, mirroring the clean-shutdown
+			// path, so an accept error never leaks goroutines or conns.
+			s.Close()
+			s.wg.Wait()
 			return fmt.Errorf("server: accept: %w", err)
 		}
+		if atCap {
+			// A slot may have freed while we were parked in Accept.
+			select {
+			case s.sem <- struct{}{}:
+			default:
+				conn.Close()
+				s.metrics.ConnsRejected.Add(1)
+				continue
+			}
+		}
+		st := &connState{}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
+			s.releaseSlot()
 			continue
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = st
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.handle(conn)
+			defer s.releaseSlot()
+			s.handle(conn, st)
 		}()
 	}
 }
 
-// Close stops the listener and all open connections.
+func (s *Server) releaseSlot() {
+	if s.sem != nil {
+		<-s.sem
+	}
+}
+
+// Close stops the listener and all open connections immediately. For a
+// graceful stop, use Shutdown (or cancel Serve's context).
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -187,7 +269,58 @@ func (s *Server) Close() {
 	}
 }
 
-func (s *Server) handle(conn net.Conn) {
+// Shutdown drains the server gracefully: stop accepting, close idle
+// connections, let connections that are mid-request finish and write their
+// response, and force-close whatever is still busy once DrainTimeout
+// expires. It returns nil when every connection drained in time.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	states := make(map[net.Conn]*connState, len(s.conns))
+	for c, st := range s.conns {
+		states[c] = st
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for conn, st := range states {
+		st.mu.Lock()
+		st.closing = true
+		if !st.busy {
+			// Idle: the handler is parked in ReadFrame; unblock it now.
+			conn.Close()
+		}
+		st.mu.Unlock()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(s.cfg.DrainTimeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return nil
+	case <-timer.C:
+		s.mu.Lock()
+		n := len(s.conns)
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.metrics.DrainForcedCloses.Add(uint64(n))
+		<-done
+		return fmt.Errorf("server: drain deadline exceeded; force-closed %d connection(s)", n)
+	}
+}
+
+func (s *Server) handle(conn net.Conn, st *connState) {
 	s.metrics.TotalConns.Add(1)
 	s.metrics.ActiveConns.Add(1)
 	defer func() {
@@ -203,16 +336,77 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		t, payload, err := wire.ReadFrame(conn)
 		if err != nil {
+			if isTimeout(err) {
+				s.metrics.ReadTimeouts.Add(1)
+			}
 			return // EOF, timeout or protocol garbage: drop the connection
 		}
-		if err := s.dispatch(conn, t, payload); err != nil {
+		st.mu.Lock()
+		if st.closing {
+			// Raced the drain boundary: the request arrived as shutdown
+			// closed this (idle) connection. Drop it — the client sees a
+			// connection error and retries if the request was idempotent.
+			st.mu.Unlock()
+			return
+		}
+		st.busy = true
+		st.mu.Unlock()
+
+		derr := s.dispatch(conn, t, payload)
+		fatal := false
+		if derr != nil {
 			s.metrics.Errors.Add(1)
-			s.cfg.Logf("server: %v", err)
-			if werr := s.writeError(conn, err); werr != nil {
-				return
+			s.cfg.Logf("server: %v", derr)
+			var cerr *connError
+			if errors.As(derr, &cerr) {
+				// The response write itself failed; the stream may hold a
+				// partial frame, so the connection is unusable.
+				fatal = true
+			} else if werr := s.writeError(conn, derr); werr != nil {
+				fatal = true
 			}
 		}
+		st.mu.Lock()
+		st.busy = false
+		closing := st.closing
+		st.mu.Unlock()
+		if fatal {
+			return
+		}
+		if closing {
+			s.metrics.ConnsDrained.Add(1)
+			return
+		}
 	}
+}
+
+// connError marks a failure of the connection itself (as opposed to the
+// request), so handle drops the connection instead of trying to send an
+// error frame over a possibly half-written stream.
+type connError struct{ err error }
+
+func (e *connError) Error() string { return e.err.Error() }
+func (e *connError) Unwrap() error { return e.err }
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// writeFrame sends one response frame under the write deadline, so a
+// client that stops draining its socket cannot park this goroutine
+// forever. A failure poisons the stream and is wrapped in connError.
+func (s *Server) writeFrame(conn net.Conn, t wire.MsgType, payload []byte) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+		return &connError{err}
+	}
+	if err := wire.WriteFrame(conn, t, payload); err != nil {
+		if isTimeout(err) {
+			s.metrics.WriteTimeouts.Add(1)
+		}
+		return &connError{err}
+	}
+	return nil
 }
 
 // observe records one operation's count and latency in the registry.
@@ -248,7 +442,7 @@ func (s *Server) dispatch(conn net.Conn, t wire.MsgType, payload []byte) error {
 		if err := s.store.Upload(entry); err != nil {
 			return err
 		}
-		return wire.WriteFrame(conn, wire.TypeUploadResp, nil)
+		return s.writeFrame(conn, wire.TypeUploadResp, nil)
 
 	case wire.TypeRemoveReq:
 		defer s.observe(&s.metrics.Removes, &s.metrics.RemoveLatency, time.Now())
@@ -268,7 +462,7 @@ func (s *Server) dispatch(conn net.Conn, t wire.MsgType, payload []byte) error {
 		if err := s.store.Remove(req.ID); err != nil {
 			return err
 		}
-		return wire.WriteFrame(conn, wire.TypeRemoveResp, nil)
+		return s.writeFrame(conn, wire.TypeRemoveResp, nil)
 
 	case wire.TypeQueryReq:
 		defer s.observe(&s.metrics.Matches, &s.metrics.MatchLatency, time.Now())
@@ -296,12 +490,12 @@ func (s *Server) dispatch(conn net.Conn, t wire.MsgType, payload []byte) error {
 			}
 		}
 		resp := wire.QueryResp{QueryID: req.QueryID, Timestamp: time.Now().Unix(), Results: results}
-		return wire.WriteFrame(conn, wire.TypeQueryResp, resp.Encode())
+		return s.writeFrame(conn, wire.TypeQueryResp, resp.Encode())
 
 	case wire.TypeOPRFKeyReq:
 		pk := s.cfg.OPRF.PublicKey()
 		resp := wire.OPRFKeyResp{N: pk.N, E: uint32(pk.E)}
-		return wire.WriteFrame(conn, wire.TypeOPRFKeyResp, resp.Encode())
+		return s.writeFrame(conn, wire.TypeOPRFKeyResp, resp.Encode())
 
 	case wire.TypeOPRFBatchReq:
 		defer s.observe(&s.metrics.OPRFEvals, &s.metrics.OPRFLatency, time.Now())
@@ -317,7 +511,7 @@ func (s *Server) dispatch(conn net.Conn, t wire.MsgType, payload []byte) error {
 			return err
 		}
 		resp := wire.OPRFBatchResp{Ys: ys}
-		return wire.WriteFrame(conn, wire.TypeOPRFBatchResp, resp.Encode())
+		return s.writeFrame(conn, wire.TypeOPRFBatchResp, resp.Encode())
 
 	case wire.TypeOPRFReq:
 		defer s.observe(&s.metrics.OPRFEvals, &s.metrics.OPRFLatency, time.Now())
@@ -330,7 +524,7 @@ func (s *Server) dispatch(conn net.Conn, t wire.MsgType, payload []byte) error {
 			return err
 		}
 		resp := wire.OPRFResp{Y: y}
-		return wire.WriteFrame(conn, wire.TypeOPRFResp, resp.Encode())
+		return s.writeFrame(conn, wire.TypeOPRFResp, resp.Encode())
 
 	default:
 		return fmt.Errorf("%w: %d", wire.ErrBadType, t)
@@ -339,7 +533,7 @@ func (s *Server) dispatch(conn net.Conn, t wire.MsgType, payload []byte) error {
 
 func (s *Server) writeError(conn net.Conn, err error) error {
 	msg := wire.ErrorMsg{Text: err.Error()}
-	return wire.WriteFrame(conn, wire.TypeError, msg.Encode())
+	return s.writeFrame(conn, wire.TypeError, msg.Encode())
 }
 
 // SelfSignedCert generates an ephemeral ECDSA certificate for the TLS
@@ -351,8 +545,14 @@ func SelfSignedCert() (tls.Certificate, error) {
 	if err != nil {
 		return tls.Certificate{}, fmt.Errorf("server: generating key: %w", err)
 	}
+	// RFC 5280 wants serial numbers unique per issuer; a wall-clock serial
+	// can collide across restarts, so draw 128 random bits instead.
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("server: generating serial: %w", err)
+	}
 	tmpl := x509.Certificate{
-		SerialNumber: big.NewInt(time.Now().UnixNano()),
+		SerialNumber: serial,
 		Subject:      pkix.Name{CommonName: "smatch-server"},
 		NotBefore:    time.Now().Add(-time.Hour),
 		NotAfter:     time.Now().Add(24 * time.Hour),
