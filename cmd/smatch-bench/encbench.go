@@ -1,0 +1,400 @@
+// Client-crypto and upload-path benchmark: measures the OPE engine and
+// the core encryption pipeline cold vs cached vs repeated (ops/sec and
+// allocs/op), plus batched vs single-frame upload throughput against an
+// in-process TLS server, and writes the numbers as JSON (BENCH_enc.json
+// in this repo) so successive PRs can track the perf trajectory.
+//
+//	smatch-bench -enc-bench -enc-out BENCH_enc.json
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/rsa"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/big"
+	mrand "math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smatch/internal/chain"
+	"smatch/internal/client"
+	"smatch/internal/core"
+	"smatch/internal/match"
+	"smatch/internal/ope"
+	"smatch/internal/oprf"
+	"smatch/internal/profile"
+	"smatch/internal/server"
+	"smatch/internal/wal"
+	"smatch/internal/wire"
+)
+
+// encBenchCell is one (op, mode) measurement on a single goroutine so
+// allocs/op is meaningful.
+type encBenchCell struct {
+	Op          string  `json:"op"`
+	Mode        string  `json:"mode"`
+	Ops         int64   `json:"ops"`
+	Seconds     float64 `json:"seconds"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// uploadBenchCell is one (mode, clients) upload-throughput measurement
+// against the in-process TLS server.
+type uploadBenchCell struct {
+	Mode          string  `json:"mode"`
+	Clients       int     `json:"clients"`
+	BatchSize     int     `json:"batch_size"`
+	Entries       int64   `json:"entries"`
+	Seconds       float64 `json:"seconds"`
+	EntriesPerSec float64 `json:"entries_per_sec"`
+}
+
+// encBenchReport is the BENCH_enc.json document.
+type encBenchReport struct {
+	GOMAXPROCS     int               `json:"gomaxprocs"`
+	NumCPU         int               `json:"num_cpu"`
+	PlaintextBits  uint              `json:"plaintext_bits"`
+	CiphertextBits uint              `json:"ciphertext_bits"`
+	DurationPerOp  string            `json:"duration_per_cell"`
+	Caveat         string            `json:"caveat,omitempty"`
+	Enc            []encBenchCell    `json:"enc"`
+	Upload         []uploadBenchCell `json:"upload"`
+}
+
+const (
+	encBenchPBits = 64
+	encBenchCBits = 80
+)
+
+// encCell runs op on one goroutine for roughly dur and reports
+// throughput plus the heap-allocation rate (mallocs per op, measured
+// with runtime.MemStats around the loop).
+func encCell(dur time.Duration, op func(i int64)) encBenchCell {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	deadline := start.Add(dur)
+	var ops int64
+	for time.Now().Before(deadline) {
+		// Amortize the clock check over a small batch.
+		for j := 0; j < 16; j++ {
+			op(ops)
+			ops++
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	return encBenchCell{
+		Ops: ops, Seconds: elapsed,
+		OpsPerSec:   float64(ops) / elapsed,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+	}
+}
+
+// benchPlaintexts pre-generates n distinct plaintexts in [0, 2^bits).
+func benchPlaintexts(n int, bits uint) []*big.Int {
+	rng := mrand.New(mrand.NewSource(17))
+	max := new(big.Int).Lsh(big.NewInt(1), bits)
+	out := make([]*big.Int, n)
+	for i := range out {
+		out[i] = new(big.Int).Rand(rng, max)
+	}
+	return out
+}
+
+func runEncBench(w io.Writer, dur time.Duration, outPath string) error {
+	report := encBenchReport{
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		PlaintextBits:  encBenchPBits,
+		CiphertextBits: encBenchCBits,
+		DurationPerOp:  dur.String(),
+	}
+	if runtime.NumCPU() == 1 {
+		report.Caveat = "single-CPU host: concurrent upload clients timeshare one core; " +
+			"the batching win shown here is round-trip/fsync amortization only"
+	}
+
+	params := ope.Params{PlaintextBits: encBenchPBits, CiphertextBits: encBenchCBits}
+	key := []byte("enc-bench-key")
+	// Working sets: `distinct` defeats the ciphertext LRU (memo-tree hits
+	// only), `repeat` cycles a small set that fits it.
+	distinct := benchPlaintexts(1<<16, encBenchPBits)
+	repeat := distinct[:256]
+
+	// --- OPE engine: cold (cache off) vs warm tree vs LRU repeats ---
+	cold, err := ope.NewSchemeWithCache(key, params, ope.CacheConfig{Disable: true})
+	if err != nil {
+		return err
+	}
+	cell := encCell(dur, func(i int64) {
+		if _, err := cold.Encrypt(distinct[i&0xffff]); err != nil {
+			panic(err)
+		}
+	})
+	cell.Op, cell.Mode = "ope-encrypt", "cold"
+	report.Enc = append(report.Enc, cell)
+
+	warm, err := ope.NewScheme(key, params)
+	if err != nil {
+		return err
+	}
+	cell = encCell(dur, func(i int64) {
+		if _, err := warm.Encrypt(distinct[i&0xffff]); err != nil {
+			panic(err)
+		}
+	})
+	cell.Op, cell.Mode = "ope-encrypt", "memo-tree"
+	report.Enc = append(report.Enc, cell)
+
+	cell = encCell(dur, func(i int64) {
+		if _, err := warm.Encrypt(repeat[i&0xff]); err != nil {
+			panic(err)
+		}
+	})
+	cell.Op, cell.Mode = "ope-encrypt", "lru-repeat"
+	report.Enc = append(report.Enc, cell)
+
+	// --- Core pipeline: Client.Enc and PrepareUpload, cold vs cached ---
+	schema := profile.Schema{Attrs: []profile.AttributeSpec{
+		{Name: "a1", NumValues: 32}, {Name: "a2", NumValues: 32},
+		{Name: "a3", NumValues: 64}, {Name: "a4", NumValues: 64},
+	}}
+	uniform := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = 1 / float64(n)
+		}
+		return out
+	}
+	dist := [][]float64{uniform(32), uniform(32), uniform(64), uniform(64)}
+	rsaKey, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		return err
+	}
+	oprfSrv, err := oprf.NewServerFromKey(rsaKey)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(schema, dist,
+		core.Params{PlaintextBits: encBenchPBits, Theta: 4}, oprfSrv.PublicKey(), nil)
+	if err != nil {
+		return err
+	}
+	p := profile.Profile{ID: 1, Attrs: []int{1, 2, 10, 20}}
+	dev, err := sys.NewClient(oprfSrv, []byte("bench-device"))
+	if err != nil {
+		return err
+	}
+	devKey, err := dev.Keygen(p)
+	if err != nil {
+		return err
+	}
+	mapped, err := dev.InitData(p)
+	if err != nil {
+		return err
+	}
+
+	// Cold: a fresh Client per op rebuilds the OPE scheme and chain codec.
+	cell = encCell(dur, func(i int64) {
+		c, err := sys.NewClient(oprfSrv, []byte("bench-device"))
+		if err != nil {
+			panic(err)
+		}
+		if _, err := c.Enc(devKey, p.ID, mapped); err != nil {
+			panic(err)
+		}
+	})
+	cell.Op, cell.Mode = "client-enc", "cold"
+	report.Enc = append(report.Enc, cell)
+
+	// Cached: one Client reuses the per-key scheme+codec across ops.
+	cell = encCell(dur, func(i int64) {
+		if _, err := dev.Enc(devKey, p.ID, mapped); err != nil {
+			panic(err)
+		}
+	})
+	cell.Op, cell.Mode = "client-enc", "cached"
+	report.Enc = append(report.Enc, cell)
+
+	// PrepareUpload includes the OPRF keygen round, so the cache win is
+	// diluted by RSA; both modes are reported for the end-to-end picture.
+	cell = encCell(dur, func(i int64) {
+		c, err := sys.NewClient(oprfSrv, []byte("bench-device"))
+		if err != nil {
+			panic(err)
+		}
+		if _, _, err := c.PrepareUpload(p); err != nil {
+			panic(err)
+		}
+	})
+	cell.Op, cell.Mode = "prepare-upload", "cold"
+	report.Enc = append(report.Enc, cell)
+
+	cell = encCell(dur, func(i int64) {
+		if _, _, err := dev.PrepareUpload(p); err != nil {
+			panic(err)
+		}
+	})
+	cell.Op, cell.Mode = "prepare-upload", "cached"
+	report.Enc = append(report.Enc, cell)
+
+	for _, c := range report.Enc {
+		fmt.Fprintf(w, "%-14s %-10s %12.0f ops/sec %10.1f allocs/op\n",
+			c.Op, c.Mode, c.OpsPerSec, c.AllocsPerOp)
+	}
+
+	// --- Upload throughput: single frames vs 64-entry batches, 8 clients ---
+	for _, mode := range []struct {
+		name  string
+		batch int
+	}{{"single", 1}, {"batch", 64}} {
+		cell, err := runUploadThroughput(dur, 8, mode.batch)
+		if err != nil {
+			return err
+		}
+		cell.Mode = mode.name
+		report.Upload = append(report.Upload, cell)
+		fmt.Fprintf(w, "upload %-8s clients=%d batch=%-3d %12.0f entries/sec\n",
+			cell.Mode, cell.Clients, cell.BatchSize, cell.EntriesPerSec)
+	}
+
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, doc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// runUploadThroughput measures sustained upload entries/sec against an
+// in-process TLS server backed by a real (fsyncing, group-committed) WAL:
+// nClients goroutines each push pre-built entries either one frame per
+// entry (batch == 1) or batch entries per frame.
+func runUploadThroughput(dur time.Duration, nClients, batch int) (uploadBenchCell, error) {
+	if batch < 1 || batch > wire.MaxUploadBatch {
+		return uploadBenchCell{}, fmt.Errorf("batch %d out of range [1, %d]", batch, wire.MaxUploadBatch)
+	}
+	dir, err := os.MkdirTemp("", "smatch-enc-bench-wal-")
+	if err != nil {
+		return uploadBenchCell{}, err
+	}
+	defer os.RemoveAll(dir)
+	journal, store, _, err := server.OpenJournal(wal.Options{Dir: dir})
+	if err != nil {
+		return uploadBenchCell{}, err
+	}
+	defer journal.Close()
+	rsaKey, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		return uploadBenchCell{}, err
+	}
+	oprfSrv, err := oprf.NewServerFromKey(rsaKey)
+	if err != nil {
+		return uploadBenchCell{}, err
+	}
+	srv, err := server.New(server.Config{
+		OPRF: oprfSrv, ReadTimeout: 30 * time.Second, Store: store, Journal: journal,
+	})
+	if err != nil {
+		return uploadBenchCell{}, err
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return uploadBenchCell{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	defer func() {
+		cancel()
+		<-done
+	}()
+
+	mkEntry := func(id profile.ID, bucket, sum int64) match.Entry {
+		return match.Entry{
+			ID:      id,
+			KeyHash: []byte(fmt.Sprintf("enc-bench-%03d", bucket)),
+			Chain:   &chain.Chain{Cts: []*big.Int{big.NewInt(sum)}, CtBits: 48},
+			Auth:    []byte("bench-auth"),
+		}
+	}
+
+	var (
+		stop  atomic.Bool
+		total atomic.Int64
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if first == nil {
+			first = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	start := time.Now()
+	for g := 0; g < nClients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn, err := client.Dial(addr.String(), client.Options{Timeout: 30 * time.Second})
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer conn.Close()
+			rng := mrand.New(mrand.NewSource(int64(g) + 1))
+			// Disjoint ID ranges per goroutine, fresh IDs per iteration.
+			base := int64(g)*100_000_000 + 1
+			var sent int64
+			entries := make([]match.Entry, 0, batch)
+			for !stop.Load() {
+				entries = entries[:0]
+				for j := 0; j < batch; j++ {
+					entries = append(entries,
+						mkEntry(profile.ID(base+sent+int64(j)), rng.Int63n(64), rng.Int63n(1<<30)))
+				}
+				if batch == 1 {
+					err = conn.Upload(entries[0])
+				} else {
+					_, err = conn.UploadBatch(entries)
+				}
+				if err != nil {
+					fail(err)
+					return
+				}
+				sent += int64(batch)
+			}
+			total.Add(sent)
+		}(g)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if first != nil {
+		return uploadBenchCell{}, first
+	}
+	return uploadBenchCell{
+		Clients: nClients, BatchSize: batch,
+		Entries: total.Load(), Seconds: elapsed,
+		EntriesPerSec: float64(total.Load()) / elapsed,
+	}, nil
+}

@@ -23,6 +23,13 @@
 // appends/sec with group commit vs one fsync per append, again at 1, 8
 // and 32 goroutines); -wal-out writes the JSON report that is committed
 // as BENCH_wal.json.
+//
+// -enc-bench switches to the client-crypto benchmark (OPE Encrypt and
+// Client.Enc/PrepareUpload ops/sec and allocs/op, cold caches vs warm
+// memo tree vs repeated plaintexts, plus batched vs single-frame upload
+// throughput at 8 concurrent clients against an in-process WAL-backed
+// server); -enc-out writes the JSON report that is committed as
+// BENCH_enc.json.
 package main
 
 import (
@@ -51,6 +58,9 @@ func main() {
 		walBench   = flag.Bool("wal-bench", false, "run the write-ahead-log append benchmark instead of the paper experiments")
 		walDur     = flag.Duration("wal-dur", 500*time.Millisecond, "measurement window per wal-bench cell")
 		walOut     = flag.String("wal-out", "", "write the wal-bench JSON report to this file (e.g. BENCH_wal.json)")
+		encBench   = flag.Bool("enc-bench", false, "run the client-crypto + upload-path benchmark instead of the paper experiments")
+		encDur     = flag.Duration("enc-dur", 500*time.Millisecond, "measurement window per enc-bench cell")
+		encOut     = flag.String("enc-out", "", "write the enc-bench JSON report to this file (e.g. BENCH_enc.json)")
 	)
 	flag.Parse()
 
@@ -63,6 +73,13 @@ func main() {
 	}
 	if *walBench {
 		if err := runWALBench(os.Stdout, *walDur, *walOut, []int{1, 8, 32}); err != nil {
+			fmt.Fprintln(os.Stderr, "smatch-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *encBench {
+		if err := runEncBench(os.Stdout, *encDur, *encOut); err != nil {
 			fmt.Fprintln(os.Stderr, "smatch-bench:", err)
 			os.Exit(1)
 		}

@@ -21,14 +21,17 @@ import (
 	"smatch/internal/client"
 	"smatch/internal/core"
 	"smatch/internal/dataset"
+	"smatch/internal/match"
 	"smatch/internal/profile"
+	"smatch/internal/wire"
 )
 
 func main() {
 	var (
 		server  = flag.String("server", "127.0.0.1:7788", "server address")
 		dsName  = flag.String("dataset", "Infocom06", "deployment dataset (Infocom06, Sigcomm09, Weibo)")
-		cmd     = flag.String("cmd", "", "upload | upload-all | query | remove")
+		cmd     = flag.String("cmd", "", "upload | upload-all | upload-batch | query | remove")
+		batch   = flag.Int("batch", 64, "entries per frame for -cmd upload-batch")
 		userID  = flag.Uint("user", 1, "user ID within the dataset")
 		topK    = flag.Int("topk", core.DefaultTopK, "results per query")
 		theta   = flag.Int("theta", 8, "RS decoder threshold")
@@ -40,13 +43,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*server, *dsName, *cmd, profile.ID(*userID), *topK, *theta, *kBits, *verify, *timeout, *retries, *backoff); err != nil {
+	if err := run(*server, *dsName, *cmd, profile.ID(*userID), *topK, *theta, *kBits, *batch, *verify, *timeout, *retries, *backoff); err != nil {
 		fmt.Fprintln(os.Stderr, "smatch-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, dsName, cmd string, userID profile.ID, topK, theta int, kBits uint, verify bool, timeout time.Duration, retries int, backoff time.Duration) error {
+func run(server, dsName, cmd string, userID profile.ID, topK, theta int, kBits uint, batch int, verify bool, timeout time.Duration, retries int, backoff time.Duration) error {
 	ds, err := dataset.ByName(dsName)
 	if err != nil {
 		return err
@@ -117,6 +120,48 @@ func run(server, dsName, cmd string, userID profile.ID, topK, theta int, kBits u
 		fmt.Printf("uploaded %d users from %s in %v\n", len(ds.Profiles), dsName, time.Since(start).Round(time.Millisecond))
 		return nil
 
+	case "upload-batch":
+		// Same dataset as upload-all, but batched: N entries per frame
+		// means one round trip and one WAL fsync per batch instead of per
+		// user.
+		if batch < 1 || batch > wire.MaxUploadBatch {
+			return fmt.Errorf("-batch %d out of range [1, %d]", batch, wire.MaxUploadBatch)
+		}
+		start := time.Now()
+		entries := make([]match.Entry, 0, batch)
+		flush := func() error {
+			if len(entries) == 0 {
+				return nil
+			}
+			if _, err := conn.UploadBatch(entries); err != nil {
+				return err
+			}
+			entries = entries[:0]
+			return nil
+		}
+		for _, p := range ds.Profiles {
+			dev, err := device(p.ID)
+			if err != nil {
+				return err
+			}
+			entry, _, err := dev.PrepareUpload(p)
+			if err != nil {
+				return fmt.Errorf("user %d: %w", p.ID, err)
+			}
+			entries = append(entries, entry)
+			if len(entries) == batch {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		fmt.Printf("batch-uploaded %d users from %s in %v (%d per frame)\n",
+			len(ds.Profiles), dsName, time.Since(start).Round(time.Millisecond), batch)
+		return nil
+
 	case "query":
 		p, err := userProfile(userID)
 		if err != nil {
@@ -161,6 +206,6 @@ func run(server, dsName, cmd string, userID profile.ID, topK, theta int, kBits u
 		return nil
 
 	default:
-		return fmt.Errorf("unknown -cmd %q (want upload, upload-all, query or remove)", cmd)
+		return fmt.Errorf("unknown -cmd %q (want upload, upload-all, upload-batch, query or remove)", cmd)
 	}
 }

@@ -1,36 +1,47 @@
 // Command smatch-datagen emits or inspects the synthetic evaluation
-// datasets (the Table II stand-ins).
+// datasets (the Table II stand-ins), and can bulk-load one into a running
+// server over the batched upload path.
 //
 //	smatch-datagen -dataset Weibo -nodes 5000 -out weibo.csv
 //	smatch-datagen -dataset Infocom06 -stats
 //	smatch-datagen -in mydump.csv -stats   # analyze an external profile dump
+//	smatch-datagen -dataset Weibo -nodes 2000 -upload 127.0.0.1:7788
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"smatch/internal/client"
+	"smatch/internal/core"
 	"smatch/internal/dataset"
+	"smatch/internal/match"
+	"smatch/internal/wire"
 )
 
 func main() {
 	var (
-		name  = flag.String("dataset", "Infocom06", "dataset (Infocom06, Sigcomm09, Weibo)")
-		nodes = flag.Int("nodes", 0, "override node count (Weibo only; 0 = default)")
-		out   = flag.String("out", "-", "output CSV path, - for stdout")
-		stats = flag.Bool("stats", false, "print Table II statistics instead of profiles")
-		in    = flag.String("in", "", "load an external CSV dump instead of generating")
+		name   = flag.String("dataset", "Infocom06", "dataset (Infocom06, Sigcomm09, Weibo)")
+		nodes  = flag.Int("nodes", 0, "override node count (Weibo only; 0 = default)")
+		out    = flag.String("out", "-", "output CSV path, - for stdout")
+		stats  = flag.Bool("stats", false, "print Table II statistics instead of profiles")
+		in     = flag.String("in", "", "load an external CSV dump instead of generating")
+		upload = flag.String("upload", "", "bulk-load the dataset into the server at this address (batched uploads) instead of writing CSV")
+		batch  = flag.Int("batch", 128, "entries per frame for -upload")
+		kBits  = flag.Uint("k", 64, "plaintext size in bits for -upload")
+		theta  = flag.Int("theta", 8, "RS decoder threshold for -upload")
 	)
 	flag.Parse()
 
-	if err := run(*name, *nodes, *out, *stats, *in); err != nil {
+	if err := run(*name, *nodes, *out, *stats, *in, *upload, *batch, *kBits, *theta); err != nil {
 		fmt.Fprintln(os.Stderr, "smatch-datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, nodes int, out string, stats bool, in string) error {
+func run(name string, nodes int, out string, stats bool, in, upload string, batch int, kBits uint, theta int) error {
 	var ds *dataset.Dataset
 	switch {
 	case in != "":
@@ -67,6 +78,10 @@ func run(name string, nodes int, out string, stats bool, in string) error {
 		return nil
 	}
 
+	if upload != "" {
+		return bulkLoad(ds, upload, batch, kBits, theta)
+	}
+
 	if out == "-" {
 		return ds.WriteCSV(os.Stdout)
 	}
@@ -76,4 +91,66 @@ func run(name string, nodes int, out string, stats bool, in string) error {
 	}
 	defer f.Close()
 	return ds.WriteCSV(f)
+}
+
+// bulkLoad pushes the whole dataset into a running server through the
+// batched upload path: entries are prepared with the full client pipeline
+// (OPRF keygen over the wire, entropy mapping, chaining, OPE) and sent
+// wire.MaxUploadBatch-bounded frames at a time — one round trip and one
+// group-committed WAL fsync per frame instead of per user. Device secrets
+// match smatch-client's ("device-<dataset>-<id>"), so a loaded server
+// answers smatch-client queries for the same dataset.
+func bulkLoad(ds *dataset.Dataset, addr string, batch int, kBits uint, theta int) error {
+	if batch < 1 || batch > wire.MaxUploadBatch {
+		return fmt.Errorf("-batch %d out of range [1, %d]", batch, wire.MaxUploadBatch)
+	}
+	conn, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	oprfPK, err := conn.OPRFPublicKey()
+	if err != nil {
+		return fmt.Errorf("fetching OPRF key: %w", err)
+	}
+	sys, err := core.NewSystem(ds.Schema, ds.EmpiricalDist(),
+		core.Params{PlaintextBits: kBits, Theta: theta}, oprfPK, nil)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	entries := make([]match.Entry, 0, batch)
+	flush := func() error {
+		if len(entries) == 0 {
+			return nil
+		}
+		if _, err := conn.UploadBatch(entries); err != nil {
+			return err
+		}
+		entries = entries[:0]
+		return nil
+	}
+	for _, p := range ds.Profiles {
+		dev, err := sys.NewClient(conn, []byte(fmt.Sprintf("device-%s-%d", ds.Name, p.ID)))
+		if err != nil {
+			return err
+		}
+		entry, _, err := dev.PrepareUpload(p)
+		if err != nil {
+			return fmt.Errorf("user %d: %w", p.ID, err)
+		}
+		entries = append(entries, entry)
+		if len(entries) == batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	fmt.Printf("bulk-loaded %d users from %s into %s in %v (%d per frame)\n",
+		len(ds.Profiles), ds.Name, addr, time.Since(start).Round(time.Millisecond), batch)
+	return nil
 }

@@ -8,14 +8,14 @@ import (
 )
 
 func TestRunStats(t *testing.T) {
-	if err := run("Infocom06", 0, "-", true, ""); err != nil {
+	if err := run("Infocom06", 0, "-", true, "", "", 128, 64, 8); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCSVToFile(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "ds.csv")
-	if err := run("Sigcomm09", 0, out, false, ""); err != nil {
+	if err := run("Sigcomm09", 0, out, false, "", "", 128, 64, 8); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -36,7 +36,7 @@ func TestRunCSVToFile(t *testing.T) {
 
 func TestRunWeiboScaled(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "weibo.csv")
-	if err := run("Weibo", 123, out, false, ""); err != nil {
+	if err := run("Weibo", 123, out, false, "", "", 128, 64, 8); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -50,21 +50,21 @@ func TestRunWeiboScaled(t *testing.T) {
 }
 
 func TestRunUnknownDataset(t *testing.T) {
-	if err := run("MySpace", 0, "-", true, ""); err == nil {
+	if err := run("MySpace", 0, "-", true, "", "", 128, 64, 8); err == nil {
 		t.Error("unknown dataset accepted")
 	}
 }
 
 func TestRunLoadExternalCSV(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "dump.csv")
-	if err := run("Infocom06", 0, out, false, ""); err != nil {
+	if err := run("Infocom06", 0, out, false, "", "", 128, 64, 8); err != nil {
 		t.Fatal(err)
 	}
 	// Reload the dump and print its stats.
-	if err := run("", 0, "-", true, out); err != nil {
+	if err := run("", 0, "-", true, out, "", 128, 64, 8); err != nil {
 		t.Fatalf("loading external CSV: %v", err)
 	}
-	if err := run("", 0, "-", true, filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+	if err := run("", 0, "-", true, filepath.Join(t.TempDir(), "missing.csv"), "", 128, 64, 8); err == nil {
 		t.Error("missing input file accepted")
 	}
 }

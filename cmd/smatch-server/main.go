@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -57,16 +58,17 @@ func main() {
 		storePath    = flag.String("store", "", "snapshot file: restored at startup, saved on shutdown and every 5 minutes")
 		walDir       = flag.String("wal", "", "write-ahead log directory: journal every mutation before acknowledging it, recover checkpoint+log at startup")
 		metricsAddr  = flag.String("metrics", "", "serve GET /metrics (JSON) on this address; empty disables the endpoint")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (debug only — keep it on localhost, e.g. 127.0.0.1:6060); empty disables the endpoint")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *oprfBits, *maxTopK, *maxConns, *writeTimeout, *drainTimeout, *storePath, *walDir, *metricsAddr); err != nil {
+	if err := run(*listen, *oprfBits, *maxTopK, *maxConns, *writeTimeout, *drainTimeout, *storePath, *walDir, *metricsAddr, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "smatch-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, oprfBits, maxTopK, maxConns int, writeTimeout, drainTimeout time.Duration, storePath, walDir, metricsAddr string) error {
+func run(listen string, oprfBits, maxTopK, maxConns int, writeTimeout, drainTimeout time.Duration, storePath, walDir, metricsAddr, pprofAddr string) error {
 	log.Printf("generating %d-bit RSA-OPRF key...", oprfBits)
 	oprfSrv, err := oprf.NewServer(oprfBits)
 	if err != nil {
@@ -122,6 +124,32 @@ func run(listen string, oprfBits, maxTopK, maxConns int, writeTimeout, drainTime
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()
 			_ = msrv.Shutdown(shutdownCtx)
+		}()
+	}
+
+	if pprofAddr != "" {
+		// Debug-only profiling endpoint (CPU/heap/goroutine/block profiles
+		// for `go tool pprof`). It exposes internals and serves uncapped
+		// work, so bind it to localhost; it is intentionally separate from
+		// -metrics, which is safe to scrape in production.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: pprofAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/ (debug only)", pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		go func() {
+			<-ctx.Done()
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = psrv.Shutdown(shutdownCtx)
 		}()
 	}
 

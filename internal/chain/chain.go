@@ -83,9 +83,9 @@ func ctBytes(ctBits uint) int { return int(ctBits+7) / 8 }
 // layout the wire protocol and the communication-cost accounting use.
 func (ch *Chain) Bytes() []byte {
 	w := ctBytes(ch.CtBits)
-	out := make([]byte, 0, w*len(ch.Cts))
-	for _, ct := range ch.Cts {
-		out = append(out, ct.FillBytes(make([]byte, w))...)
+	out := make([]byte, w*len(ch.Cts))
+	for i, ct := range ch.Cts {
+		ct.FillBytes(out[i*w : (i+1)*w])
 	}
 	return out
 }

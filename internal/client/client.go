@@ -301,7 +301,18 @@ func (c *Conn) exchangeLocked(t wire.MsgType, payload []byte, wantType wire.MsgT
 // applied the mutation, so the error is surfaced to the caller (the
 // connection itself recovers — the next request redials).
 func (c *Conn) Upload(e match.Entry) error {
-	req := wire.UploadReq{
+	req := uploadReqOf(e)
+	_, err := c.roundTrip(wire.TypeUploadReq, req.Encode(), wire.TypeUploadResp, false)
+	return err
+}
+
+// ErrBatchRejected reports a batch upload where the server rejected at
+// least one entry; the per-entry reasons are in UploadBatchResult.
+var ErrBatchRejected = errors.New("client: batch entries rejected")
+
+// uploadReqOf converts a store entry to its wire request.
+func uploadReqOf(e match.Entry) wire.UploadReq {
+	return wire.UploadReq{
 		ID:       e.ID,
 		KeyHash:  e.KeyHash,
 		CtBits:   uint32(e.Chain.CtBits),
@@ -309,8 +320,48 @@ func (c *Conn) Upload(e match.Entry) error {
 		Chain:    e.Chain.Bytes(),
 		Auth:     e.Auth,
 	}
-	_, err := c.roundTrip(wire.TypeUploadReq, req.Encode(), wire.TypeUploadResp, false)
-	return err
+}
+
+// UploadBatch sends up to wire.MaxUploadBatch encrypted profile records in
+// one frame: one round trip and, on a WAL-backed server, one
+// group-committed fsync for the whole batch. Like Upload it is never
+// retried automatically. Status[i] is empty when entry i was applied; if
+// any entry was rejected the error wraps ErrBatchRejected and the returned
+// statuses say why, entry by entry (the accepted entries are still
+// applied).
+func (c *Conn) UploadBatch(entries []match.Entry) ([]string, error) {
+	if len(entries) == 0 {
+		return nil, errors.New("client: empty upload batch")
+	}
+	if len(entries) > wire.MaxUploadBatch {
+		return nil, fmt.Errorf("client: upload batch of %d exceeds limit %d", len(entries), wire.MaxUploadBatch)
+	}
+	req := wire.UploadBatchReq{Entries: make([]wire.UploadReq, len(entries))}
+	for i, e := range entries {
+		req.Entries[i] = uploadReqOf(e)
+	}
+	payload, err := c.roundTrip(wire.TypeUploadBatchReq, req.Encode(), wire.TypeUploadBatchResp, false)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeUploadBatchResp(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Status) != len(entries) {
+		c.markBroken()
+		return nil, fmt.Errorf("client: batch returned %d statuses for %d entries", len(resp.Status), len(entries))
+	}
+	if !resp.OK() {
+		rejected := 0
+		for _, s := range resp.Status {
+			if s != "" {
+				rejected++
+			}
+		}
+		return resp.Status, fmt.Errorf("%w: %d of %d", ErrBatchRejected, rejected, len(entries))
+	}
+	return resp.Status, nil
 }
 
 // Remove deletes the user's stored record from the server (opt-out or

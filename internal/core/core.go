@@ -11,9 +11,11 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 
 	"smatch/internal/chain"
 	"smatch/internal/entropy"
@@ -151,6 +153,69 @@ type Client struct {
 	sys    *System
 	gen    *keygen.Generator
 	secret []byte
+
+	// encMu guards encStates, the per-profile-key encryption pipeline
+	// cache. Rebuilding an ope.Scheme per Enc call would discard the
+	// scheme's memoized recursion tree exactly when it pays off — repeated
+	// encryptions under the same key — so the Client keeps the
+	// Scheme+Codec pair alive across Enc/PrepareUpload calls, keyed by
+	// h(Kup). A device only handles a handful of keys (its own profile
+	// plus multi-probe query candidates), so the cache is small and
+	// evicts arbitrarily past its bound.
+	encMu     sync.Mutex
+	encStates map[[32]byte]*encState
+}
+
+// encState is one profile key's ready-to-use encryption pipeline.
+type encState struct {
+	scheme *ope.Scheme
+	codec  *chain.Codec
+}
+
+// maxEncStates bounds the per-key pipeline cache. Each entry holds a memo
+// tree (bounded by ope.DefaultNodeBudget) and an LRU, so the bound also
+// caps the Client's cache memory.
+const maxEncStates = 16
+
+// encFor returns the cached Scheme+Codec for key, building it on first
+// use.
+func (c *Client) encFor(key *keygen.Key) (*encState, error) {
+	var kh [32]byte
+	copy(kh[:], key.Hash())
+	c.encMu.Lock()
+	st, ok := c.encStates[kh]
+	c.encMu.Unlock()
+	if ok {
+		return st, nil
+	}
+	scheme, err := ope.NewScheme(key.Bytes(), ope.Params{
+		PlaintextBits:  c.sys.params.PlaintextBits,
+		CiphertextBits: c.sys.params.CiphertextBits,
+	})
+	if err != nil {
+		return nil, err
+	}
+	codec, err := chain.NewCodec(scheme)
+	if err != nil {
+		return nil, err
+	}
+	st = &encState{scheme: scheme, codec: codec}
+	c.encMu.Lock()
+	if existing, ok := c.encStates[kh]; ok {
+		// Lost a build race; keep the published pipeline so every caller
+		// shares one memo tree.
+		st = existing
+	} else {
+		if len(c.encStates) >= maxEncStates {
+			for k := range c.encStates {
+				delete(c.encStates, k)
+				break
+			}
+		}
+		c.encStates[kh] = st
+	}
+	c.encMu.Unlock()
+	return st, nil
 }
 
 // NewClient binds a device to the system. eval is the OPRF transport (the
@@ -166,7 +231,12 @@ func (s *System) NewClient(eval oprf.Evaluator, secret []byte) (*Client, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Client{sys: s, gen: gen, secret: append([]byte(nil), secret...)}, nil
+	return &Client{
+		sys:       s,
+		gen:       gen,
+		secret:    append([]byte(nil), secret...),
+		encStates: make(map[[32]byte]*encState),
+	}, nil
 }
 
 // Keygen derives the user's profile key Kup (Figure 3, Algorithm Keygen).
@@ -184,8 +254,16 @@ func (c *Client) InitData(p profile.Profile) ([]*big.Int, error) {
 		return nil, err
 	}
 	mapped := make([]*big.Int, len(p.Attrs))
+	// Fixed-width binary PRF label ("map\x00" + BE32(user) + BE32(attr)),
+	// built once on the stack instead of a fmt.Sprintf per attribute; the
+	// PRF copies the label, so the buffer is safely reused across
+	// iterations. Still unique per (device, user, attribute).
+	var label [12]byte
+	copy(label[:4], "map\x00")
+	binary.BigEndian.PutUint32(label[4:8], uint32(p.ID))
 	for i, v := range p.Attrs {
-		coins := prf.New(c.secret, []byte(fmt.Sprintf("map/%d/%d", p.ID, i)))
+		binary.BigEndian.PutUint32(label[8:12], uint32(i))
+		coins := prf.New(c.secret, label[:])
 		s, err := c.sys.mappers[i].Map(v, coins)
 		if err != nil {
 			return nil, fmt.Errorf("core: mapping attribute %d: %w", i, err)
@@ -199,19 +277,16 @@ func (c *Client) InitData(p profile.Profile) ([]*big.Int, error) {
 // OPE-encrypts them under the profile key (Figure 3, Algorithm InitData
 // step 2 + Algorithm Enc).
 func (c *Client) Enc(key *keygen.Key, id profile.ID, mapped []*big.Int) (*chain.Chain, error) {
-	scheme, err := ope.NewScheme(key.Bytes(), ope.Params{
-		PlaintextBits:  c.sys.params.PlaintextBits,
-		CiphertextBits: c.sys.params.CiphertextBits,
-	})
+	st, err := c.encFor(key)
 	if err != nil {
 		return nil, err
 	}
-	codec, err := chain.NewCodec(scheme)
-	if err != nil {
-		return nil, err
-	}
-	permCoins := prf.New(c.secret, []byte(fmt.Sprintf("perm/%d", id)))
-	return codec.Seal(mapped, permCoins)
+	// Fixed-width binary PRF label ("perm" + BE32(user)); see InitData.
+	var label [8]byte
+	copy(label[:4], "perm")
+	binary.BigEndian.PutUint32(label[4:8], uint32(id))
+	permCoins := prf.New(c.secret, label[:])
+	return st.codec.Seal(mapped, permCoins)
 }
 
 // KeygenCandidates derives the primary profile key plus up to maxProbes

@@ -339,6 +339,7 @@ func nearest(bucket []*stored, me *stored, k int) []Result {
 	}
 	results := make([]Result, 0, k)
 	lo, hi := idx-1, idx+1
+	var dLo, dHi big.Int // scratch: reused across every expansion step
 	for len(results) < k && (lo >= 0 || hi < len(bucket)) {
 		var pick *stored
 		switch {
@@ -347,9 +348,9 @@ func nearest(bucket []*stored, me *stored, k int) []Result {
 		case hi >= len(bucket):
 			pick, lo = bucket[lo], lo-1
 		default:
-			dLo := new(big.Int).Sub(me.orderSum, bucket[lo].orderSum)
-			dHi := new(big.Int).Sub(bucket[hi].orderSum, me.orderSum)
-			if dLo.CmpAbs(dHi) <= 0 {
+			dLo.Sub(me.orderSum, bucket[lo].orderSum)
+			dHi.Sub(bucket[hi].orderSum, me.orderSum)
+			if dLo.CmpAbs(&dHi) <= 0 {
 				pick, lo = bucket[lo], lo-1
 			} else {
 				pick, hi = bucket[hi], hi+1
@@ -451,11 +452,19 @@ type scored struct {
 }
 
 func appendScored(pool []scored, bucket []*stored, me *stored) []scored {
+	// One backing array for every distance in this bucket instead of one
+	// heap allocation per candidate. Capacity is exact and indexed, never
+	// append-grown: a realloc would orphan the *big.Int pointers already
+	// stored in pool.
+	dists := make([]big.Int, len(bucket))
+	n := 0
 	for _, rec := range bucket {
 		if rec == me {
 			continue
 		}
-		d := new(big.Int).Sub(rec.orderSum, me.orderSum)
+		d := &dists[n]
+		n++
+		d.Sub(rec.orderSum, me.orderSum)
 		pool = append(pool, scored{rec: rec, dist: d.Abs(d)})
 	}
 	return pool

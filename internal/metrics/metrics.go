@@ -118,16 +118,49 @@ func quantile(counts []uint64, total uint64, q float64) float64 {
 	return math.Exp2(float64(len(counts) - 1))
 }
 
+// OPECacheCounters aggregates the client-side OPE encryption engine's
+// memoization statistics: recursion-tree node hits and misses (a hit skips
+// the per-level SHA-256 coin derivations entirely), node insertions and
+// budget rejections (the tree is bounded; a reject means the descent fell
+// off the cached prefix and kept computing without growing the tree), and
+// the plaintext→ciphertext LRU's hits, misses and evictions. An ope.Scheme
+// built with CacheConfig.Counters pointing here records into these fields;
+// the zero value is ready to use.
+type OPECacheCounters struct {
+	NodeHits     atomic.Uint64
+	NodeMisses   atomic.Uint64
+	NodeInserts  atomic.Uint64
+	NodeRejects  atomic.Uint64
+	LRUHits      atomic.Uint64
+	LRUMisses    atomic.Uint64
+	LRUEvictions atomic.Uint64
+}
+
+// Snapshot renders the cache counters as a JSON-ready map.
+func (c *OPECacheCounters) Snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"node_hits":     c.NodeHits.Load(),
+		"node_misses":   c.NodeMisses.Load(),
+		"node_inserts":  c.NodeInserts.Load(),
+		"node_rejects":  c.NodeRejects.Load(),
+		"lru_hits":      c.LRUHits.Load(),
+		"lru_misses":    c.LRUMisses.Load(),
+		"lru_evictions": c.LRUEvictions.Load(),
+	}
+}
+
 // Registry aggregates the server's counters, histograms and gauges.
 type Registry struct {
 	start time.Time
 
-	// Operation counters.
-	Uploads   atomic.Uint64
-	Matches   atomic.Uint64
-	Removes   atomic.Uint64
-	OPRFEvals atomic.Uint64
-	Errors    atomic.Uint64
+	// Operation counters. Uploads counts applied entries (a batch frame of
+	// N entries adds N); UploadBatches counts batch frames.
+	Uploads       atomic.Uint64
+	UploadBatches atomic.Uint64
+	Matches       atomic.Uint64
+	Removes       atomic.Uint64
+	OPRFEvals     atomic.Uint64
+	Errors        atomic.Uint64
 
 	// Connection gauges.
 	ActiveConns atomic.Int64
@@ -156,11 +189,18 @@ type Registry struct {
 	ClientReconnects  atomic.Uint64
 	ClientRetries     atomic.Uint64
 
-	// Per-operation latency.
-	UploadLatency Histogram
-	MatchLatency  Histogram
-	RemoveLatency Histogram
-	OPRFLatency   Histogram
+	// Per-operation latency. UploadBatchSize records entries per batch
+	// frame (ObserveValue).
+	UploadLatency   Histogram
+	MatchLatency    Histogram
+	RemoveLatency   Histogram
+	OPRFLatency     Histogram
+	UploadBatchSize Histogram
+
+	// OPECache holds the client-side OPE encryption engine's memoization
+	// counters (populated when an ope.Scheme is built with these counters —
+	// e.g. a load generator exporting its own /metrics).
+	OPECache OPECacheCounters
 
 	// Write-ahead log durability counters (populated when the server runs
 	// with -wal). Appends and fsyncs diverge under group commit: one
@@ -196,6 +236,7 @@ func (r *Registry) Snapshot() map[string]any {
 	out := map[string]any{
 		"uptime_seconds": time.Since(r.start).Seconds(),
 		"uploads":        r.Uploads.Load(),
+		"upload_batches": r.UploadBatches.Load(),
 		"matches":        r.Matches.Load(),
 		"removes":        r.Removes.Load(),
 		"oprf_evals":     r.OPRFEvals.Load(),
@@ -216,6 +257,8 @@ func (r *Registry) Snapshot() map[string]any {
 		"match_latency":       r.MatchLatency.Snapshot(),
 		"remove_latency":      r.RemoveLatency.Snapshot(),
 		"oprf_latency":        r.OPRFLatency.Snapshot(),
+		"upload_batch_size":   r.UploadBatchSize.ValueSnapshot(),
+		"ope_cache":           r.OPECache.Snapshot(),
 
 		"wal_appends":        r.WALAppends.Load(),
 		"wal_appended_bytes": r.WALAppendedBytes.Load(),

@@ -1,0 +1,248 @@
+package ope
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// uncachedScheme builds a reference Scheme with every cache layer off:
+// no memo tree, no ciphertext LRU — every Encrypt recomputes the full
+// descent from the root seed.
+func uncachedScheme(t testing.TB, key string, p Params) *Scheme {
+	t.Helper()
+	s, err := NewSchemeWithCache([]byte(key), p, CacheConfig{Disable: true})
+	if err != nil {
+		t.Fatalf("NewSchemeWithCache: %v", err)
+	}
+	return s
+}
+
+// TestCachedMatchesUncached is the differential equivalence suite: for a
+// sweep of parameter configurations (including the N == M identity
+// degeneration) and keys, a fully cached scheme and a cache-free scheme
+// must produce bit-for-bit identical ciphertexts — on first encryption
+// (memo-tree misses), on repeats (LRU hits), and through Decrypt.
+func TestCachedMatchesUncached(t *testing.T) {
+	configs := []Params{
+		{PlaintextBits: 4, CiphertextBits: 4}, // identity: OPE degenerates to m + rlo
+		{PlaintextBits: 8, CiphertextBits: 12},
+		{PlaintextBits: 12, CiphertextBits: 24},
+		{PlaintextBits: 16, CiphertextBits: 16}, // identity again, larger
+		{PlaintextBits: 64, CiphertextBits: 80},
+		{PlaintextBits: 256, CiphertextBits: 272},
+	}
+	keys := []string{"key-A", "key-B", "a much longer key with entropy 0123456789"}
+	for _, p := range configs {
+		for _, key := range keys {
+			cached := mustScheme(t, key, p)
+			ref := uncachedScheme(t, key, p)
+			rng := rand.New(rand.NewSource(int64(p.PlaintextBits)<<8 | int64(len(key))))
+			max := new(big.Int).Lsh(big.NewInt(1), p.PlaintextBits)
+
+			var ms []*big.Int
+			// Edge plaintexts plus a random sample.
+			ms = append(ms, big.NewInt(0), big.NewInt(1),
+				new(big.Int).Sub(max, big.NewInt(1)))
+			for i := 0; i < 25; i++ {
+				ms = append(ms, new(big.Int).Rand(rng, max))
+			}
+			// Repeats: same values again, exercising the ciphertext LRU
+			// and warm memo paths.
+			ms = append(ms, ms...)
+
+			for _, m := range ms {
+				got, err := cached.Encrypt(m)
+				if err != nil {
+					t.Fatalf("%+v key=%q cached Encrypt(%v): %v", p, key, m, err)
+				}
+				want, err := ref.Encrypt(m)
+				if err != nil {
+					t.Fatalf("%+v key=%q reference Encrypt(%v): %v", p, key, m, err)
+				}
+				if got.Cmp(want) != 0 {
+					t.Fatalf("%+v key=%q Encrypt(%v): cached=%v uncached=%v",
+						p, key, m, got, want)
+				}
+				// Decrypt through both engines must invert.
+				back, err := cached.Decrypt(got)
+				if err != nil {
+					t.Fatalf("%+v key=%q cached Decrypt(%v): %v", p, key, got, err)
+				}
+				if back.Cmp(m) != 0 {
+					t.Fatalf("%+v key=%q cached roundtrip: %v -> %v -> %v", p, key, m, got, back)
+				}
+				back, err = ref.Decrypt(want)
+				if err != nil {
+					t.Fatalf("%+v key=%q reference Decrypt(%v): %v", p, key, want, err)
+				}
+				if back.Cmp(m) != 0 {
+					t.Fatalf("%+v key=%q reference roundtrip: %v -> %v -> %v", p, key, m, want, back)
+				}
+			}
+		}
+	}
+}
+
+// TestCacheLayerCombinations checks every cache-layer subset against the
+// all-off reference: memo only, LRU only, both, and tiny budgets that
+// force rejects/evictions mid-run. Correctness must not depend on which
+// layers are on or how small they are.
+func TestCacheLayerCombinations(t *testing.T) {
+	p := Params{PlaintextBits: 24, CiphertextBits: 40}
+	const key = "combo-key"
+	ref := uncachedScheme(t, key, p)
+	variants := map[string]CacheConfig{
+		"memo-only":   {LRUSize: -1},
+		"lru-only":    {NodeBudget: -1},
+		"both":        {},
+		"tiny-budget": {NodeBudget: 8, LRUSize: 2},
+	}
+	rng := rand.New(rand.NewSource(42))
+	max := new(big.Int).Lsh(big.NewInt(1), p.PlaintextBits)
+	var ms []*big.Int
+	for i := 0; i < 40; i++ {
+		ms = append(ms, new(big.Int).Rand(rng, max))
+	}
+	ms = append(ms, ms[:10]...) // repeats
+
+	want := make([]*big.Int, len(ms))
+	for i, m := range ms {
+		c, err := ref.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = c
+	}
+	for name, cfg := range variants {
+		s, err := NewSchemeWithCache([]byte(key), p, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, m := range ms {
+			got, err := s.Encrypt(m)
+			if err != nil {
+				t.Fatalf("%s: Encrypt(%v): %v", name, m, err)
+			}
+			if got.Cmp(want[i]) != 0 {
+				t.Errorf("%s: Encrypt(%v) = %v, want %v", name, m, got, want[i])
+			}
+		}
+	}
+}
+
+// TestCacheCounters sanity-checks the hit/miss accounting: a cold
+// encryption only misses, an exact repeat hits the LRU, and a near
+// neighbor hits memoized prefix nodes.
+func TestCacheCounters(t *testing.T) {
+	s := mustScheme(t, "counter-key", Params{PlaintextBits: 32, CiphertextBits: 48})
+	m := big.NewInt(123456)
+	if _, err := s.Encrypt(m); err != nil {
+		t.Fatal(err)
+	}
+	ctr := s.CacheCounters()
+	if ctr.LRUMisses.Load() != 1 || ctr.LRUHits.Load() != 0 {
+		t.Errorf("cold encrypt: LRU hits/misses = %d/%d, want 0/1",
+			ctr.LRUHits.Load(), ctr.LRUMisses.Load())
+	}
+	if ctr.NodeInserts.Load() == 0 {
+		t.Errorf("cold encrypt inserted no memo nodes")
+	}
+	if s.CachedNodes() == 0 {
+		t.Errorf("CachedNodes() = 0 after a cold encrypt")
+	}
+
+	if _, err := s.Encrypt(m); err != nil { // exact repeat
+		t.Fatal(err)
+	}
+	if got := ctr.LRUHits.Load(); got != 1 {
+		t.Errorf("repeat encrypt: LRUHits = %d, want 1", got)
+	}
+
+	if _, err := s.Encrypt(big.NewInt(123457)); err != nil { // near neighbor
+		t.Fatal(err)
+	}
+	if ctr.NodeHits.Load() == 0 {
+		t.Errorf("neighbor encrypt: NodeHits = 0, want shared-prefix hits")
+	}
+}
+
+// TestNodeBudgetRejects forces the memo tree over a tiny budget and
+// checks rejects are counted, the node count respects the cap, and
+// ciphertexts stay correct.
+func TestNodeBudgetRejects(t *testing.T) {
+	p := Params{PlaintextBits: 32, CiphertextBits: 48}
+	s, err := NewSchemeWithCache([]byte("budget-key"), p, CacheConfig{NodeBudget: 4, LRUSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := uncachedScheme(t, "budget-key", p)
+	rng := rand.New(rand.NewSource(7))
+	max := new(big.Int).Lsh(big.NewInt(1), p.PlaintextBits)
+	for i := 0; i < 50; i++ {
+		m := new(big.Int).Rand(rng, max)
+		got, err := s.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("budget-capped Encrypt(%v) = %v, want %v", m, got, want)
+		}
+	}
+	if s.CacheCounters().NodeRejects.Load() == 0 {
+		t.Errorf("NodeRejects = 0 with budget 4 after 50 distinct encrypts")
+	}
+}
+
+// TestLRUEvictions drives more distinct plaintexts than the LRU holds
+// and checks evictions are counted while repeats of recent values still
+// hit.
+func TestLRUEvictions(t *testing.T) {
+	p := Params{PlaintextBits: 16, CiphertextBits: 32}
+	s, err := NewSchemeWithCache([]byte("lru-key"), p, CacheConfig{LRUSize: 4, NodeBudget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20; i++ {
+		if _, err := s.Encrypt(big.NewInt(i * 37)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctr := s.CacheCounters()
+	if ctr.LRUEvictions.Load() == 0 {
+		t.Errorf("LRUEvictions = 0 after 20 distinct encrypts into a 4-slot LRU")
+	}
+	// The most recent value must still be resident.
+	before := ctr.LRUHits.Load()
+	if _, err := s.Encrypt(big.NewInt(19 * 37)); err != nil {
+		t.Fatal(err)
+	}
+	if after := ctr.LRUHits.Load(); after != before+1 {
+		t.Errorf("most-recent repeat missed the LRU: hits %d -> %d", before, after)
+	}
+}
+
+// TestLRUReturnsCopies guards the aliasing hazard: mutating a returned
+// ciphertext (or the plaintext passed in) must not corrupt cached state.
+func TestLRUReturnsCopies(t *testing.T) {
+	s := mustScheme(t, "alias-key", Params{PlaintextBits: 16, CiphertextBits: 32})
+	m := big.NewInt(4242)
+	c1, err := s.Encrypt(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := new(big.Int).Set(c1)
+	c1.SetInt64(-999) // clobber the returned value
+	m.SetInt64(4242)  // (unchanged, but re-set to be explicit)
+	c2, err := s.Encrypt(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Cmp(saved) != 0 {
+		t.Fatalf("cached ciphertext corrupted by caller mutation: %v, want %v", c2, saved)
+	}
+}

@@ -1,0 +1,67 @@
+package ope
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzOPECache differentially fuzzes the memoized engine against the
+// cache-free reference: for arbitrary keys, parameters, and plaintexts,
+// a fully cached scheme, a pathologically tiny-cache scheme (budget so
+// small most inserts are rejected, a 2-slot LRU that churns), and a
+// cache-disabled scheme must agree bit for bit, and Decrypt must invert.
+func FuzzOPECache(f *testing.F) {
+	f.Add([]byte("key"), uint(8), uint(8), uint64(0), uint64(1), uint64(255))
+	f.Add([]byte("k2"), uint(4), uint(0), uint64(7), uint64(7), uint64(15))
+	f.Add([]byte("longer fuzzing key 0123456789"), uint(24), uint(16),
+		uint64(0xdeadbeef), uint64(0xcafe), uint64(1<<24-1))
+	f.Fuzz(func(t *testing.T, key []byte, pbitsRaw, extraRaw uint, m1, m2, m3 uint64) {
+		if len(key) == 0 {
+			key = []byte{0}
+		}
+		pbits := 1 + pbitsRaw%24     // [1, 24]: deep enough trees, fast iterations
+		cbits := pbits + extraRaw%17 // [pbits, pbits+16], includes N == M identity
+		p := Params{PlaintextBits: pbits, CiphertextBits: cbits}
+
+		cached, err := NewScheme(key, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tiny, err := NewSchemeWithCache(key, p, CacheConfig{NodeBudget: 4, LRUSize: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewSchemeWithCache(key, p, CacheConfig{Disable: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		mask := uint64(1)<<pbits - 1
+		// m1 appears twice: the repeat goes through the ciphertext LRU on
+		// `cached` and through a churned LRU on `tiny`.
+		for _, mv := range []uint64{m1, m2, m3, m1} {
+			m := new(big.Int).SetUint64(mv & mask)
+			want, err := ref.Encrypt(m)
+			if err != nil {
+				t.Fatalf("reference Encrypt(%v): %v", m, err)
+			}
+			for name, s := range map[string]*Scheme{"cached": cached, "tiny": tiny} {
+				got, err := s.Encrypt(m)
+				if err != nil {
+					t.Fatalf("%s Encrypt(%v): %v", name, m, err)
+				}
+				if got.Cmp(want) != 0 {
+					t.Fatalf("%s Encrypt(%v) = %v, reference = %v (params %+v key %x)",
+						name, m, got, want, p, key)
+				}
+				back, err := s.Decrypt(got)
+				if err != nil {
+					t.Fatalf("%s Decrypt(%v): %v", name, got, err)
+				}
+				if back.Cmp(m) != 0 {
+					t.Fatalf("%s roundtrip %v -> %v -> %v", name, m, got, back)
+				}
+			}
+		}
+	})
+}

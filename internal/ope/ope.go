@@ -24,16 +24,22 @@
 // implementations. Per-node coins chain down the recursion tree
 // (seed_child = SHA-256(seed_parent, branch)), so coins depend only on the
 // key and the node — never on the plaintext — which is what makes
-// ciphertexts of different plaintexts mutually consistent.
+// ciphertexts of different plaintexts mutually consistent, and what makes
+// the memoization in cache.go security-neutral: the cache stores values the
+// key holder could recompute at any time, and cached and uncached descents
+// produce bit-for-bit identical ciphertexts.
 package ope
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"math/big"
+	"sync"
 
+	"smatch/internal/metrics"
 	"smatch/internal/prf"
 )
 
@@ -73,17 +79,30 @@ func (p Params) Validate() error {
 }
 
 // Scheme is a deterministic OPE instance under a fixed key. It is safe for
-// concurrent use: all state is immutable after construction and every
-// operation works on local state.
+// concurrent use: the parameters are immutable after construction and the
+// memo tree and LRU are concurrency-safe (see cache.go).
 type Scheme struct {
 	params     Params
 	domainSize *big.Int // 2^M
+	rangeSize  *big.Int // 2^N
 	rootSeed   [32]byte
+
+	memo     *memoCache // nil when the node cache is disabled
+	lru      *ctLRU     // nil when the ciphertext LRU is disabled
+	counters *metrics.OPECacheCounters
 }
 
-// NewScheme constructs an OPE instance. The key should be 32 bytes of
-// high-entropy material; in S-MATCH it is the OPRF-hardened profile key.
+// NewScheme constructs an OPE instance with default memoization. The key
+// should be 32 bytes of high-entropy material; in S-MATCH it is the
+// OPRF-hardened profile key.
 func NewScheme(key []byte, params Params) (*Scheme, error) {
+	return NewSchemeWithCache(key, params, CacheConfig{})
+}
+
+// NewSchemeWithCache constructs an OPE instance with explicit cache tuning;
+// see CacheConfig. Cached and uncached schemes under the same key produce
+// bit-for-bit identical ciphertexts.
+func NewSchemeWithCache(key []byte, params Params, cfg CacheConfig) (*Scheme, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -92,7 +111,9 @@ func NewScheme(key []byte, params Params) (*Scheme, error) {
 	}
 	s := &Scheme{
 		params:     params,
-		domainSize: new(big.Int).Lsh(big.NewInt(1), params.PlaintextBits),
+		domainSize: new(big.Int).Lsh(bigOne, params.PlaintextBits),
+		rangeSize:  new(big.Int).Lsh(bigOne, params.CiphertextBits),
+		counters:   cfg.Counters,
 	}
 	h := sha256.New()
 	h.Write([]byte("smatch/ope/root/"))
@@ -100,30 +121,48 @@ func NewScheme(key []byte, params Params) (*Scheme, error) {
 		byte(params.CiphertextBits >> 8), byte(params.CiphertextBits)})
 	h.Write(key)
 	h.Sum(s.rootSeed[:0])
+	if s.counters == nil {
+		s.counters = new(metrics.OPECacheCounters)
+	}
+	if !cfg.Disable {
+		budget := cfg.NodeBudget
+		if budget == 0 {
+			budget = DefaultNodeBudget
+		}
+		if budget > 0 {
+			s.memo = &memoCache{budget: int64(budget)}
+		}
+		lruSize := cfg.LRUSize
+		if lruSize == 0 {
+			lruSize = DefaultLRUSize
+		}
+		if lruSize > 0 {
+			s.lru = newCtLRU(lruSize)
+		}
+	}
 	return s, nil
 }
 
 // Params returns the scheme parameters.
 func (s *Scheme) Params() Params { return s.params }
 
-// node is the recursion state: the current domain interval [dlo, dlo+d-1],
-// the current range start rlo with size 2^rbits, and the node coin seed.
-type node struct {
-	dlo   *big.Int // lowest domain value in this node
-	d     *big.Int // domain size
-	rlo   *big.Int // lowest range value in this node
-	rbits uint     // range size is 2^rbits
-	seed  [32]byte
+// frame holds one descent's mutable state plus the scratch big.Ints the
+// per-level arithmetic works in, pooled so a steady-state Encrypt allocates
+// only its result (and, on memo misses, the cached split points).
+type frame struct {
+	dlo, d, rlo            big.Int // current domain interval and range start
+	x, t                   big.Int // uncached split point; descend/mid temp
+	half, lo, hi, rd, mask big.Int // computeSplit / sampleLeaf scratch
 }
 
-// child derives the coin seed for one branch.
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// childSeed derives the coin seed for one branch.
 func childSeed(parent [32]byte, branch byte) [32]byte {
-	var out [32]byte
-	h := sha256.New()
-	h.Write(parent[:])
-	h.Write([]byte{branch})
-	h.Sum(out[:0])
-	return out
+	var in [33]byte
+	copy(in[:32], parent[:])
+	in[32] = branch
+	return sha256.Sum256(in[:])
 }
 
 // Encrypt maps plaintext m in [0, 2^M) to its ciphertext in [0, 2^N).
@@ -131,54 +170,118 @@ func (s *Scheme) Encrypt(m *big.Int) (*big.Int, error) {
 	if m.Sign() < 0 || m.Cmp(s.domainSize) >= 0 {
 		return nil, ErrPlaintextRange
 	}
-	n := s.rootNode()
+	if s.lru != nil {
+		if c, ok := s.lru.get(m); ok {
+			s.counters.LRUHits.Add(1)
+			return c, nil
+		}
+		s.counters.LRUMisses.Add(1)
+	}
+	c := s.encrypt(m)
+	if s.lru != nil {
+		if s.lru.put(m, c) {
+			s.counters.LRUEvictions.Add(1)
+		}
+	}
+	return c, nil
+}
+
+// encrypt runs the binary descent. When the memo tree is enabled the
+// descent follows cached nodes (reusing their split points and seeds) until
+// it falls off the cached prefix, then continues with local seed chaining.
+func (s *Scheme) encrypt(m *big.Int) *big.Int {
+	fr := framePool.Get().(*frame)
+	defer framePool.Put(fr)
+	dlo := fr.dlo.SetInt64(0)
+	d := fr.d.Set(s.domainSize)
+	rlo := fr.rlo.SetInt64(0)
+	rbits := s.params.CiphertextBits
+	seed := s.rootSeed
+	var cur *memoNode
+	if s.memo != nil {
+		cur = s.memo.root(s.rootSeed)
+	}
 	for {
-		switch {
-		case n.identity():
+		if identity(d, rbits) {
 			// d == r: the map on this node is forced to the identity.
-			off := new(big.Int).Sub(m, n.dlo)
-			return off.Add(off, n.rlo), nil
-		case n.d.Cmp(bigOne) == 0:
-			return n.sampleLeaf(), nil
+			off := new(big.Int).Sub(m, dlo)
+			return off.Add(off, rlo)
 		}
-		x := n.splitPoint()
-		if m.Cmp(x) <= 0 {
-			n.descendLeft(x)
+		if d.Cmp(bigOne) == 0 {
+			if cur != nil {
+				seed = cur.seed
+			}
+			return sampleLeaf(&seed, rbits, rlo, fr)
+		}
+		var x *big.Int
+		if cur != nil {
+			x = cur.split(s, fr, dlo, d, rbits) // shared: must not be mutated
 		} else {
-			n.descendRight(x)
+			computeSplit(&fr.x, fr, &seed, dlo, d, rbits)
+			x = &fr.x
 		}
+		var branch byte
+		if m.Cmp(x) > 0 {
+			branch = 1
+		}
+		descend(fr, x, branch, dlo, d, rlo, &rbits)
+		cur, seed = advance(s, cur, seed, branch)
 	}
 }
 
 // Decrypt inverts Encrypt. It returns ErrNotInImage when c is inside the
 // range but was never produced by Encrypt under this key.
 func (s *Scheme) Decrypt(c *big.Int) (*big.Int, error) {
-	limit := new(big.Int).Lsh(bigOne, s.params.CiphertextBits)
-	if c.Sign() < 0 || c.Cmp(limit) >= 0 {
+	if c.Sign() < 0 || c.Cmp(s.rangeSize) >= 0 {
 		return nil, ErrCiphertextRange
 	}
-	n := s.rootNode()
+	fr := framePool.Get().(*frame)
+	defer framePool.Put(fr)
+	dlo := fr.dlo.SetInt64(0)
+	d := fr.d.Set(s.domainSize)
+	rlo := fr.rlo.SetInt64(0)
+	rbits := s.params.CiphertextBits
+	seed := s.rootSeed
+	var cur *memoNode
+	if s.memo != nil {
+		cur = s.memo.root(s.rootSeed)
+	}
 	for {
-		switch {
-		case n.d.Sign() == 0:
+		if d.Sign() == 0 {
 			// The ciphertext landed in a range half holding no domain
 			// points: it cannot have been produced by Encrypt.
 			return nil, ErrNotInImage
-		case n.identity():
-			off := new(big.Int).Sub(c, n.rlo)
-			return off.Add(off, n.dlo), nil
-		case n.d.Cmp(bigOne) == 0:
-			if n.sampleLeaf().Cmp(c) != 0 {
+		}
+		if identity(d, rbits) {
+			off := new(big.Int).Sub(c, rlo)
+			return off.Add(off, dlo), nil
+		}
+		if d.Cmp(bigOne) == 0 {
+			if cur != nil {
+				seed = cur.seed
+			}
+			if sampleLeaf(&seed, rbits, rlo, fr).Cmp(c) != 0 {
 				return nil, ErrNotInImage
 			}
-			return new(big.Int).Set(n.dlo), nil
+			return new(big.Int).Set(dlo), nil
 		}
-		x := n.splitPoint()
-		if c.Cmp(n.mid()) <= 0 {
-			n.descendLeft(x)
+		var x *big.Int
+		if cur != nil {
+			x = cur.split(s, fr, dlo, d, rbits)
 		} else {
-			n.descendRight(x)
+			computeSplit(&fr.x, fr, &seed, dlo, d, rbits)
+			x = &fr.x
 		}
+		// mid: the highest range value of the lower half.
+		mid := fr.t.Lsh(bigOne, rbits-1)
+		mid.Sub(mid, bigOne)
+		mid.Add(mid, rlo)
+		var branch byte
+		if c.Cmp(mid) > 0 {
+			branch = 1
+		}
+		descend(fr, x, branch, dlo, d, rlo, &rbits)
+		cur, seed = advance(s, cur, seed, branch)
 	}
 }
 
@@ -187,19 +290,9 @@ func (s *Scheme) EncryptUint64(m uint64) (*big.Int, error) {
 	return s.Encrypt(new(big.Int).SetUint64(m))
 }
 
-func (s *Scheme) rootNode() *node {
-	return &node{
-		dlo:   big.NewInt(0),
-		d:     new(big.Int).Set(s.domainSize),
-		rlo:   big.NewInt(0),
-		rbits: s.params.CiphertextBits,
-		seed:  s.rootSeed,
-	}
-}
-
 // identity reports whether the node's map is forced (d == r).
-func (n *node) identity() bool {
-	return n.d.BitLen() == int(n.rbits)+1 && isPowerOfTwo(n.d)
+func identity(d *big.Int, rbits uint) bool {
+	return d.BitLen() == int(rbits)+1 && isPowerOfTwo(d)
 }
 
 func isPowerOfTwo(v *big.Int) bool {
@@ -209,119 +302,124 @@ func isPowerOfTwo(v *big.Int) bool {
 	return v.TrailingZeroBits() == uint(v.BitLen()-1)
 }
 
-// mid returns the highest range value of the lower half.
-func (n *node) mid() *big.Int {
-	half := new(big.Int).Lsh(bigOne, n.rbits-1)
-	half.Sub(half, bigOne)
-	return half.Add(half, n.rlo)
+// descend narrows the frame's interval state into one half. Left keeps
+// domain [dlo, x] over the lower range half; right keeps [x+1, dhi] over
+// the upper half. x is read-only (it may be a shared cached value).
+func descend(fr *frame, x *big.Int, branch byte, dlo, d, rlo *big.Int, rbits *uint) {
+	if branch == 0 {
+		d.Sub(x, dlo)
+		d.Add(d, bigOne)
+		*rbits -= 1
+		return
+	}
+	fr.t.Sub(x, dlo)
+	fr.t.Add(&fr.t, bigOne) // domain points shed to the left: x+1-dlo
+	d.Sub(d, &fr.t)
+	dlo.Add(x, bigOne)
+	*rbits -= 1
+	rlo.Add(rlo, fr.t.Lsh(bigOne, *rbits))
 }
 
-// splitPoint draws the hypergeometric count x of domain points assigned to
-// the lower half and returns the highest domain value mapped there
-// (dlo + count - 1). The count respects the support bounds
-// max(0, d - r/2) <= count <= min(d, r/2).
-func (n *node) splitPoint() *big.Int {
-	half := new(big.Int).Lsh(bigOne, n.rbits-1) // g = r/2
+// advance moves the coin state one level down: along the memo tree while a
+// cached (or insertable) child exists, otherwise by local seed chaining.
+func advance(s *Scheme, cur *memoNode, seed [32]byte, branch byte) (*memoNode, [32]byte) {
+	if cur == nil {
+		return nil, childSeed(seed, branch)
+	}
+	next := cur.kids[branch].Load()
+	if next == nil {
+		next = s.addChild(cur, branch)
+	}
+	if next == nil {
+		// Node budget exhausted: fall off the cached prefix.
+		return nil, childSeed(cur.seed, branch)
+	}
+	return next, seed
+}
+
+// computeSplit draws the hypergeometric count of domain points assigned to
+// the lower half and writes the highest domain value mapped there
+// (dlo + count - 1) into dst. The count respects the support bounds
+// max(0, d - r/2) <= count <= min(d, r/2). All intermediates live in the
+// frame's scratch integers.
+func computeSplit(dst *big.Int, fr *frame, seed *[32]byte, dlo, d *big.Int, rbits uint) {
+	half := fr.half.Lsh(bigOne, rbits-1) // g = r/2
 
 	// Support bounds.
-	lo := new(big.Int).Sub(n.d, half) // d - r/2
+	lo := fr.lo.Sub(d, half) // d - r/2
 	if lo.Sign() < 0 {
 		lo.SetInt64(0)
 	}
-	hi := new(big.Int).Set(n.d)
+	hi := fr.hi.Set(d)
 	if hi.Cmp(half) > 0 {
 		hi.Set(half)
 	}
 
-	var count *big.Int
 	if lo.Cmp(hi) == 0 {
-		count = lo
+		dst.Set(lo)
 	} else {
 		// mean = d/2 exactly (g/r = 1/2); variance = d(r-d)/(4(r-1)),
 		// computed in log2 space.
-		count = new(big.Int).Rsh(n.d, 1)
-		rd := new(big.Int).Lsh(bigOne, n.rbits)
-		rd.Sub(rd, n.d) // r - d
+		dst.Rsh(d, 1)
+		rd := fr.rd.Lsh(bigOne, rbits)
+		rd.Sub(rd, d) // r - d
 		var sigmaLog2 float64
 		if rd.Sign() > 0 {
-			varLog2 := log2Big(n.d) + log2Big(rd) - 2 - float64(n.rbits)
+			varLog2 := log2Big(d) + log2Big(rd) - 2 - float64(rbits)
 			sigmaLog2 = varLog2 / 2
 		} else {
 			sigmaLog2 = math.Inf(-1)
 		}
-		z := n.normal()
-		count.Add(count, scaledOffset(z, sigmaLog2))
-		if count.Cmp(lo) < 0 {
-			count.Set(lo)
+		z := seedNormal(seed)
+		dst.Add(dst, scaledOffset(z, sigmaLog2))
+		if dst.Cmp(lo) < 0 {
+			dst.Set(lo)
 		}
-		if count.Cmp(hi) > 0 {
-			count.Set(hi)
+		if dst.Cmp(hi) > 0 {
+			dst.Set(hi)
 		}
 	}
-	x := new(big.Int).Add(n.dlo, count)
-	x.Sub(x, bigOne)
-	return x
+	dst.Add(dst, dlo)
+	dst.Sub(dst, bigOne)
 }
 
-// descendLeft moves the node to the lower half: domain [dlo, x],
-// range [rlo, mid].
-func (n *node) descendLeft(x *big.Int) {
-	n.d.Sub(x, n.dlo)
-	n.d.Add(n.d, bigOne)
-	n.rbits--
-	n.seed = childSeed(n.seed, 0)
-}
-
-// descendRight moves the node to the upper half: domain [x+1, dhi],
-// range [mid+1, rhi].
-func (n *node) descendRight(x *big.Int) {
-	newDlo := new(big.Int).Add(x, bigOne)
-	shrunk := new(big.Int).Sub(newDlo, n.dlo)
-	n.d.Sub(n.d, shrunk)
-	n.dlo = newDlo
-	n.rbits--
-	n.rlo.Add(n.rlo, new(big.Int).Lsh(bigOne, n.rbits))
-	n.seed = childSeed(n.seed, 1)
-}
-
-// normal draws one standard normal variate from the node seed via
-// Box-Muller.
-func (n *node) normal() float64 {
-	var block [32]byte
-	h := sha256.New()
-	h.Write(n.seed[:])
-	h.Write([]byte{'z'})
-	h.Sum(block[:0])
-	u1 := float64(beUint64(block[0:8])>>11) / (1 << 53)
-	u2 := float64(beUint64(block[8:16])>>11) / (1 << 53)
+// seedNormal draws one standard normal variate from the node seed via
+// Box-Muller over SHA-256(seed || 'z').
+func seedNormal(seed *[32]byte) float64 {
+	var in [33]byte
+	copy(in[:32], seed[:])
+	in[32] = 'z'
+	block := sha256.Sum256(in[:])
+	u1 := float64(binary.BigEndian.Uint64(block[0:8])>>11) / (1 << 53)
+	u2 := float64(binary.BigEndian.Uint64(block[8:16])>>11) / (1 << 53)
 	if u1 <= 1e-300 {
 		u1 = 1e-300
 	}
 	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
 }
 
-func beUint64(b []byte) uint64 {
-	var v uint64
-	for _, x := range b[:8] {
-		v = v<<8 | uint64(x)
-	}
-	return v
-}
+var leafLabel = []byte("leaf")
 
 // sampleLeaf deterministically picks the ciphertext for the node's single
 // domain point uniformly within its 2^rbits-sized range.
-func (n *node) sampleLeaf() *big.Int {
-	stream := prf.New(n.seed[:], []byte("leaf"))
-	bytes := int(n.rbits+7) / 8
-	buf := make([]byte, bytes)
+func sampleLeaf(seed *[32]byte, rbits uint, rlo *big.Int, fr *frame) *big.Int {
+	stream := prf.New(seed[:], leafLabel)
+	nb := int(rbits+7) / 8
+	var stack [512]byte
+	var buf []byte
+	if nb <= len(stack) {
+		buf = stack[:nb]
+	} else {
+		buf = make([]byte, nb)
+	}
 	stream.Read(buf)
 	off := new(big.Int).SetBytes(buf)
 	// Mask down to rbits bits: the range size is an exact power of two,
 	// so masking gives a uniform draw with no rejection loop.
-	mask := new(big.Int).Lsh(bigOne, n.rbits)
+	mask := fr.mask.Lsh(bigOne, rbits)
 	mask.Sub(mask, bigOne)
 	off.And(off, mask)
-	return off.Add(off, n.rlo)
+	return off.Add(off, rlo)
 }
 
 var bigOne = big.NewInt(1)

@@ -1,0 +1,193 @@
+// Batch-upload equivalence tests: a batch of N entries must be
+// indistinguishable from N single uploads — same live store state, same
+// WAL contents for recovery, same per-entry validation — with the only
+// difference being fewer round trips and fsyncs.
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+
+	"smatch/internal/chain"
+	"smatch/internal/client"
+	"smatch/internal/match"
+	"smatch/internal/profile"
+	"smatch/internal/wal"
+)
+
+// startJournaledServer runs a TLS server backed by a fresh WAL in dir and
+// returns its address plus the live server. Shutdown (and journal close)
+// is handled by t.Cleanup.
+func startJournaledServer(t *testing.T, dir string) (string, *Server) {
+	t.Helper()
+	j, store, _, err := OpenJournal(wal.Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{OPRF: testOPRF(t), ReadTimeout: 5 * time.Second, Store: store, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("Serve returned %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("server did not shut down")
+		}
+		j.Close()
+	})
+	return addr.String(), srv
+}
+
+func batchEntry(id profile.ID, bucket string, sum int64) match.Entry {
+	return match.Entry{
+		ID:      id,
+		KeyHash: []byte(bucket),
+		Chain:   &chain.Chain{Cts: []*big.Int{big.NewInt(sum)}, CtBits: 48},
+		Auth:    []byte{byte(id)},
+	}
+}
+
+// TestBatchUploadEquivalentToSingles uploads the same workload to two
+// journaled servers — one batch frame vs N single frames — and requires
+// byte-identical store snapshots both live and after WAL recovery.
+func TestBatchUploadEquivalentToSingles(t *testing.T) {
+	workload := make([]match.Entry, 0, 20)
+	for i := 1; i <= 20; i++ {
+		// A few cross-bucket moves mixed in: IDs 3 and 7 appear twice, the
+		// later entry winning, exactly as sequential singles would resolve.
+		bucket := "bucket-A"
+		if i%3 == 0 {
+			bucket = "bucket-B"
+		}
+		workload = append(workload, batchEntry(profile.ID(i%10+1), bucket, int64(i*11)))
+	}
+
+	batchDir, singleDir := t.TempDir(), t.TempDir()
+	batchAddr, batchSrv := startJournaledServer(t, batchDir)
+	singleAddr, singleSrv := startJournaledServer(t, singleDir)
+
+	bc := dial(t, batchAddr)
+	statuses, err := bc.UploadBatch(workload)
+	if err != nil {
+		t.Fatalf("UploadBatch: %v (statuses %v)", err, statuses)
+	}
+	for i, st := range statuses {
+		if st != "" {
+			t.Errorf("entry %d rejected: %s", i, st)
+		}
+	}
+
+	sc := dial(t, singleAddr)
+	for i, e := range workload {
+		if err := sc.Upload(e); err != nil {
+			t.Fatalf("single upload %d: %v", i, err)
+		}
+	}
+
+	live1, live2 := snapshotBytes(t, batchSrv.Store()), snapshotBytes(t, singleSrv.Store())
+	if !bytes.Equal(live1, live2) {
+		t.Fatal("live store after one batch != live store after N singles")
+	}
+
+	if got := batchSrv.Metrics().Uploads.Load(); got != uint64(len(workload)) {
+		t.Errorf("batch server Uploads = %d, want %d (one per applied entry)", got, len(workload))
+	}
+	if got := batchSrv.Metrics().UploadBatches.Load(); got != 1 {
+		t.Errorf("UploadBatches = %d, want 1", got)
+	}
+
+	// Crash-recovery equivalence: both WAL directories must replay to the
+	// same state (the batch journals per-entry records identical to
+	// singles').
+	rec1 := snapshotBytes(t, recoverStore(t, batchDir))
+	rec2 := snapshotBytes(t, recoverStore(t, singleDir))
+	if !bytes.Equal(rec1, rec2) {
+		t.Fatal("WAL recovery of a batch != WAL recovery of N singles")
+	}
+	if !bytes.Equal(rec1, live1) {
+		t.Fatal("WAL recovery != live state")
+	}
+}
+
+// TestBatchUploadPartialRejection sends a batch with invalid entries
+// sprinkled in: valid entries must be applied and journaled, invalid ones
+// reported per index, and the connection must stay usable.
+func TestBatchUploadPartialRejection(t *testing.T) {
+	dir := t.TempDir()
+	addr, srv := startJournaledServer(t, dir)
+	conn := dial(t, addr)
+
+	entries := []match.Entry{
+		batchEntry(1, "ok", 10),
+		batchEntry(0, "bad-id", 20), // ID 0 fails validation
+		batchEntry(2, "ok", 30),
+	}
+	statuses, err := conn.UploadBatch(entries)
+	if !errors.Is(err, client.ErrBatchRejected) {
+		t.Fatalf("err = %v, want ErrBatchRejected", err)
+	}
+	if len(statuses) != 3 {
+		t.Fatalf("got %d statuses, want 3", len(statuses))
+	}
+	if statuses[0] != "" || statuses[2] != "" {
+		t.Errorf("valid entries rejected: %q, %q", statuses[0], statuses[2])
+	}
+	if statuses[1] == "" {
+		t.Error("invalid entry (ID 0) accepted")
+	}
+	if got := srv.Store().NumUsers(); got != 2 {
+		t.Errorf("store holds %d users, want 2", got)
+	}
+
+	// The connection survives and the valid subset is durable.
+	if err := conn.Upload(batchEntry(3, "ok", 40)); err != nil {
+		t.Fatalf("connection dead after partial rejection: %v", err)
+	}
+	if got := recoverStore(t, dir).NumUsers(); got != 3 {
+		t.Errorf("recovered %d users, want 3 (2 from batch + 1 single)", got)
+	}
+}
+
+// TestBatchUploadSizeLimits checks the client-side guard rails: empty
+// batches and batches over wire.MaxUploadBatch never hit the network.
+func TestBatchUploadSizeLimits(t *testing.T) {
+	addr, _ := startServer(t)
+	conn := dial(t, addr)
+
+	if _, err := conn.UploadBatch(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	big := make([]match.Entry, 257)
+	for i := range big {
+		big[i] = batchEntry(profile.ID(i+1), "b", int64(i))
+	}
+	if _, err := conn.UploadBatch(big); err == nil {
+		t.Error("oversized batch accepted")
+	}
+
+	// A max-size batch is fine.
+	maxBatch := big[:256]
+	statuses, err := conn.UploadBatch(maxBatch)
+	if err != nil {
+		t.Fatalf("max-size batch: %v", err)
+	}
+	if len(statuses) != 256 {
+		t.Errorf("got %d statuses, want 256", len(statuses))
+	}
+}

@@ -110,6 +110,25 @@ func (j *Journal) AppendUpload(req *wire.UploadReq) error {
 	return nil
 }
 
+// AppendUploadBatch journals several uploads as individual opUpload
+// records committed through one WAL group commit (one fsync for the whole
+// batch). Because the records are byte-identical to the ones AppendUpload
+// writes, recovery replays a batch exactly as it would N single uploads —
+// no separate batch record format to version or test.
+func (j *Journal) AppendUploadBatch(reqs []*wire.UploadReq) error {
+	records := make([][]byte, len(reqs))
+	for i, req := range reqs {
+		payload := req.Encode()
+		rec := make([]byte, 0, 1+len(payload))
+		rec = append(rec, opUpload)
+		records[i] = append(rec, payload...)
+	}
+	if _, err := j.wal.AppendBatch(records); err != nil {
+		return fmt.Errorf("server: journaling upload batch: %w", err)
+	}
+	return nil
+}
+
 // AppendRemove journals a remove; when it returns nil the record is
 // durable.
 func (j *Journal) AppendRemove(id profile.ID) error {

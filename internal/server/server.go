@@ -444,6 +444,54 @@ func (s *Server) dispatch(conn net.Conn, t wire.MsgType, payload []byte) error {
 		}
 		return s.writeFrame(conn, wire.TypeUploadResp, nil)
 
+	case wire.TypeUploadBatchReq:
+		start := time.Now()
+		req, err := wire.DecodeUploadBatchReq(payload)
+		if err != nil {
+			return err
+		}
+		resp := wire.UploadBatchResp{Status: make([]string, len(req.Entries))}
+		// Validate every entry up front; invalid ones get a per-entry
+		// status while the valid remainder is journaled (one group-committed
+		// fsync for the whole batch) and applied, exactly as if uploaded one
+		// frame at a time.
+		entries := make([]match.Entry, len(req.Entries))
+		valid := make([]*wire.UploadReq, 0, len(req.Entries))
+		validIdx := make([]int, 0, len(req.Entries))
+		for i := range req.Entries {
+			entry, verr := req.Entries[i].Entry()
+			if verr == nil {
+				verr = entry.Validate()
+			}
+			if verr != nil {
+				resp.Status[i] = verr.Error()
+				continue
+			}
+			entries[i] = entry
+			valid = append(valid, &req.Entries[i])
+			validIdx = append(validIdx, i)
+		}
+		if len(valid) > 0 {
+			if j := s.cfg.Journal; j != nil {
+				release := j.begin()
+				defer release()
+				if err := j.AppendUploadBatch(valid); err != nil {
+					return err
+				}
+			}
+			for _, i := range validIdx {
+				if uerr := s.store.Upload(entries[i]); uerr != nil {
+					resp.Status[i] = uerr.Error()
+					continue
+				}
+				s.metrics.Uploads.Add(1)
+			}
+		}
+		s.metrics.UploadBatches.Add(1)
+		s.metrics.UploadBatchSize.ObserveValue(int64(len(req.Entries)))
+		s.metrics.UploadLatency.Observe(time.Since(start))
+		return s.writeFrame(conn, wire.TypeUploadBatchResp, resp.Encode())
+
 	case wire.TypeRemoveReq:
 		defer s.observe(&s.metrics.Removes, &s.metrics.RemoveLatency, time.Now())
 		req, err := wire.DecodeRemoveReq(payload)

@@ -456,6 +456,69 @@ func (w *WAL) Append(data []byte) (uint64, error) {
 	return r.lsn, r.err
 }
 
+// AppendBatch writes several records durably, returning their LSNs (dense,
+// ascending) once all are committed. Unlike N sequential Append calls —
+// which pay one fsync each unless other appenders happen to be concurrent —
+// the whole batch is enqueued before waiting, so it lands in one group
+// commit (at most a few, if the committer wakes mid-enqueue) and the fsync
+// cost is amortized across the batch even from a single caller. An error
+// means at least one record may not be durable: the caller must not apply
+// any operation whose record erred.
+func (w *WAL) AppendBatch(records [][]byte) ([]uint64, error) {
+	if len(records) == 0 {
+		return nil, nil
+	}
+	for _, data := range records {
+		if len(data) > MaxRecordSize {
+			return nil, ErrRecordTooLarge
+		}
+	}
+	if w.opts.DisableGroupCommit {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if w.closed {
+			return nil, ErrClosed
+		}
+		batch := make([]*pending, len(records))
+		for i, data := range records {
+			batch[i] = &pending{data: data}
+		}
+		results := w.commitLocked(batch)
+		lsns := make([]uint64, len(results))
+		for i, r := range results {
+			if r.err != nil {
+				return nil, r.err
+			}
+			lsns[i] = r.lsn
+		}
+		return lsns, nil
+	}
+	ps := make([]*pending, len(records))
+	w.closeMu.RLock()
+	if w.closing {
+		w.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	for i, data := range records {
+		ps[i] = &pending{data: data, ch: make(chan appendResult, 1)}
+		w.appendCh <- ps[i] // committer is running, so a full queue drains
+	}
+	w.closeMu.RUnlock()
+	lsns := make([]uint64, len(ps))
+	var firstErr error
+	for i, p := range ps {
+		r := <-p.ch
+		lsns[i] = r.lsn
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return lsns, nil
+}
+
 // committer is the group-commit loop: block for one pending append, drain
 // whatever else is queued, commit the whole batch with a single fsync.
 func (w *WAL) committer() {

@@ -40,6 +40,8 @@ const (
 	TypeOPRFBatchResp
 	TypeRemoveReq
 	TypeRemoveResp
+	TypeUploadBatchReq
+	TypeUploadBatchResp
 )
 
 // MaxFrameSize bounds a frame payload; large enough for a 2048-bit, many-
@@ -71,6 +73,110 @@ func (u *UploadReq) Entry() (match.Entry, error) {
 		return match.Entry{}, err
 	}
 	return match.Entry{ID: u.ID, KeyHash: u.KeyHash, Chain: ch, Auth: u.Auth}, nil
+}
+
+// MaxUploadBatch caps the entries one batch frame may carry: large enough
+// to amortize the per-frame round trip and the WAL fsync across hundreds
+// of profiles, small enough that a frame stays well under MaxFrameSize
+// even at 2048-bit ciphertexts and bounds the server-side work one frame
+// can demand.
+const MaxUploadBatch = 256
+
+// UploadBatchReq carries several upload records in one frame. The server
+// validates every entry, journals and applies the valid ones, and answers
+// with per-entry status — one round trip and (with the WAL enabled) one
+// group-committed fsync for the whole batch.
+type UploadBatchReq struct {
+	Entries []UploadReq
+}
+
+// Encode serializes the batch request as a count followed by
+// length-prefixed single-upload payloads (the same encoding TypeUploadReq
+// uses, so the WAL journal format can be shared).
+func (u *UploadBatchReq) Encode() []byte {
+	var e encoder
+	e.u16(uint16(len(u.Entries)))
+	for i := range u.Entries {
+		e.bytes(u.Entries[i].Encode())
+	}
+	return e.buf
+}
+
+// DecodeUploadBatchReq parses a batch request payload.
+func DecodeUploadBatchReq(payload []byte) (*UploadBatchReq, error) {
+	d := decoder{buf: payload}
+	n, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, errors.New("wire: empty upload batch")
+	}
+	if int(n) > MaxUploadBatch {
+		return nil, fmt.Errorf("wire: upload batch of %d exceeds limit %d", n, MaxUploadBatch)
+	}
+	out := &UploadBatchReq{Entries: make([]UploadReq, n)}
+	for i := range out.Entries {
+		b, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		u, err := DecodeUploadReq(b)
+		if err != nil {
+			return nil, fmt.Errorf("wire: batch entry %d: %w", i, err)
+		}
+		out.Entries[i] = *u
+	}
+	return out, d.done()
+}
+
+// UploadBatchResp reports per-entry status for a batch upload: Status[i]
+// is empty when entry i was applied, otherwise the rejection reason.
+// Invalid entries do not fail the batch — the valid ones are still
+// applied, exactly as if uploaded individually.
+type UploadBatchResp struct {
+	Status []string
+}
+
+// OK reports whether every entry was applied.
+func (u *UploadBatchResp) OK() bool {
+	for _, s := range u.Status {
+		if s != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode serializes the batch response.
+func (u *UploadBatchResp) Encode() []byte {
+	var e encoder
+	e.u16(uint16(len(u.Status)))
+	for _, s := range u.Status {
+		e.bytes([]byte(s))
+	}
+	return e.buf
+}
+
+// DecodeUploadBatchResp parses a batch response payload.
+func DecodeUploadBatchResp(payload []byte) (*UploadBatchResp, error) {
+	d := decoder{buf: payload}
+	n, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > MaxUploadBatch {
+		return nil, fmt.Errorf("wire: upload batch response of %d exceeds limit %d", n, MaxUploadBatch)
+	}
+	out := &UploadBatchResp{Status: make([]string, n)}
+	for i := range out.Status {
+		b, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		out.Status[i] = string(b)
+	}
+	return out, d.done()
 }
 
 // RemoveReq asks the server to delete the user's stored record (device
