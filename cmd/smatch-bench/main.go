@@ -30,6 +30,11 @@
 // throughput at 8 concurrent clients against an in-process WAL-backed
 // server); -enc-out writes the JSON report that is committed as
 // BENCH_enc.json.
+//
+// -pipe-bench switches to the wire-pipelining benchmark (query throughput
+// for 1, 8 and 64 concurrent callers sharing one connection, lockstep v1
+// vs pipelined v2); -pipe-out writes the JSON report that is committed as
+// BENCH_pipeline.json.
 package main
 
 import (
@@ -61,6 +66,9 @@ func main() {
 		encBench   = flag.Bool("enc-bench", false, "run the client-crypto + upload-path benchmark instead of the paper experiments")
 		encDur     = flag.Duration("enc-dur", 500*time.Millisecond, "measurement window per enc-bench cell")
 		encOut     = flag.String("enc-out", "", "write the enc-bench JSON report to this file (e.g. BENCH_enc.json)")
+		pipeBench  = flag.Bool("pipe-bench", false, "run the wire-pipelining query throughput benchmark (lockstep v1 vs pipelined v2) instead of the paper experiments")
+		pipeDur    = flag.Duration("pipe-dur", time.Second, "measurement window per pipe-bench cell")
+		pipeOut    = flag.String("pipe-out", "", "write the pipe-bench JSON report to this file (e.g. BENCH_pipeline.json)")
 	)
 	flag.Parse()
 
@@ -80,6 +88,13 @@ func main() {
 	}
 	if *encBench {
 		if err := runEncBench(os.Stdout, *encDur, *encOut); err != nil {
+			fmt.Fprintln(os.Stderr, "smatch-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *pipeBench {
+		if err := runPipeBench(os.Stdout, *pipeDur, *pipeOut, []int{1, 8, 64}); err != nil {
 			fmt.Fprintln(os.Stderr, "smatch-bench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,239 @@
+// Wire-pipelining bench: measures query throughput against an in-process
+// TLS server when N concurrent callers share ONE connection, comparing the
+// legacy lockstep protocol (v1: each request blocks the conn until its
+// response lands) with the pipelined v2 protocol (requests are tagged with
+// IDs and complete out of order). The numbers are written as JSON
+// (BENCH_pipeline.json in this repo) so successive PRs can track the perf
+// trajectory.
+//
+// Loopback has no round-trip time, so the bench injects a realistic
+// one-way propagation delay (netfault.PropagationDelay — in-flight
+// latency, not bandwidth: frames overlap on the wire) under TLS on the
+// client side. That reproduces the regime pipelining exists for: lockstep
+// throughput is capped at one request per RTT per connection no matter
+// how many callers pile up, while pipelined callers share the RTT.
+//
+//	smatch-bench -pipe-bench -pipe-out BENCH_pipeline.json
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/rsa"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/big"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smatch/internal/chain"
+	"smatch/internal/client"
+	"smatch/internal/match"
+	"smatch/internal/netfault"
+	"smatch/internal/oprf"
+	"smatch/internal/profile"
+	"smatch/internal/server"
+)
+
+// pipeBenchCell is one (mode, callers) measurement: queries completed by
+// all callers sharing a single connection.
+type pipeBenchCell struct {
+	Mode          string  `json:"mode"`
+	Callers       int     `json:"callers"`
+	Queries       int64   `json:"queries"`
+	Seconds       float64 `json:"seconds"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+}
+
+// pipeBenchReport is the BENCH_pipeline.json document.
+type pipeBenchReport struct {
+	GOMAXPROCS     int                `json:"gomaxprocs"`
+	NumCPU         int                `json:"num_cpu"`
+	StoredUsers    int                `json:"stored_users"`
+	OneWayDelay    string             `json:"emulated_one_way_delay"`
+	DurationPerOp  string             `json:"duration_per_cell"`
+	Results        []pipeBenchCell    `json:"results"`
+	SpeedupByScale map[string]float64 `json:"pipelined_speedup_by_callers"`
+}
+
+const (
+	pipeBenchUsers = 256
+	// pipeBenchDelay is the emulated one-way propagation latency on the
+	// client uplink — a conservative same-region RTT. Loopback without it
+	// benchmarks syscall overhead, not the protocol.
+	pipeBenchDelay = 2 * time.Millisecond
+)
+
+// pipeBenchCellRun drives callers goroutines over one shared client
+// connection for roughly dur, each issuing top-k queries for a stored
+// user, and reports aggregate throughput. The lockstep mode serializes on
+// the connection (v1 has no request IDs, so there is nothing else it can
+// do); the pipelined mode keeps up to MaxInFlight requests on the wire.
+func pipeBenchCellRun(addr string, mode string, callers int, dur time.Duration) (pipeBenchCell, error) {
+	opts := client.Options{
+		Timeout: 30 * time.Second,
+		Dialer: func(network, address string) (net.Conn, error) {
+			raw, err := net.DialTimeout(network, address, 30*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			return netfault.New(raw, netfault.Faults{PropagationDelay: pipeBenchDelay}), nil
+		},
+	}
+	switch mode {
+	case "lockstep":
+		opts.DisablePipeline = true
+	case "pipelined":
+		opts.MaxInFlight = 128
+	default:
+		return pipeBenchCell{}, fmt.Errorf("unknown mode %q", mode)
+	}
+	conn, err := client.Dial(addr, opts)
+	if err != nil {
+		return pipeBenchCell{}, err
+	}
+	defer conn.Close()
+
+	var (
+		stop  atomic.Bool
+		total atomic.Int64
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if first == nil {
+			first = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	start := time.Now()
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var done int64
+			for !stop.Load() {
+				id := profile.ID(1 + (int(done)+g*31)%pipeBenchUsers)
+				if _, err := conn.Query(id, 4); err != nil {
+					fail(fmt.Errorf("%s caller %d: %w", mode, g, err))
+					return
+				}
+				done++
+			}
+			total.Add(done)
+		}(g)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if first != nil {
+		return pipeBenchCell{}, first
+	}
+	queries := total.Load()
+	return pipeBenchCell{
+		Mode: mode, Callers: callers,
+		Queries: queries, Seconds: elapsed,
+		QueriesPerSec: float64(queries) / elapsed,
+	}, nil
+}
+
+func runPipeBench(out io.Writer, dur time.Duration, outPath string, callers []int) error {
+	rsaKey, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		return err
+	}
+	oprfSrv, err := oprf.NewServerFromKey(rsaKey)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{OPRF: oprfSrv, ReadTimeout: 30 * time.Second})
+	if err != nil {
+		return err
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	defer func() {
+		cancel()
+		<-done
+	}()
+
+	// Seed the store: users spread over 32 buckets so every query does
+	// real (small-bucket) matching work dominated by the round trip, which
+	// is the regime pipelining targets.
+	seed, err := client.Dial(addr.String(), client.Options{Timeout: 30 * time.Second})
+	if err != nil {
+		return err
+	}
+	entries := make([]match.Entry, 0, 64)
+	for i := 1; i <= pipeBenchUsers; i++ {
+		entries = append(entries, match.Entry{
+			ID:      profile.ID(i),
+			KeyHash: []byte(fmt.Sprintf("pipe-bench-%03d", i%32)),
+			Chain:   &chain.Chain{Cts: []*big.Int{big.NewInt(int64(i * 17))}, CtBits: 48},
+			Auth:    []byte("bench-auth"),
+		})
+		if len(entries) == cap(entries) || i == pipeBenchUsers {
+			if _, err := seed.UploadBatch(entries); err != nil {
+				seed.Close()
+				return err
+			}
+			entries = entries[:0]
+		}
+	}
+	seed.Close()
+
+	report := pipeBenchReport{
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		StoredUsers:    pipeBenchUsers,
+		OneWayDelay:    pipeBenchDelay.String(),
+		DurationPerOp:  dur.String(),
+		SpeedupByScale: map[string]float64{},
+	}
+	lockstep := map[int]float64{}
+	for _, mode := range []string{"lockstep", "pipelined"} {
+		for _, n := range callers {
+			cell, err := pipeBenchCellRun(addr.String(), mode, n, dur)
+			if err != nil {
+				return err
+			}
+			report.Results = append(report.Results, cell)
+			fmt.Fprintf(out, "%-10s callers=%-3d %10.0f queries/sec\n",
+				cell.Mode, cell.Callers, cell.QueriesPerSec)
+			if mode == "lockstep" {
+				lockstep[n] = cell.QueriesPerSec
+			} else if base := lockstep[n]; base > 0 {
+				speedup := cell.QueriesPerSec / base
+				report.SpeedupByScale[fmt.Sprintf("%d", n)] = speedup
+				fmt.Fprintf(out, "  -> %.2fx over lockstep at %d callers\n", speedup, n)
+			}
+		}
+	}
+
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, doc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", outPath)
+	}
+	return nil
+}

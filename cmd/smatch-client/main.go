@@ -28,33 +28,38 @@ import (
 
 func main() {
 	var (
-		server  = flag.String("server", "127.0.0.1:7788", "server address")
-		dsName  = flag.String("dataset", "Infocom06", "deployment dataset (Infocom06, Sigcomm09, Weibo)")
-		cmd     = flag.String("cmd", "", "upload | upload-all | upload-batch | query | remove")
-		batch   = flag.Int("batch", 64, "entries per frame for -cmd upload-batch")
-		userID  = flag.Uint("user", 1, "user ID within the dataset")
-		topK    = flag.Int("topk", core.DefaultTopK, "results per query")
-		theta   = flag.Int("theta", 8, "RS decoder threshold")
-		kBits   = flag.Uint("k", 64, "plaintext size (bits)")
-		verify  = flag.Bool("verify", false, "verify query results (Vf)")
-		timeout = flag.Duration("timeout", 30*time.Second, "request timeout")
-		retries = flag.Int("retries", 2, "max retries for idempotent requests (query/OPRF/remove) after connection failures; -1 disables")
-		backoff = flag.Duration("retry-backoff", 50*time.Millisecond, "base of the jittered exponential retry backoff")
+		server   = flag.String("server", "127.0.0.1:7788", "server address")
+		dsName   = flag.String("dataset", "Infocom06", "deployment dataset (Infocom06, Sigcomm09, Weibo)")
+		cmd      = flag.String("cmd", "", "upload | upload-all | upload-batch | query | remove")
+		batch    = flag.Int("batch", 64, "entries per frame for -cmd upload-batch")
+		userID   = flag.Uint("user", 1, "user ID within the dataset")
+		topK     = flag.Int("topk", core.DefaultTopK, "results per query")
+		theta    = flag.Int("theta", 8, "RS decoder threshold")
+		kBits    = flag.Uint("k", 64, "plaintext size (bits)")
+		verify   = flag.Bool("verify", false, "verify query results (Vf)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "request timeout")
+		retries  = flag.Int("retries", 2, "max retries for idempotent requests (query/OPRF/remove) after connection failures; -1 disables")
+		backoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "base of the jittered exponential retry backoff")
+		noPipe   = flag.Bool("no-pipeline", false, "speak the legacy lockstep protocol (v1) instead of negotiating pipelined v2")
+		inFlight = flag.Int("inflight", 0, "cap on concurrent in-flight v2 requests per connection (0 = client default); the server may clamp it lower")
 	)
 	flag.Parse()
 
-	if err := run(*server, *dsName, *cmd, profile.ID(*userID), *topK, *theta, *kBits, *batch, *verify, *timeout, *retries, *backoff); err != nil {
+	if err := run(*server, *dsName, *cmd, profile.ID(*userID), *topK, *theta, *kBits, *batch, *verify, *timeout, *retries, *backoff, *noPipe, *inFlight); err != nil {
 		fmt.Fprintln(os.Stderr, "smatch-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, dsName, cmd string, userID profile.ID, topK, theta int, kBits uint, batch int, verify bool, timeout time.Duration, retries int, backoff time.Duration) error {
+func run(server, dsName, cmd string, userID profile.ID, topK, theta int, kBits uint, batch int, verify bool, timeout time.Duration, retries int, backoff time.Duration, noPipe bool, inFlight int) error {
 	ds, err := dataset.ByName(dsName)
 	if err != nil {
 		return err
 	}
-	conn, err := client.Dial(server, client.Options{Timeout: timeout, MaxRetries: retries, RetryBackoff: backoff})
+	conn, err := client.Dial(server, client.Options{
+		Timeout: timeout, MaxRetries: retries, RetryBackoff: backoff,
+		DisablePipeline: noPipe, MaxInFlight: inFlight,
+	})
 	if err != nil {
 		return err
 	}

@@ -40,40 +40,40 @@ func startTestServer(t *testing.T) string {
 func TestClientUploadAndQuery(t *testing.T) {
 	addr := startTestServer(t)
 	// Upload two users, then query one for the other with verification.
-	if err := run(addr, "Infocom06", "upload", 1, 5, 8, 64, 64, false, 10*time.Second, 2, 50*time.Millisecond); err != nil {
+	if err := run(addr, "Infocom06", "upload", 1, 5, 8, 64, 64, false, 10*time.Second, 2, 50*time.Millisecond, false, 0); err != nil {
 		t.Fatalf("upload user 1: %v", err)
 	}
-	if err := run(addr, "Infocom06", "upload", 2, 5, 8, 64, 64, false, 10*time.Second, 2, 50*time.Millisecond); err != nil {
+	if err := run(addr, "Infocom06", "upload", 2, 5, 8, 64, 64, false, 10*time.Second, 2, 50*time.Millisecond, false, 0); err != nil {
 		t.Fatalf("upload user 2: %v", err)
 	}
-	if err := run(addr, "Infocom06", "query", 1, 5, 8, 64, 64, true, 10*time.Second, 2, 50*time.Millisecond); err != nil {
+	if err := run(addr, "Infocom06", "query", 1, 5, 8, 64, 64, true, 10*time.Second, 2, 50*time.Millisecond, false, 0); err != nil {
 		t.Fatalf("query: %v", err)
 	}
 }
 
 func TestClientUnknownUser(t *testing.T) {
 	addr := startTestServer(t)
-	if err := run(addr, "Infocom06", "upload", 9999, 5, 8, 64, 64, false, 10*time.Second, 2, 50*time.Millisecond); err == nil {
+	if err := run(addr, "Infocom06", "upload", 9999, 5, 8, 64, 64, false, 10*time.Second, 2, 50*time.Millisecond, false, 0); err == nil {
 		t.Error("upload of nonexistent user succeeded")
 	}
 }
 
 func TestClientUnknownCommand(t *testing.T) {
 	addr := startTestServer(t)
-	if err := run(addr, "Infocom06", "destroy", 1, 5, 8, 64, 64, false, 10*time.Second, 2, 50*time.Millisecond); err == nil {
+	if err := run(addr, "Infocom06", "destroy", 1, 5, 8, 64, 64, false, 10*time.Second, 2, 50*time.Millisecond, false, 0); err == nil {
 		t.Error("unknown command accepted")
 	}
 }
 
 func TestClientUnknownDataset(t *testing.T) {
-	if err := run("127.0.0.1:1", "Orkut", "upload", 1, 5, 8, 64, 64, false, time.Second, 2, 50*time.Millisecond); err == nil {
+	if err := run("127.0.0.1:1", "Orkut", "upload", 1, 5, 8, 64, 64, false, time.Second, 2, 50*time.Millisecond, false, 0); err == nil {
 		t.Error("unknown dataset accepted")
 	}
 }
 
 func TestClientQueryBeforeUpload(t *testing.T) {
 	addr := startTestServer(t)
-	if err := run(addr, "Infocom06", "query", 1, 5, 8, 64, 64, false, 10*time.Second, 2, 50*time.Millisecond); err == nil {
+	if err := run(addr, "Infocom06", "query", 1, 5, 8, 64, 64, false, 10*time.Second, 2, 50*time.Millisecond, false, 0); err == nil {
 		t.Error("query for never-uploaded user succeeded")
 	}
 }

@@ -24,6 +24,12 @@
 // connections (overflow dials are turned away after a short backpressure
 // window), and SIGINT/SIGTERM triggers a graceful drain — stop accepting,
 // finish in-flight requests within -drain-timeout, then close.
+//
+// Clients that speak protocol v2 (negotiated with a Hello frame; current
+// smatch tooling does this automatically) get a pipelined connection:
+// up to -pipeline-depth requests in flight at once, handled by a worker
+// pool and answered out of order by request ID. v1 clients are served
+// lockstep, byte-for-byte as before.
 package main
 
 import (
@@ -54,6 +60,7 @@ func main() {
 		maxTopK      = flag.Int("max-topk", 100, "cap on per-query result count")
 		maxConns     = flag.Int("max-conns", 0, "cap on concurrent connections (0 = unlimited); at the cap, accepts stop and overflow dials are turned away")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline; stalled readers are dropped")
+		pipeDepth    = flag.Int("pipeline-depth", 32, "per-connection cap on in-flight pipelined (protocol v2) requests; also the worker count per pipelined connection")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for in-flight requests before force-close")
 		storePath    = flag.String("store", "", "snapshot file: restored at startup, saved on shutdown and every 5 minutes")
 		walDir       = flag.String("wal", "", "write-ahead log directory: journal every mutation before acknowledging it, recover checkpoint+log at startup")
@@ -62,13 +69,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*listen, *oprfBits, *maxTopK, *maxConns, *writeTimeout, *drainTimeout, *storePath, *walDir, *metricsAddr, *pprofAddr); err != nil {
+	if err := run(*listen, *oprfBits, *maxTopK, *maxConns, *pipeDepth, *writeTimeout, *drainTimeout, *storePath, *walDir, *metricsAddr, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "smatch-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, oprfBits, maxTopK, maxConns int, writeTimeout, drainTimeout time.Duration, storePath, walDir, metricsAddr, pprofAddr string) error {
+func run(listen string, oprfBits, maxTopK, maxConns, pipeDepth int, writeTimeout, drainTimeout time.Duration, storePath, walDir, metricsAddr, pprofAddr string) error {
 	log.Printf("generating %d-bit RSA-OPRF key...", oprfBits)
 	oprfSrv, err := oprf.NewServer(oprfBits)
 	if err != nil {
@@ -86,16 +93,17 @@ func run(listen string, oprfBits, maxTopK, maxConns int, writeTimeout, drainTime
 		defer journal.Close()
 	}
 	srv, err := server.New(server.Config{
-		OPRF:         oprfSrv,
-		MaxTopK:      maxTopK,
-		ReadTimeout:  60 * time.Second,
-		WriteTimeout: writeTimeout,
-		MaxConns:     maxConns,
-		DrainTimeout: drainTimeout,
-		Logf:         log.Printf,
-		Store:        store,
-		Metrics:      reg,
-		Journal:      journal,
+		OPRF:          oprfSrv,
+		MaxTopK:       maxTopK,
+		ReadTimeout:   60 * time.Second,
+		WriteTimeout:  writeTimeout,
+		MaxConns:      maxConns,
+		PipelineDepth: pipeDepth,
+		DrainTimeout:  drainTimeout,
+		Logf:          log.Printf,
+		Store:         store,
+		Metrics:       reg,
+		Journal:       journal,
 	})
 	if err != nil {
 		return err

@@ -5,14 +5,27 @@
 // can derive profile keys through the network exactly as the paper's
 // Android client does.
 //
+// On dial the client offers the v2 pipelined protocol with a hello
+// frame. Against a v2 server the connection becomes a request
+// multiplexer: concurrent callers share it, each request carries a
+// 64-bit ID, and a reader goroutine routes responses back by ID — so a
+// slow query does not block an OPRF round behind it. Against a v1
+// server (which answers the hello with an error frame, or closes) the
+// client falls back to the legacy lockstep exchange, byte-for-byte the
+// protocol this package has always spoken.
+//
 // The transport is resilient in the way a mobile device has to be: any
 // I/O error or stream desync marks the connection broken (it is never
 // reused, so an aborted response can't bleed into the next request), the
 // next request transparently redials, and idempotent requests — query,
 // OPRF, remove — are retried a bounded number of times with jittered
-// exponential backoff. Uploads are not idempotent over this protocol (a
-// duplicate is observable server-side), so they surface the error and let
-// the caller decide.
+// exponential backoff. On a multiplexed connection a request timeout
+// poisons the connection only when the conn has been completely silent
+// since the request started; if other responses kept arriving, only the
+// one request fails (retryably) and every other caller keeps its
+// connection. Uploads are not idempotent over this protocol (a duplicate
+// is observable server-side), so they surface the error and let the
+// caller decide.
 package client
 
 import (
@@ -39,16 +52,18 @@ var ErrServer = errors.New("client: server error")
 // ErrClosed is returned for requests issued after Close.
 var ErrClosed = errors.New("client: connection closed")
 
-// Conn is a client connection. Requests are serialized: the wire protocol
-// is strict request/response per connection. Safe for concurrent use.
+// Conn is a client connection. Safe for concurrent use: on a pipelined
+// (v2) connection concurrent requests genuinely interleave on the wire;
+// on a lockstep (v1) connection they serialize.
 type Conn struct {
 	addr string
 	opts Options
 
 	mu     sync.Mutex
-	conn   *tls.Conn // nil until (re)connected
-	broken bool      // conn poisoned by an I/O error or desync
+	sess   session // nil until (re)connected
 	closed bool
+	dialed bool // a session has existed; later dials count as reconnects
+	noV2   bool // server rejected the hello; don't offer it again
 
 	queryID atomic.Uint64
 }
@@ -72,6 +87,13 @@ type Options struct {
 	RetryBackoff time.Duration
 	// MaxRetryBackoff caps the backoff envelope. Zero means 2s.
 	MaxRetryBackoff time.Duration
+	// MaxInFlight caps how many requests may be outstanding at once on a
+	// pipelined connection; callers beyond the cap wait for a slot. The
+	// server may negotiate it down in the hello exchange. Zero means 32.
+	MaxInFlight int
+	// DisablePipeline skips the v2 hello entirely and speaks the legacy
+	// lockstep protocol, exactly as pre-pipelining clients did.
+	DisablePipeline bool
 	// Metrics, when non-nil, receives the client_* resilience counters
 	// (broken connections, reconnects, retries) — e.g. from a load
 	// generator exporting its own /metrics.
@@ -101,22 +123,44 @@ func (o Options) withDefaults() Options {
 	if o.MaxRetryBackoff == 0 {
 		o.MaxRetryBackoff = 2 * time.Second
 	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 32
+	}
+	if o.MaxInFlight > 65535 {
+		o.MaxInFlight = 65535 // the hello carries it as a uint16
+	}
 	return o
 }
 
-// Dial connects to an S-MATCH server.
+// session is the transport behind one dialed connection: either the v1
+// lockstep exchange or the v2 request multiplexer. A session that breaks
+// is discarded whole; Conn dials a replacement on the next request.
+type session interface {
+	// do performs one request/response. It returns the response payload,
+	// or: a server-reported error (healthy stream), a *connFailure (the
+	// session is poisoned), or a *requestTimeout (this request gave up
+	// but the session remains usable).
+	do(t wire.MsgType, payload []byte, want wire.MsgType, timeout time.Duration) ([]byte, error)
+	// abandon poisons the session from outside the round-trip path (e.g.
+	// a response that decodes but belongs to a different query).
+	abandon()
+	// broken reports whether the session has been poisoned.
+	broken() bool
+	// close releases the session's conn and any goroutines.
+	close()
+}
+
+// Dial connects to an S-MATCH server and negotiates the protocol.
 func Dial(addr string, opts Options) (*Conn, error) {
 	c := &Conn{addr: addr, opts: opts.withDefaults()}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.connectLocked(); err != nil {
+	if _, err := c.getSession(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// connectLocked dials and completes the TLS handshake under the timeout.
-func (c *Conn) connectLocked() error {
+// dialTLS dials and completes the TLS handshake under the timeout.
+func (c *Conn) dialTLS() (*tls.Conn, error) {
 	dial := c.opts.Dialer
 	if dial == nil {
 		d := &net.Dialer{Timeout: c.opts.Timeout}
@@ -124,18 +168,101 @@ func (c *Conn) connectLocked() error {
 	}
 	raw, err := dial("tcp", c.addr)
 	if err != nil {
-		return fmt.Errorf("client: dial %s: %w", c.addr, err)
+		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
 	}
 	tc := tls.Client(raw, c.opts.TLSConfig)
 	_ = tc.SetDeadline(time.Now().Add(c.opts.Timeout))
 	if err := tc.Handshake(); err != nil {
 		tc.Close()
-		return fmt.Errorf("client: dial %s: %w", c.addr, err)
+		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
 	}
 	_ = tc.SetDeadline(time.Time{})
-	c.conn = tc
-	c.broken = false
-	return nil
+	return tc, nil
+}
+
+// getSession returns the live session, dialing (and negotiating the
+// protocol) if the previous one broke or none exists yet.
+func (c *Conn) getSession() (session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.sess != nil && !c.sess.broken() {
+		return c.sess, nil
+	}
+	if c.sess != nil {
+		c.sess.close()
+		c.sess = nil
+	}
+	sess, err := c.negotiate()
+	if err != nil {
+		return nil, err
+	}
+	if c.dialed {
+		if m := c.opts.Metrics; m != nil {
+			m.ClientReconnects.Add(1)
+		}
+	}
+	c.dialed = true
+	c.sess = sess
+	return sess, nil
+}
+
+// negotiate dials and establishes a session. Unless pipelining is off it
+// offers v2 with a hello frame (still in v1 framing): a TypeHelloResp
+// upgrades the connection to a multiplexer; a TypeError is a v1 server
+// politely declining, so the same connection continues in lockstep; a
+// closed connection is a v1 server that drops unknown frame types, so we
+// redial once and speak lockstep. Either rejection is remembered —
+// later redials skip the wasted round trip.
+func (c *Conn) negotiate() (session, error) {
+	tc, err := c.dialTLS()
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.DisablePipeline || c.noV2 {
+		return &lockstepSession{conn: tc, metrics: c.opts.Metrics}, nil
+	}
+	_ = tc.SetDeadline(time.Now().Add(c.opts.Timeout))
+	hello := wire.Hello{Version: wire.ProtocolV2, Depth: uint16(c.opts.MaxInFlight)}
+	if err := wire.WriteFrame(tc, wire.TypeHello, hello.Encode()); err != nil {
+		tc.Close()
+		return nil, &connFailure{fmt.Errorf("client: sending hello: %w", err)}
+	}
+	t, payload, err := wire.ReadFrame(tc)
+	if err != nil {
+		// v1 servers that drop unknown frame types close the conn.
+		tc.Close()
+		c.noV2 = true
+		tc, err = c.dialTLS()
+		if err != nil {
+			return nil, err
+		}
+		return &lockstepSession{conn: tc, metrics: c.opts.Metrics}, nil
+	}
+	_ = tc.SetDeadline(time.Time{})
+	switch t {
+	case wire.TypeHelloResp:
+		ack, derr := wire.DecodeHello(payload)
+		if derr != nil {
+			tc.Close()
+			return nil, &connFailure{fmt.Errorf("client: bad hello ack: %w", derr)}
+		}
+		window := c.opts.MaxInFlight
+		if d := int(ack.Depth); d > 0 && d < window {
+			window = d
+		}
+		return newMuxSession(tc, window, c.opts.Metrics), nil
+	case wire.TypeError:
+		// A v1 server answers an unknown type with an error frame and
+		// keeps the stream in sync: continue on this conn in lockstep.
+		c.noV2 = true
+		return &lockstepSession{conn: tc, metrics: c.opts.Metrics}, nil
+	default:
+		tc.Close()
+		return nil, &connFailure{fmt.Errorf("client: unexpected hello response type %d", t)}
+	}
 }
 
 // Close shuts the connection down; subsequent requests fail with ErrClosed.
@@ -143,17 +270,26 @@ func (c *Conn) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
-	if c.conn == nil {
-		return nil
+	if c.sess != nil {
+		c.sess.close()
+		c.sess = nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
+	return nil
 }
 
-// connFailure marks an error that poisoned the connection (I/O failure or
-// stream desync): the conn must not be reused, and idempotent requests may
-// be retried on a fresh one.
+// markBroken poisons the current session from outside the round-trip
+// path (e.g. a response that decodes but belongs to a different query).
+func (c *Conn) markBroken() {
+	c.mu.Lock()
+	if c.sess != nil {
+		c.sess.abandon()
+	}
+	c.mu.Unlock()
+}
+
+// connFailure marks an error that poisoned the session (I/O failure or
+// stream desync): the conn must not be reused, and idempotent requests
+// may be retried on a fresh one.
 type connFailure struct{ err error }
 
 func (e *connFailure) Error() string { return e.err.Error() }
@@ -162,6 +298,20 @@ func (e *connFailure) Unwrap() error { return e.err }
 func isConnFailure(err error) bool {
 	var cf *connFailure
 	return errors.As(err, &cf)
+}
+
+// requestTimeout marks a request that gave up waiting on a multiplexed
+// connection that is demonstrably still alive (responses to other
+// requests kept arriving): the session stays usable, and idempotent
+// requests may be retried on it.
+type requestTimeout struct{ err error }
+
+func (e *requestTimeout) Error() string { return e.err.Error() }
+func (e *requestTimeout) Unwrap() error { return e.err }
+
+func isRequestTimeout(err error) bool {
+	var rt *requestTimeout
+	return errors.As(err, &rt)
 }
 
 // backoffDelay computes the jittered delay before the n-th retry (n >= 1):
@@ -183,68 +333,40 @@ func backoffDelay(n int, base, max time.Duration) time.Duration {
 	return half + time.Duration(rand.Int64N(int64(half)+1))
 }
 
-func (c *Conn) markBrokenLocked() {
-	if c.broken {
-		return
-	}
-	c.broken = true
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-	}
-	if m := c.opts.Metrics; m != nil {
-		m.ClientBrokenConns.Add(1)
-	}
-}
-
-// markBroken poisons the connection from outside the round-trip path
-// (e.g. a response that decodes but belongs to a different query).
-func (c *Conn) markBroken() {
-	c.mu.Lock()
-	c.markBrokenLocked()
-	c.mu.Unlock()
-}
-
-// roundTrip sends one frame and reads the response, translating server
-// error frames. Connection-level failures poison the conn; idempotent
-// requests are then retried on a fresh connection with backoff, while
-// non-idempotent ones surface the error (the next request will redial).
+// roundTrip sends one request and awaits its response, translating server
+// error frames. Session-poisoning failures cause a redial; those and
+// non-poisoning request timeouts are retried (with backoff) when the
+// request is idempotent, while non-idempotent ones surface the error
+// (the next request will redial as needed).
 func (c *Conn) roundTrip(t wire.MsgType, payload []byte, wantType wire.MsgType, idempotent bool) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	attempts := 1
 	if idempotent {
 		attempts += c.opts.MaxRetries
 	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
-		if c.closed {
-			return nil, ErrClosed
-		}
 		if attempt > 0 {
 			if m := c.opts.Metrics; m != nil {
 				m.ClientRetries.Add(1)
 			}
 			time.Sleep(backoffDelay(attempt, c.opts.RetryBackoff, c.opts.MaxRetryBackoff))
-			if c.closed {
-				return nil, ErrClosed
-			}
 		}
-		if c.conn == nil || c.broken {
-			if err := c.reconnectLocked(); err != nil {
-				lastErr = err
-				continue
+		sess, err := c.getSession()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil, err
 			}
+			lastErr = err
+			continue
 		}
-		resp, err := c.exchangeLocked(t, payload, wantType)
+		resp, err := sess.do(t, payload, wantType, c.opts.Timeout)
 		if err == nil {
 			return resp, nil
 		}
 		lastErr = err
-		if !isConnFailure(err) {
+		if !isConnFailure(err) && !isRequestTimeout(err) {
 			return nil, err // server-reported error on a healthy stream
 		}
-		c.markBrokenLocked()
 		if !idempotent {
 			return nil, err
 		}
@@ -252,48 +374,273 @@ func (c *Conn) roundTrip(t wire.MsgType, payload []byte, wantType wire.MsgType, 
 	return nil, lastErr
 }
 
-// reconnectLocked replaces a broken or missing conn with a fresh dial.
-func (c *Conn) reconnectLocked() error {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-	}
-	if err := c.connectLocked(); err != nil {
-		return err
-	}
-	if m := c.opts.Metrics; m != nil {
-		m.ClientReconnects.Add(1)
-	}
-	return nil
-}
-
-// exchangeLocked performs one request/response on the current conn.
-func (c *Conn) exchangeLocked(t wire.MsgType, payload []byte, wantType wire.MsgType) ([]byte, error) {
-	deadline := time.Now().Add(c.opts.Timeout)
-	if err := c.conn.SetDeadline(deadline); err != nil {
-		return nil, &connFailure{fmt.Errorf("client: setting deadline: %w", err)}
-	}
-	if err := wire.WriteFrame(c.conn, t, payload); err != nil {
-		return nil, &connFailure{err}
-	}
-	respType, respPayload, err := wire.ReadFrame(c.conn)
-	if err != nil {
-		return nil, &connFailure{fmt.Errorf("client: reading response: %w", err)}
-	}
+// interpret translates one raw response frame: server error frames
+// become ErrServer (the stream stays healthy), and a mismatched type
+// means the stream is desynchronized, which poisons the session.
+func interpret(respType wire.MsgType, payload []byte, wantType wire.MsgType) ([]byte, error) {
 	if respType == wire.TypeError {
-		msg, derr := wire.DecodeErrorMsg(respPayload)
+		msg, derr := wire.DecodeErrorMsg(payload)
 		if derr != nil {
 			return nil, &connFailure{fmt.Errorf("%w: undecodable error frame", ErrServer)}
 		}
 		return nil, fmt.Errorf("%w: %s", ErrServer, msg.Text)
 	}
 	if respType != wantType {
-		// A mismatched type means the stream is desynchronized (e.g. the
-		// response to an earlier, abandoned request): poison the conn so
-		// no later request reads leftover bytes.
 		return nil, &connFailure{fmt.Errorf("client: got message type %d, want %d", respType, wantType)}
 	}
-	return respPayload, nil
+	return payload, nil
+}
+
+// lockstepSession is the legacy v1 transport: one request/response at a
+// time, concurrent callers serialized on the session mutex.
+type lockstepSession struct {
+	conn    *tls.Conn
+	metrics *metrics.Registry
+
+	mu   sync.Mutex
+	dead bool
+}
+
+func (s *lockstepSession) do(t wire.MsgType, payload []byte, wantType wire.MsgType, timeout time.Duration) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return nil, &connFailure{errors.New("client: connection broken")}
+	}
+	resp, err := s.exchange(t, payload, wantType, timeout)
+	if isConnFailure(err) {
+		s.poisonLocked()
+	}
+	return resp, err
+}
+
+func (s *lockstepSession) exchange(t wire.MsgType, payload []byte, wantType wire.MsgType, timeout time.Duration) ([]byte, error) {
+	if err := s.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, &connFailure{fmt.Errorf("client: setting deadline: %w", err)}
+	}
+	if err := wire.WriteFrame(s.conn, t, payload); err != nil {
+		return nil, &connFailure{err}
+	}
+	respType, respPayload, err := wire.ReadFrame(s.conn)
+	if err != nil {
+		return nil, &connFailure{fmt.Errorf("client: reading response: %w", err)}
+	}
+	return interpret(respType, respPayload, wantType)
+}
+
+func (s *lockstepSession) poisonLocked() {
+	if s.dead {
+		return
+	}
+	s.dead = true
+	s.conn.Close()
+	if s.metrics != nil {
+		s.metrics.ClientBrokenConns.Add(1)
+	}
+}
+
+func (s *lockstepSession) abandon() {
+	s.mu.Lock()
+	s.poisonLocked()
+	s.mu.Unlock()
+}
+
+func (s *lockstepSession) broken() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead
+}
+
+func (s *lockstepSession) close() {
+	s.mu.Lock()
+	s.dead = true
+	s.conn.Close()
+	s.mu.Unlock()
+}
+
+// muxSession is the v2 transport: requests from concurrent callers are
+// written (under a write mutex) with unique IDs, and a single reader
+// goroutine routes response frames back to waiting callers by ID.
+type muxSession struct {
+	conn    *tls.Conn
+	metrics *metrics.Registry
+	window  chan struct{} // in-flight slots
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan muxResult
+	err     error // non-nil once the session is poisoned
+	nextID  uint64
+
+	// lastRead is the UnixNano of the most recent successfully read
+	// frame; a timed-out request consults it to distinguish a dead
+	// connection (silent since the request started → poison) from a
+	// merely slow response on a live one (→ fail just this request).
+	lastRead atomic.Int64
+
+	readerDone chan struct{}
+}
+
+type muxResult struct {
+	t       wire.MsgType
+	payload []byte
+	err     error
+}
+
+func newMuxSession(conn *tls.Conn, window int, m *metrics.Registry) *muxSession {
+	s := &muxSession{
+		conn:       conn,
+		metrics:    m,
+		window:     make(chan struct{}, window),
+		pending:    make(map[uint64]chan muxResult),
+		readerDone: make(chan struct{}),
+	}
+	s.lastRead.Store(time.Now().UnixNano())
+	go s.readLoop()
+	return s
+}
+
+// readLoop routes every inbound frame to the caller registered under its
+// request ID. It blocks without a read deadline: per-request timeouts
+// live with the callers, and a server-side idle close simply ends the
+// session (the next request redials). Any read error poisons the whole
+// session — frames are self-delimiting, so a failed read means the
+// stream can no longer be trusted.
+func (s *muxSession) readLoop() {
+	defer close(s.readerDone)
+	for {
+		id, t, payload, err := wire.ReadFrameV2(s.conn)
+		if err != nil {
+			s.fail(&connFailure{fmt.Errorf("client: reading response: %w", err)})
+			return
+		}
+		s.lastRead.Store(time.Now().UnixNano())
+		s.mu.Lock()
+		ch, ok := s.pending[id]
+		if ok {
+			delete(s.pending, id)
+		}
+		s.mu.Unlock()
+		if ok {
+			ch <- muxResult{t: t, payload: payload} // buffered; never blocks
+		}
+		// An unknown ID is a response to a request we abandoned on
+		// timeout; the frame is complete, so the stream stays in sync.
+	}
+}
+
+// fail poisons the session: every parked caller gets the error, future
+// callers are refused, and the conn is closed (unblocking the reader).
+func (s *muxSession) fail(err error) {
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.err = err
+	parked := s.pending
+	s.pending = make(map[uint64]chan muxResult)
+	s.mu.Unlock()
+	s.conn.Close()
+	if s.metrics != nil {
+		s.metrics.ClientBrokenConns.Add(1)
+	}
+	for _, ch := range parked {
+		ch <- muxResult{err: err}
+	}
+}
+
+func (s *muxSession) do(t wire.MsgType, payload []byte, wantType wire.MsgType, timeout time.Duration) ([]byte, error) {
+	start := time.Now()
+	select {
+	case s.window <- struct{}{}:
+	case <-s.readerDone:
+		return nil, s.failure()
+	case <-time.After(timeout):
+		// The in-flight window stayed full for the whole timeout. The
+		// conn itself may be fine (slow server, saturated window), so
+		// fail only this request.
+		return nil, &requestTimeout{errors.New("client: in-flight window full")}
+	}
+	defer func() { <-s.window }()
+
+	ch := make(chan muxResult, 1)
+	s.mu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.nextID++
+	id := s.nextID
+	s.pending[id] = ch
+	s.mu.Unlock()
+
+	s.writeMu.Lock()
+	err := s.conn.SetWriteDeadline(time.Now().Add(timeout))
+	if err == nil {
+		err = wire.WriteFrameV2(s.conn, id, t, payload)
+	}
+	s.writeMu.Unlock()
+	if err != nil {
+		s.forget(id)
+		cf := &connFailure{err}
+		s.fail(cf)
+		return nil, cf
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return nil, res.err
+		}
+		return interpret(res.t, res.payload, wantType)
+	case <-timer.C:
+		s.forget(id)
+		if s.lastRead.Load() < start.UnixNano() {
+			// Not one frame since before this request began: the
+			// connection is dead, not slow.
+			cf := &connFailure{errors.New("client: request timed out on a silent connection")}
+			s.fail(cf)
+			return nil, cf
+		}
+		return nil, &requestTimeout{errors.New("client: request timed out")}
+	}
+}
+
+// forget unregisters a request that is no longer waiting; a late
+// response for its ID will be discarded by the reader.
+func (s *muxSession) forget(id uint64) {
+	s.mu.Lock()
+	delete(s.pending, id)
+	s.mu.Unlock()
+}
+
+func (s *muxSession) failure() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return &connFailure{errors.New("client: connection broken")}
+}
+
+func (s *muxSession) abandon() {
+	s.fail(&connFailure{errors.New("client: connection abandoned after desync")})
+}
+
+func (s *muxSession) broken() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err != nil
+}
+
+func (s *muxSession) close() {
+	s.conn.Close() // reader exits and fails any parked callers
+	<-s.readerDone
 }
 
 // Upload sends an encrypted profile record to the server. Uploads are not

@@ -1,9 +1,12 @@
-// Resilience tests for the client transport: connection poisoning after
-// timeouts (no cross-request desync), bounded retry for idempotent
-// requests, uploads surfacing errors instead of retrying, and the backoff
-// envelope. Each test runs a scripted TLS server whose per-connection
-// behavior is chosen by connection index, so "first connection misbehaves,
-// the redial works" is deterministic.
+// Resilience tests for the legacy lockstep (v1) client path: connection
+// poisoning after timeouts (no cross-request desync), bounded retry for
+// idempotent requests, uploads surfacing errors instead of retrying, and
+// the backoff envelope. Each test runs a scripted TLS server whose
+// per-connection behavior is chosen by connection index, so "first
+// connection misbehaves, the redial works" is deterministic; the scripts
+// speak raw v1 frames, so the clients set DisablePipeline to skip the
+// hello (the pipelined path and the fallback negotiation have their own
+// suites in mux_test.go).
 package client
 
 import (
@@ -96,7 +99,7 @@ func TestTimeoutPoisonsConnNoDesync(t *testing.T) {
 		respondQueries(t, conn, delay)
 	})
 	reg := metrics.New()
-	c, err := Dial(addr, Options{Timeout: 150 * time.Millisecond, MaxRetries: -1, Metrics: reg})
+	c, err := Dial(addr, Options{DisablePipeline: true, Timeout: 150 * time.Millisecond, MaxRetries: -1, Metrics: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +138,7 @@ func TestIdempotentRetryRecovers(t *testing.T) {
 		respondQueries(t, conn, 0)
 	})
 	reg := metrics.New()
-	c, err := Dial(addr, Options{Timeout: 2 * time.Second, MaxRetries: 2, RetryBackoff: 5 * time.Millisecond, Metrics: reg})
+	c, err := Dial(addr, Options{DisablePipeline: true, Timeout: 2 * time.Second, MaxRetries: 2, RetryBackoff: 5 * time.Millisecond, Metrics: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +166,7 @@ func TestRetriesExhaustedSurfacesError(t *testing.T) {
 		conn.Write([]byte{0x00})
 	})
 	reg := metrics.New()
-	c, err := Dial(addr, Options{Timeout: time.Second, MaxRetries: 2, RetryBackoff: 5 * time.Millisecond, Metrics: reg})
+	c, err := Dial(addr, Options{DisablePipeline: true, Timeout: time.Second, MaxRetries: 2, RetryBackoff: 5 * time.Millisecond, Metrics: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +214,7 @@ func TestUploadNotRetriedButConnRecovers(t *testing.T) {
 		}
 	})
 	reg := metrics.New()
-	c, err := Dial(addr, Options{Timeout: time.Second, MaxRetries: 3, RetryBackoff: 5 * time.Millisecond, Metrics: reg})
+	c, err := Dial(addr, Options{DisablePipeline: true, Timeout: time.Second, MaxRetries: 3, RetryBackoff: 5 * time.Millisecond, Metrics: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +248,7 @@ func TestRequestAfterCloseFails(t *testing.T) {
 	addr := scriptServer(t, func(i int, conn net.Conn) {
 		respondQueries(t, conn, 0)
 	})
-	c, err := Dial(addr, Options{Timeout: time.Second})
+	c, err := Dial(addr, Options{DisablePipeline: true, Timeout: time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -242,11 +242,18 @@ func insertSorted(buckets map[string][]*stored, rec *stored) {
 	buckets[key] = bucket
 }
 
+// removeSorted unfiles rec from its bucket. The bucket is sorted by order
+// sum and sums never mutate after insertion, so rec can only live inside
+// the run of entries whose sum equals its own: binary-search to the start
+// of that run, then scan just the run instead of the whole bucket.
 func removeSorted(buckets map[string][]*stored, rec *stored) {
 	key := string(rec.KeyHash)
 	bucket := buckets[key]
-	for i, r := range bucket {
-		if r == rec {
+	i := sort.Search(len(bucket), func(i int) bool {
+		return bucket[i].orderSum.Cmp(rec.orderSum) >= 0
+	})
+	for ; i < len(bucket) && bucket[i].orderSum.Cmp(rec.orderSum) == 0; i++ {
+		if bucket[i] == rec {
 			buckets[key] = append(bucket[:i], bucket[i+1:]...)
 			break
 		}

@@ -243,6 +243,39 @@ func TestRemove(t *testing.T) {
 	}
 }
 
+func TestRemoveWithinEqualSumRun(t *testing.T) {
+	// removeSorted binary-searches to the run of equal order sums and scans
+	// only that run; every member of a long tie run (plus entries on both
+	// sides of it) must still be removable, in any order.
+	s := NewServer()
+	must(t, s.Upload(entry(1, "b", 5)))
+	for i := 2; i <= 9; i++ {
+		must(t, s.Upload(entry(profile.ID(i), "b", 50))) // 8-way tie
+	}
+	must(t, s.Upload(entry(10, "b", 500)))
+	for _, id := range []profile.ID{5, 2, 9, 1, 10, 7, 3, 8, 4, 6} {
+		if err := s.Remove(id); err != nil {
+			t.Fatalf("Remove(%d): %v", id, err)
+		}
+	}
+	if s.NumUsers() != 0 || s.NumBuckets() != 0 {
+		t.Errorf("store not empty after removing all: %d users, %d buckets",
+			s.NumUsers(), s.NumBuckets())
+	}
+	// Re-uploads into a fresh tie run (the re-key path also uses
+	// removeSorted) keep the store consistent.
+	for i := 1; i <= 4; i++ {
+		must(t, s.Upload(entry(profile.ID(i), "b", 7)))
+	}
+	for i := 1; i <= 4; i++ {
+		must(t, s.Upload(entry(profile.ID(i), "c", 7))) // move buckets
+	}
+	if s.BucketSize([]byte("b")) != 0 || s.BucketSize([]byte("c")) != 4 {
+		t.Errorf("bucket sizes after re-key: b=%d c=%d, want 0 and 4",
+			s.BucketSize([]byte("b")), s.BucketSize([]byte("c")))
+	}
+}
+
 func TestConcurrentUploadAndMatch(t *testing.T) {
 	s := NewServer()
 	for i := 1; i <= 50; i++ {

@@ -162,9 +162,26 @@ type Registry struct {
 	OPRFEvals     atomic.Uint64
 	Errors        atomic.Uint64
 
-	// Connection gauges.
-	ActiveConns atomic.Int64
-	TotalConns  atomic.Uint64
+	// Connection gauges. PipelinedConns counts connections that upgraded
+	// to the v2 pipelined protocol via a hello exchange.
+	ActiveConns    atomic.Int64
+	TotalConns     atomic.Uint64
+	PipelinedConns atomic.Uint64
+
+	// Per-operation in-flight gauges: requests currently inside their
+	// service handler (decode through encode). Under the pipelined
+	// protocol several can be live at once on a single connection, so
+	// these expose the concurrency the latency histograms average away.
+	UploadsInFlight atomic.Int64
+	MatchesInFlight atomic.Int64
+	RemovesInFlight atomic.Int64
+	OPRFInFlight    atomic.Int64
+
+	// PipelineQueueDepth gauges requests accepted by pipelined readers but
+	// not yet picked up by a worker — a sustained nonzero depth means the
+	// worker pools are saturated and -pipeline-depth (or the host) is the
+	// bottleneck.
+	PipelineQueueDepth atomic.Int64
 
 	// Connection-lifecycle counters (server side). ReadTimeouts counts
 	// idle/stalled reads reaped by the read deadline; WriteTimeouts counts
@@ -234,15 +251,24 @@ func (r *Registry) RegisterGauge(name string, fn func() any) {
 // Snapshot renders the registry as an ordered JSON-ready map.
 func (r *Registry) Snapshot() map[string]any {
 	out := map[string]any{
-		"uptime_seconds": time.Since(r.start).Seconds(),
-		"uploads":        r.Uploads.Load(),
-		"upload_batches": r.UploadBatches.Load(),
-		"matches":        r.Matches.Load(),
-		"removes":        r.Removes.Load(),
-		"oprf_evals":     r.OPRFEvals.Load(),
-		"errors":         r.Errors.Load(),
-		"active_conns":   r.ActiveConns.Load(),
-		"total_conns":    r.TotalConns.Load(),
+		"uptime_seconds":  time.Since(r.start).Seconds(),
+		"uploads":         r.Uploads.Load(),
+		"upload_batches":  r.UploadBatches.Load(),
+		"matches":         r.Matches.Load(),
+		"removes":         r.Removes.Load(),
+		"oprf_evals":      r.OPRFEvals.Load(),
+		"errors":          r.Errors.Load(),
+		"active_conns":    r.ActiveConns.Load(),
+		"total_conns":     r.TotalConns.Load(),
+		"pipelined_conns": r.PipelinedConns.Load(),
+
+		"in_flight": map[string]int64{
+			"uploads": r.UploadsInFlight.Load(),
+			"matches": r.MatchesInFlight.Load(),
+			"removes": r.RemovesInFlight.Load(),
+			"oprf":    r.OPRFInFlight.Load(),
+		},
+		"pipeline_queue_depth": r.PipelineQueueDepth.Load(),
 
 		"read_timeouts":       r.ReadTimeouts.Load(),
 		"write_timeouts":      r.WriteTimeouts.Load(),

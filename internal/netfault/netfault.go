@@ -1,7 +1,7 @@
 // Package netfault wraps net.Conn with injectable transport faults for
-// chaos testing: fragmented (partial) writes, read/write delays, write
-// stalls that never make progress, and abrupt mid-frame resets after a
-// byte budget. The faults model what lossy mobile links and misbehaving
+// chaos testing: fragmented (partial) writes, read/write delays,
+// propagation (in-flight) latency, write stalls that never make
+// progress, and abrupt mid-frame resets after a byte budget. The faults model what lossy mobile links and misbehaving
 // peers do to a long-lived connection, so the server's deadlines and the
 // client's reconnect/retry layer can be exercised deterministically and
 // under -race.
@@ -35,6 +35,14 @@ type Faults struct {
 	ReadDelay time.Duration
 	// WriteDelay sleeps before every Write, simulating a slow uplink.
 	WriteDelay time.Duration
+	// PropagationDelay delays every written byte's arrival at the peer by
+	// this one-way latency WITHOUT serializing later writes behind it:
+	// Write copies the data, returns immediately, and a background
+	// goroutine releases the bytes in order once the delay elapses. Unlike
+	// WriteDelay (which models limited bandwidth — each write pays the
+	// cost), this models link propagation: many frames can be in flight at
+	// once, the regime wire pipelining targets. 0 disables.
+	PropagationDelay time.Duration
 	// StallWritesAfter stalls every Write indefinitely once this many
 	// bytes have been written — the peer sees a connection that stops
 	// making progress mid-stream. The stall is released only by Close
@@ -56,11 +64,51 @@ type Conn struct {
 
 	closeOnce sync.Once
 	closed    chan struct{} // closed by Close; releases stalls
+
+	delay   chan delayedWrite // propagation delay line, nil unless enabled
+	delayMu sync.Mutex
+	delayed error // first error from the delay-line writer
+}
+
+// delayedWrite is one Write's payload and the time it should reach the
+// underlying conn. Stamping the due time at enqueue keeps concurrent
+// writes overlapping in flight instead of queueing full delays serially.
+type delayedWrite struct {
+	p   []byte
+	due time.Time
 }
 
 // New wraps a connection with fault injection.
 func New(c net.Conn, f Faults) *Conn {
-	return &Conn{Conn: c, f: f, closed: make(chan struct{})}
+	fc := &Conn{Conn: c, f: f, closed: make(chan struct{})}
+	if f.PropagationDelay > 0 {
+		fc.delay = make(chan delayedWrite, 256)
+		go fc.delayLoop()
+	}
+	return fc
+}
+
+// delayLoop releases enqueued writes to the underlying conn in order,
+// each after the configured propagation delay. A single goroutine and a
+// FIFO channel keep the stream's byte order intact; only the arrival
+// time shifts.
+func (c *Conn) delayLoop() {
+	for {
+		select {
+		case w := <-c.delay:
+			c.sleep(time.Until(w.due))
+			if _, err := c.write(w.p); err != nil {
+				c.delayMu.Lock()
+				if c.delayed == nil {
+					c.delayed = err
+				}
+				c.delayMu.Unlock()
+				return
+			}
+		case <-c.closed:
+			return
+		}
+	}
 }
 
 // BytesWritten reports how many bytes have reached the underlying conn,
@@ -92,6 +140,32 @@ func (c *Conn) Read(p []byte) (int, error) {
 }
 
 func (c *Conn) Write(p []byte) (int, error) {
+	if c.delay != nil {
+		// Propagation-delay mode: hand the bytes to the delay line and
+		// report success immediately, like a kernel send buffer accepting
+		// data bound for a long pipe. Errors from the background writer
+		// surface on the next Write.
+		c.delayMu.Lock()
+		err := c.delayed
+		c.delayMu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		buf := make([]byte, len(p))
+		copy(buf, p)
+		select {
+		case c.delay <- delayedWrite{p: buf, due: time.Now().Add(c.f.PropagationDelay)}:
+			return len(p), nil
+		case <-c.closed:
+			return 0, net.ErrClosed
+		}
+	}
+	return c.write(p)
+}
+
+// write applies the synchronous write faults (delay, fragmentation,
+// stall, reset) and flushes to the underlying conn.
+func (c *Conn) write(p []byte) (int, error) {
 	c.sleep(c.f.WriteDelay)
 	total := 0
 	for len(p) > 0 {

@@ -123,6 +123,41 @@ func TestStalledWriteReleasedByClose(t *testing.T) {
 	}
 }
 
+func TestPropagationDelayOverlapsWrites(t *testing.T) {
+	a, b := tcpPair(t)
+	const delay = 80 * time.Millisecond
+	fc := New(a, Faults{PropagationDelay: delay})
+	defer fc.Close()
+
+	// Two back-to-back writes: both must return immediately (the delay is
+	// in-flight latency, not send cost), arrive in order, and arrive
+	// after roughly ONE delay — not two stacked serially.
+	start := time.Now()
+	if _, err := fc.Write([]byte("first.")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Write([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > delay/2 {
+		t.Errorf("writes blocked for %v, want immediate return", elapsed)
+	}
+	got := make([]byte, 12)
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if string(got) != "first.second" {
+		t.Errorf("stream reordered: got %q", got)
+	}
+	if elapsed < delay-10*time.Millisecond {
+		t.Errorf("bytes arrived after %v, want >= ~%v", elapsed, delay)
+	}
+	if elapsed > 2*delay-10*time.Millisecond {
+		t.Errorf("bytes arrived after %v: delays stacked serially instead of overlapping", elapsed)
+	}
+}
+
 func TestDelaysApply(t *testing.T) {
 	a, b := tcpPair(t)
 	fc := New(a, Faults{WriteDelay: 50 * time.Millisecond})

@@ -89,10 +89,11 @@ func NewJournal(w *wal.WAL) *Journal { return &Journal{wal: w} }
 // WAL exposes the underlying log (for checkpoint scheduling and tests).
 func (j *Journal) WAL() *wal.WAL { return j.wal }
 
-// begin pins one journal-then-apply pair against the checkpoint barrier;
+// Begin pins one journal-then-apply pair against the checkpoint barrier;
 // the caller must invoke the returned release after applying the
-// operation to the store.
-func (j *Journal) begin() func() {
+// operation to the store. The service layer's mutation handlers call it
+// around every journal-then-apply sequence.
+func (j *Journal) Begin() func() {
 	j.applyMu.RLock()
 	return j.applyMu.RUnlock
 }

@@ -21,18 +21,14 @@ import (
 	"math/big"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"smatch/internal/match"
 	"smatch/internal/metrics"
 	"smatch/internal/oprf"
+	"smatch/internal/service"
 	"smatch/internal/wire"
 )
-
-// maxOPRFBatch caps a single batched OPRF request; multi-probe key
-// generation needs a handful, so the cap only stops abuse.
-const maxOPRFBatch = 64
 
 // Config carries the server's dependencies and tunables.
 type Config struct {
@@ -60,6 +56,11 @@ type Config struct {
 	// DrainTimeout bounds a graceful shutdown: after it expires,
 	// connections still mid-request are force-closed. Zero means 5s.
 	DrainTimeout time.Duration
+	// PipelineDepth is the per-connection worker count (and job-queue
+	// bound) for connections that upgrade to the v2 pipelined protocol;
+	// it caps how many requests one connection can have executing at
+	// once. Zero means 32.
+	PipelineDepth int
 	// Logf receives structured-ish log lines; nil disables logging.
 	Logf func(format string, args ...any)
 	// Store supplies a pre-populated matching store (e.g. restored from a
@@ -92,6 +93,12 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
+	if c.PipelineDepth == 0 {
+		c.PipelineDepth = 32
+	}
+	if c.PipelineDepth > 65535 {
+		c.PipelineDepth = 65535 // the hello ack carries it as a uint16
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -102,6 +109,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	store   *match.Server
+	svc     *service.Registry
 	metrics *metrics.Registry
 	ln      net.Listener
 	sem     chan struct{} // MaxConns slots; nil means unlimited
@@ -114,11 +122,14 @@ type Server struct {
 
 // connState tracks whether a connection is mid-request, so a graceful
 // drain can close idle connections immediately while letting busy ones
-// finish their in-flight request.
+// finish their in-flight requests. busy covers the v1 lockstep path
+// (at most one request at a time); inflight counts requests live on the
+// v2 pipelined path (accepted by the reader, response not yet written).
 type connState struct {
-	mu      sync.Mutex
-	busy    bool
-	closing bool
+	mu       sync.Mutex
+	busy     bool
+	inflight int
+	closing  bool
 }
 
 // New creates a server around a fresh matching store.
@@ -139,9 +150,20 @@ func New(cfg Config) (*Server, error) {
 	// is a gauge: computed on scrape, not on the hot path.
 	reg.RegisterGauge("bucket_stats", func() any { return store.BucketStats() })
 	reg.RegisterGauge("shards", func() any { return store.NumShards() })
+	deps := service.Deps{Store: store, OPRF: cfg.OPRF, Metrics: reg, MaxTopK: cfg.MaxTopK}
+	if cfg.Journal != nil {
+		// Assign only when non-nil: a typed-nil *Journal inside the
+		// interface would dodge the handlers' nil checks.
+		deps.Journal = cfg.Journal
+	}
+	svc, err := service.New(deps)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:     cfg,
 		store:   store,
+		svc:     svc,
 		metrics: reg,
 		conns:   make(map[net.Conn]*connState),
 	}
@@ -291,8 +313,8 @@ func (s *Server) Shutdown() error {
 	for conn, st := range states {
 		st.mu.Lock()
 		st.closing = true
-		if !st.busy {
-			// Idle: the handler is parked in ReadFrame; unblock it now.
+		if !st.busy && st.inflight == 0 {
+			// Idle: the handler is parked in its read loop; unblock it now.
 			conn.Close()
 		}
 		st.mu.Unlock()
@@ -352,7 +374,34 @@ func (s *Server) handle(conn net.Conn, st *connState) {
 		st.busy = true
 		st.mu.Unlock()
 
-		derr := s.dispatch(conn, t, payload)
+		var derr error
+		if t == wire.TypeHello {
+			depth, herr := s.acceptHello(conn, payload)
+			if herr == nil {
+				// Upgraded: hand the connection to the pipelined engine,
+				// which does its own inflight accounting from here on.
+				st.mu.Lock()
+				st.busy = false
+				closing := st.closing
+				st.mu.Unlock()
+				if closing {
+					s.metrics.ConnsDrained.Add(1)
+					return
+				}
+				s.metrics.PipelinedConns.Add(1)
+				s.servePipelined(conn, st, depth)
+				return
+			}
+			// A malformed hello (or a torn ack write) flows into the
+			// ordinary error path below; the connection stays lockstep.
+			derr = herr
+		} else {
+			rt, rp, herr := s.svc.Handle(t, payload)
+			if herr == nil {
+				herr = s.writeFrame(conn, rt, rp)
+			}
+			derr = herr
+		}
 		fatal := false
 		if derr != nil {
 			s.metrics.Errors.Add(1)
@@ -409,174 +458,138 @@ func (s *Server) writeFrame(conn net.Conn, t wire.MsgType, payload []byte) error
 	return nil
 }
 
-// observe records one operation's count and latency in the registry.
-func (s *Server) observe(counter *atomic.Uint64, hist *metrics.Histogram, start time.Time) {
-	counter.Add(1)
-	hist.Observe(time.Since(start))
+// writeFrameV2 is writeFrame for the pipelined envelope: same write
+// deadline, same timeout accounting, same connError poisoning — only the
+// single writer goroutine of a pipelined connection calls it.
+func (s *Server) writeFrameV2(conn net.Conn, id uint64, t wire.MsgType, payload []byte) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+		return &connError{err}
+	}
+	if err := wire.WriteFrameV2(conn, id, t, payload); err != nil {
+		if isTimeout(err) {
+			s.metrics.WriteTimeouts.Add(1)
+		}
+		return &connError{err}
+	}
+	return nil
 }
 
-func (s *Server) dispatch(conn net.Conn, t wire.MsgType, payload []byte) error {
-	switch t {
-	case wire.TypeUploadReq:
-		defer s.observe(&s.metrics.Uploads, &s.metrics.UploadLatency, time.Now())
-		req, err := wire.DecodeUploadReq(payload)
-		if err != nil {
-			return err
-		}
-		entry, err := req.Entry()
-		if err != nil {
-			return err
-		}
-		// Validate before journaling so the log only ever holds records
-		// the store accepts on replay.
-		if err := entry.Validate(); err != nil {
-			return err
-		}
-		if j := s.cfg.Journal; j != nil {
-			release := j.begin()
-			defer release()
-			if err := j.AppendUpload(req); err != nil {
-				return err
-			}
-		}
-		if err := s.store.Upload(entry); err != nil {
-			return err
-		}
-		return s.writeFrame(conn, wire.TypeUploadResp, nil)
-
-	case wire.TypeUploadBatchReq:
-		start := time.Now()
-		req, err := wire.DecodeUploadBatchReq(payload)
-		if err != nil {
-			return err
-		}
-		resp := wire.UploadBatchResp{Status: make([]string, len(req.Entries))}
-		// Validate every entry up front; invalid ones get a per-entry
-		// status while the valid remainder is journaled (one group-committed
-		// fsync for the whole batch) and applied, exactly as if uploaded one
-		// frame at a time.
-		entries := make([]match.Entry, len(req.Entries))
-		valid := make([]*wire.UploadReq, 0, len(req.Entries))
-		validIdx := make([]int, 0, len(req.Entries))
-		for i := range req.Entries {
-			entry, verr := req.Entries[i].Entry()
-			if verr == nil {
-				verr = entry.Validate()
-			}
-			if verr != nil {
-				resp.Status[i] = verr.Error()
-				continue
-			}
-			entries[i] = entry
-			valid = append(valid, &req.Entries[i])
-			validIdx = append(validIdx, i)
-		}
-		if len(valid) > 0 {
-			if j := s.cfg.Journal; j != nil {
-				release := j.begin()
-				defer release()
-				if err := j.AppendUploadBatch(valid); err != nil {
-					return err
-				}
-			}
-			for _, i := range validIdx {
-				if uerr := s.store.Upload(entries[i]); uerr != nil {
-					resp.Status[i] = uerr.Error()
-					continue
-				}
-				s.metrics.Uploads.Add(1)
-			}
-		}
-		s.metrics.UploadBatches.Add(1)
-		s.metrics.UploadBatchSize.ObserveValue(int64(len(req.Entries)))
-		s.metrics.UploadLatency.Observe(time.Since(start))
-		return s.writeFrame(conn, wire.TypeUploadBatchResp, resp.Encode())
-
-	case wire.TypeRemoveReq:
-		defer s.observe(&s.metrics.Removes, &s.metrics.RemoveLatency, time.Now())
-		req, err := wire.DecodeRemoveReq(payload)
-		if err != nil {
-			return err
-		}
-		if j := s.cfg.Journal; j != nil {
-			release := j.begin()
-			defer release()
-			if err := j.AppendRemove(req.ID); err != nil {
-				return err
-			}
-		}
-		// A remove of an unknown user errors to the client; the journal
-		// record it may have left is harmless — replay ignores it.
-		if err := s.store.Remove(req.ID); err != nil {
-			return err
-		}
-		return s.writeFrame(conn, wire.TypeRemoveResp, nil)
-
-	case wire.TypeQueryReq:
-		defer s.observe(&s.metrics.Matches, &s.metrics.MatchLatency, time.Now())
-		req, err := wire.DecodeQueryReq(payload)
-		if err != nil {
-			return err
-		}
-		var results []match.Result
-		switch req.Mode {
-		case wire.ModeMaxDistance:
-			results, err = s.store.MatchMaxDistance(req.ID, req.MaxDist)
-			if err != nil {
-				return err
-			}
-			if len(results) > s.cfg.MaxTopK {
-				results = results[:s.cfg.MaxTopK]
-			}
-		default:
-			k := int(req.TopK)
-			if k > s.cfg.MaxTopK {
-				k = s.cfg.MaxTopK
-			}
-			if results, err = s.store.Match(req.ID, k); err != nil {
-				return err
-			}
-		}
-		resp := wire.QueryResp{QueryID: req.QueryID, Timestamp: time.Now().Unix(), Results: results}
-		return s.writeFrame(conn, wire.TypeQueryResp, resp.Encode())
-
-	case wire.TypeOPRFKeyReq:
-		pk := s.cfg.OPRF.PublicKey()
-		resp := wire.OPRFKeyResp{N: pk.N, E: uint32(pk.E)}
-		return s.writeFrame(conn, wire.TypeOPRFKeyResp, resp.Encode())
-
-	case wire.TypeOPRFBatchReq:
-		defer s.observe(&s.metrics.OPRFEvals, &s.metrics.OPRFLatency, time.Now())
-		req, err := wire.DecodeOPRFBatchReq(payload)
-		if err != nil {
-			return err
-		}
-		if len(req.Xs) > maxOPRFBatch {
-			return fmt.Errorf("server: OPRF batch of %d exceeds limit %d", len(req.Xs), maxOPRFBatch)
-		}
-		ys, err := s.cfg.OPRF.EvaluateBatch(req.Xs)
-		if err != nil {
-			return err
-		}
-		resp := wire.OPRFBatchResp{Ys: ys}
-		return s.writeFrame(conn, wire.TypeOPRFBatchResp, resp.Encode())
-
-	case wire.TypeOPRFReq:
-		defer s.observe(&s.metrics.OPRFEvals, &s.metrics.OPRFLatency, time.Now())
-		req, err := wire.DecodeOPRFReq(payload)
-		if err != nil {
-			return err
-		}
-		y, err := s.cfg.OPRF.Evaluate(req.X)
-		if err != nil {
-			return err
-		}
-		resp := wire.OPRFResp{Y: y}
-		return s.writeFrame(conn, wire.TypeOPRFResp, resp.Encode())
-
-	default:
-		return fmt.Errorf("%w: %d", wire.ErrBadType, t)
+// acceptHello negotiates the v2 upgrade: decode the client's hello,
+// clamp its requested window to PipelineDepth, and ack in v1 framing —
+// the last v1 frame on the connection.
+func (s *Server) acceptHello(conn net.Conn, payload []byte) (int, error) {
+	hello, err := wire.DecodeHello(payload)
+	if err != nil {
+		return 0, err
 	}
+	depth := s.cfg.PipelineDepth
+	if d := int(hello.Depth); d > 0 && d < depth {
+		depth = d
+	}
+	ack := wire.Hello{Version: wire.ProtocolV2, Depth: uint16(depth)}
+	if err := s.writeFrame(conn, wire.TypeHelloResp, ack.Encode()); err != nil {
+		return 0, err
+	}
+	return depth, nil
+}
+
+// pipelineJob is one request travelling from the reader to a worker;
+// pipelineResp is its response travelling from a worker to the writer.
+type pipelineJob struct {
+	id      uint64
+	t       wire.MsgType
+	payload []byte
+}
+
+type pipelineResp struct {
+	id      uint64
+	t       wire.MsgType
+	payload []byte
+}
+
+// servePipelined runs the v2 protocol on an upgraded connection: a
+// reader goroutine feeding a bounded job queue, depth workers executing
+// service handlers concurrently, and a single writer goroutine
+// serializing every response through the write-deadline choke point.
+// Request IDs are the client's; responses complete (and are written) in
+// whatever order the handlers finish.
+func (s *Server) servePipelined(conn net.Conn, st *connState, depth int) {
+	jobs := make(chan pipelineJob, depth)
+	resps := make(chan pipelineResp, depth)
+	var workers sync.WaitGroup
+	for i := 0; i < depth; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for job := range jobs {
+				s.metrics.PipelineQueueDepth.Add(-1)
+				rt, rp, err := s.svc.Handle(job.t, job.payload)
+				if err != nil {
+					// Per-request failure: an error frame carrying the
+					// request's ID, never a dropped connection.
+					s.metrics.Errors.Add(1)
+					s.cfg.Logf("server: %v", err)
+					rt = wire.TypeError
+					rp = (&wire.ErrorMsg{Text: err.Error()}).Encode()
+				}
+				resps <- pipelineResp{id: job.id, t: rt, payload: rp}
+			}
+		}()
+	}
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		writeFailed := false
+		for resp := range resps {
+			if !writeFailed {
+				if err := s.writeFrameV2(conn, resp.id, resp.t, resp.payload); err != nil {
+					// The stream is torn mid-frame; close the conn so the
+					// reader unblocks, then keep draining resps so no
+					// worker is ever left parked on the channel.
+					writeFailed = true
+					s.cfg.Logf("server: %v", err)
+					conn.Close()
+				}
+			}
+			st.mu.Lock()
+			st.inflight--
+			drained := st.closing && st.inflight == 0
+			st.mu.Unlock()
+			if drained && !writeFailed {
+				// Graceful drain: every accepted request has its response
+				// on the wire; closing now unblocks the reader.
+				s.metrics.ConnsDrained.Add(1)
+				conn.Close()
+			}
+		}
+	}()
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+			break
+		}
+		id, t, payload, err := wire.ReadFrameV2(conn)
+		if err != nil {
+			if isTimeout(err) {
+				s.metrics.ReadTimeouts.Add(1)
+			}
+			break
+		}
+		st.mu.Lock()
+		if st.closing {
+			// Raced the drain boundary: drop the request, exactly like the
+			// lockstep path drops a frame arriving on a closing conn.
+			st.mu.Unlock()
+			break
+		}
+		st.inflight++
+		st.mu.Unlock()
+		s.metrics.PipelineQueueDepth.Add(1)
+		jobs <- pipelineJob{id: id, t: t, payload: payload}
+	}
+	close(jobs)
+	workers.Wait()
+	close(resps)
+	<-writerDone
 }
 
 func (s *Server) writeError(conn net.Conn, err error) error {

@@ -1,0 +1,296 @@
+// Package service is the S-MATCH request-processing layer: one typed
+// handler per wire operation, each self-contained — decode the payload,
+// validate it, journal the mutation, apply it to the store, encode the
+// response — and each carrying its own metrics observation (operation
+// counter, latency histogram, in-flight gauge).
+//
+// The package is transport-agnostic on purpose: a handler maps a request
+// payload to a response frame (type + payload) or an error, and never
+// touches a connection. That is what lets the server run the same
+// registry behind both protocol paths — the v1 lockstep loop (one frame
+// in, one frame out) and the v2 pipelined path (a reader goroutine, a
+// bounded worker pool executing handlers concurrently, and a single
+// writer serializing responses) — with guaranteed-identical semantics.
+package service
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"smatch/internal/match"
+	"smatch/internal/metrics"
+	"smatch/internal/oprf"
+	"smatch/internal/profile"
+	"smatch/internal/wire"
+)
+
+// MaxOPRFBatch caps a single batched OPRF request; multi-probe key
+// generation needs a handful, so the cap only stops abuse.
+const MaxOPRFBatch = 64
+
+// Journal is the durability hook a mutation handler runs before touching
+// the store: Begin pins the journal-then-apply pair against the
+// checkpoint barrier, the Append* methods make the record durable. A nil
+// Journal in Deps disables journaling (memory-only serving).
+// internal/server's Journal implements it.
+type Journal interface {
+	Begin() func()
+	AppendUpload(*wire.UploadReq) error
+	AppendUploadBatch([]*wire.UploadReq) error
+	AppendRemove(profile.ID) error
+}
+
+// Deps carries everything a handler may need. Store and OPRF are
+// required; Journal may be nil; Metrics may be nil (a private registry is
+// created so recording is always safe).
+type Deps struct {
+	Store   *match.Server
+	OPRF    *oprf.Server
+	Journal Journal
+	Metrics *metrics.Registry
+	// MaxTopK caps the per-query result count a client may request.
+	// Zero means 100.
+	MaxTopK int
+}
+
+// Handler processes one decoded-off-the-wire request payload and returns
+// the response frame. An error means the request failed (the transport
+// reports it as an error frame); the connection itself is never the
+// handler's concern.
+type Handler func(payload []byte) (wire.MsgType, []byte, error)
+
+// Registry maps message types to their handlers.
+type Registry struct {
+	deps     Deps
+	handlers map[wire.MsgType]Handler
+}
+
+// New builds the registry with every protocol operation installed.
+func New(deps Deps) (*Registry, error) {
+	if deps.Store == nil {
+		return nil, fmt.Errorf("service: nil store")
+	}
+	if deps.OPRF == nil {
+		return nil, fmt.Errorf("service: nil OPRF evaluator")
+	}
+	if deps.Metrics == nil {
+		deps.Metrics = metrics.New()
+	}
+	if deps.MaxTopK == 0 {
+		deps.MaxTopK = 100
+	}
+	r := &Registry{deps: deps, handlers: make(map[wire.MsgType]Handler)}
+	m := deps.Metrics
+	r.handlers[wire.TypeUploadReq] = instrument(&m.Uploads, &m.UploadLatency, &m.UploadsInFlight, r.upload)
+	r.handlers[wire.TypeUploadBatchReq] = gauge(&m.UploadsInFlight, r.uploadBatch)
+	r.handlers[wire.TypeRemoveReq] = instrument(&m.Removes, &m.RemoveLatency, &m.RemovesInFlight, r.remove)
+	r.handlers[wire.TypeQueryReq] = instrument(&m.Matches, &m.MatchLatency, &m.MatchesInFlight, r.query)
+	r.handlers[wire.TypeOPRFKeyReq] = r.oprfKey
+	r.handlers[wire.TypeOPRFReq] = instrument(&m.OPRFEvals, &m.OPRFLatency, &m.OPRFInFlight, r.oprf)
+	r.handlers[wire.TypeOPRFBatchReq] = instrument(&m.OPRFEvals, &m.OPRFLatency, &m.OPRFInFlight, r.oprfBatch)
+	return r, nil
+}
+
+// Handle routes one request to its handler. Unknown types are an error,
+// exactly like the pre-service dispatch switch's default arm.
+func (r *Registry) Handle(t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	h, ok := r.handlers[t]
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: %d", wire.ErrBadType, t)
+	}
+	return h(payload)
+}
+
+// instrument wraps a handler with the standard per-op observation:
+// in-flight gauge up for the duration, then count + latency on the way
+// out (errors count too, matching the historical dispatch behavior).
+func instrument(counter *atomic.Uint64, hist *metrics.Histogram, inflight *atomic.Int64, h Handler) Handler {
+	return func(payload []byte) (wire.MsgType, []byte, error) {
+		inflight.Add(1)
+		start := time.Now()
+		defer func() {
+			inflight.Add(-1)
+			counter.Add(1)
+			hist.Observe(time.Since(start))
+		}()
+		return h(payload)
+	}
+}
+
+// gauge wraps a handler with only the in-flight gauge; the batch-upload
+// handler records its own counters (per-entry uploads, per-frame batch
+// size) and must not be double-counted.
+func gauge(inflight *atomic.Int64, h Handler) Handler {
+	return func(payload []byte) (wire.MsgType, []byte, error) {
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		return h(payload)
+	}
+}
+
+// upload: decode → validate → journal → apply → ack.
+func (r *Registry) upload(payload []byte) (wire.MsgType, []byte, error) {
+	req, err := wire.DecodeUploadReq(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	entry, err := req.Entry()
+	if err != nil {
+		return 0, nil, err
+	}
+	// Validate before journaling so the log only ever holds records the
+	// store accepts on replay.
+	if err := entry.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if j := r.deps.Journal; j != nil {
+		release := j.Begin()
+		defer release()
+		if err := j.AppendUpload(req); err != nil {
+			return 0, nil, err
+		}
+	}
+	if err := r.deps.Store.Upload(entry); err != nil {
+		return 0, nil, err
+	}
+	return wire.TypeUploadResp, nil, nil
+}
+
+// uploadBatch: validate every entry up front; invalid ones get a
+// per-entry status while the valid remainder is journaled (one
+// group-committed fsync for the whole batch) and applied, exactly as if
+// uploaded one frame at a time.
+func (r *Registry) uploadBatch(payload []byte) (wire.MsgType, []byte, error) {
+	m := r.deps.Metrics
+	start := time.Now()
+	req, err := wire.DecodeUploadBatchReq(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp := wire.UploadBatchResp{Status: make([]string, len(req.Entries))}
+	entries := make([]match.Entry, len(req.Entries))
+	valid := make([]*wire.UploadReq, 0, len(req.Entries))
+	validIdx := make([]int, 0, len(req.Entries))
+	for i := range req.Entries {
+		entry, verr := req.Entries[i].Entry()
+		if verr == nil {
+			verr = entry.Validate()
+		}
+		if verr != nil {
+			resp.Status[i] = verr.Error()
+			continue
+		}
+		entries[i] = entry
+		valid = append(valid, &req.Entries[i])
+		validIdx = append(validIdx, i)
+	}
+	if len(valid) > 0 {
+		if j := r.deps.Journal; j != nil {
+			release := j.Begin()
+			defer release()
+			if err := j.AppendUploadBatch(valid); err != nil {
+				return 0, nil, err
+			}
+		}
+		for _, i := range validIdx {
+			if uerr := r.deps.Store.Upload(entries[i]); uerr != nil {
+				resp.Status[i] = uerr.Error()
+				continue
+			}
+			m.Uploads.Add(1)
+		}
+	}
+	m.UploadBatches.Add(1)
+	m.UploadBatchSize.ObserveValue(int64(len(req.Entries)))
+	m.UploadLatency.Observe(time.Since(start))
+	return wire.TypeUploadBatchResp, resp.Encode(), nil
+}
+
+// remove: journal → apply → ack. A remove of an unknown user errors to
+// the client; the journal record it may have left is harmless — replay
+// ignores it.
+func (r *Registry) remove(payload []byte) (wire.MsgType, []byte, error) {
+	req, err := wire.DecodeRemoveReq(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	if j := r.deps.Journal; j != nil {
+		release := j.Begin()
+		defer release()
+		if err := j.AppendRemove(req.ID); err != nil {
+			return 0, nil, err
+		}
+	}
+	if err := r.deps.Store.Remove(req.ID); err != nil {
+		return 0, nil, err
+	}
+	return wire.TypeRemoveResp, nil, nil
+}
+
+// query: kNN or MAX-distance matching, result count capped at MaxTopK.
+func (r *Registry) query(payload []byte) (wire.MsgType, []byte, error) {
+	req, err := wire.DecodeQueryReq(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	var results []match.Result
+	switch req.Mode {
+	case wire.ModeMaxDistance:
+		results, err = r.deps.Store.MatchMaxDistance(req.ID, req.MaxDist)
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(results) > r.deps.MaxTopK {
+			results = results[:r.deps.MaxTopK]
+		}
+	default:
+		k := int(req.TopK)
+		if k > r.deps.MaxTopK {
+			k = r.deps.MaxTopK
+		}
+		if results, err = r.deps.Store.Match(req.ID, k); err != nil {
+			return 0, nil, err
+		}
+	}
+	resp := wire.QueryResp{QueryID: req.QueryID, Timestamp: time.Now().Unix(), Results: results}
+	return wire.TypeQueryResp, resp.Encode(), nil
+}
+
+// oprfKey serves the evaluator's public key for client bootstrap.
+func (r *Registry) oprfKey([]byte) (wire.MsgType, []byte, error) {
+	pk := r.deps.OPRF.PublicKey()
+	resp := wire.OPRFKeyResp{N: pk.N, E: uint32(pk.E)}
+	return wire.TypeOPRFKeyResp, resp.Encode(), nil
+}
+
+// oprf evaluates one blinded element.
+func (r *Registry) oprf(payload []byte) (wire.MsgType, []byte, error) {
+	req, err := wire.DecodeOPRFReq(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	y, err := r.deps.OPRF.Evaluate(req.X)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp := wire.OPRFResp{Y: y}
+	return wire.TypeOPRFResp, resp.Encode(), nil
+}
+
+// oprfBatch evaluates a bounded batch of blinded elements in one round.
+func (r *Registry) oprfBatch(payload []byte) (wire.MsgType, []byte, error) {
+	req, err := wire.DecodeOPRFBatchReq(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(req.Xs) > MaxOPRFBatch {
+		return 0, nil, fmt.Errorf("service: OPRF batch of %d exceeds limit %d", len(req.Xs), MaxOPRFBatch)
+	}
+	ys, err := r.deps.OPRF.EvaluateBatch(req.Xs)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp := wire.OPRFBatchResp{Ys: ys}
+	return wire.TypeOPRFBatchResp, resp.Encode(), nil
+}

@@ -1,0 +1,105 @@
+// Protocol v2: the pipelined envelope. A v1 connection is strict
+// request/response — one frame in flight, responses implicitly matched by
+// order. v2 prefixes every frame with a 64-bit request ID so many requests
+// can be in flight on one connection and responses may complete out of
+// order; the ID, not arrival order, routes each response back to its
+// caller.
+//
+// v2 is negotiated, never assumed: a client that wants pipelining sends
+// TypeHello (in v1 framing) as its first frame and the server answers
+// TypeHelloResp, after which both sides switch to the v2 envelope. A v1
+// client never sends TypeHello, so it lands on the legacy lockstep path
+// byte-for-byte unchanged; a v2 client talking to a pre-hello server gets
+// an error frame (unknown message type) and falls back to lockstep.
+//
+// v2 frame layout: 4-byte big-endian payload length, 1-byte message type,
+// 8-byte big-endian request ID, payload. Payload encodings are identical
+// to v1 — only the envelope differs.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// ProtocolV2 is the version a Hello exchange negotiates.
+const ProtocolV2 = 2
+
+// v2HeaderSize is the fixed v2 envelope header: length + type + request ID.
+const v2HeaderSize = 4 + 1 + 8
+
+// Hello is the negotiation payload, carried by both TypeHello and
+// TypeHelloResp. Version is the highest protocol version the sender
+// speaks; Depth is how many requests the sender is willing to keep in
+// flight per connection (the server advertises its pipeline depth, the
+// client its desired concurrency — each side uses the minimum).
+type Hello struct {
+	Version uint16
+	Depth   uint16
+}
+
+// Encode serializes the hello payload.
+func (h *Hello) Encode() []byte {
+	var e encoder
+	e.u16(h.Version)
+	e.u16(h.Depth)
+	return e.buf
+}
+
+// DecodeHello parses a hello payload.
+func DecodeHello(payload []byte) (*Hello, error) {
+	d := decoder{buf: payload}
+	var h Hello
+	var err error
+	if h.Version, err = d.u16(); err != nil {
+		return nil, err
+	}
+	if h.Depth, err = d.u16(); err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	if h.Version < ProtocolV2 {
+		return nil, fmt.Errorf("wire: hello version %d below v2", h.Version)
+	}
+	return &h, nil
+}
+
+// WriteFrameV2 writes one pipelined frame: the v1 header plus the request
+// ID that routes the response.
+func WriteFrameV2(w io.Writer, id uint64, t MsgType, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [v2HeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	binary.BigEndian.PutUint64(hdr[5:], id)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing v2 header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing v2 payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrameV2 reads one pipelined frame.
+func ReadFrameV2(r io.Reader) (uint64, MsgType, []byte, error) {
+	var hdr [v2HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrameSize {
+		return 0, 0, nil, ErrFrameTooLarge
+	}
+	id := binary.BigEndian.Uint64(hdr[5:])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, fmt.Errorf("wire: reading v2 payload: %w", err)
+	}
+	return id, MsgType(hdr[4]), payload, nil
+}

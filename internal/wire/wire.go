@@ -42,6 +42,8 @@ const (
 	TypeRemoveResp
 	TypeUploadBatchReq
 	TypeUploadBatchResp
+	TypeHello
+	TypeHelloResp
 )
 
 // MaxFrameSize bounds a frame payload; large enough for a 2048-bit, many-
