@@ -10,12 +10,20 @@
 // (fetching the OPRF public key over the wire), uploads the encrypted
 // chain, queries for matches, and verifies the results' authentication
 // information.
+//
+// -cmd subscribe registers a standing probe instead of polling: the
+// server pushes a notification over the pipelined (v2) connection
+// whenever another user's upload lands within -maxdist of this user's
+// encrypted profile, until -watch elapses or the process is interrupted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math/big"
 	"os"
+	"os/signal"
 	"time"
 
 	"smatch/internal/client"
@@ -30,7 +38,7 @@ func main() {
 	var (
 		server   = flag.String("server", "127.0.0.1:7788", "server address")
 		dsName   = flag.String("dataset", "Infocom06", "deployment dataset (Infocom06, Sigcomm09, Weibo)")
-		cmd      = flag.String("cmd", "", "upload | upload-all | upload-batch | query | remove")
+		cmd      = flag.String("cmd", "", "upload | upload-all | upload-batch | query | remove | subscribe")
 		batch    = flag.Int("batch", 64, "entries per frame for -cmd upload-batch")
 		userID   = flag.Uint("user", 1, "user ID within the dataset")
 		topK     = flag.Int("topk", core.DefaultTopK, "results per query")
@@ -42,16 +50,18 @@ func main() {
 		backoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "base of the jittered exponential retry backoff")
 		noPipe   = flag.Bool("no-pipeline", false, "speak the legacy lockstep protocol (v1) instead of negotiating pipelined v2")
 		inFlight = flag.Int("inflight", 0, "cap on concurrent in-flight v2 requests per connection (0 = client default); the server may clamp it lower")
+		maxDist  = flag.Int64("maxdist", 1<<16, "order-sum distance threshold for -cmd subscribe")
+		watch    = flag.Duration("watch", 0, "how long -cmd subscribe listens for pushes (0 = until interrupted)")
 	)
 	flag.Parse()
 
-	if err := run(*server, *dsName, *cmd, profile.ID(*userID), *topK, *theta, *kBits, *batch, *verify, *timeout, *retries, *backoff, *noPipe, *inFlight); err != nil {
+	if err := run(*server, *dsName, *cmd, profile.ID(*userID), *topK, *theta, *kBits, *batch, *verify, *timeout, *retries, *backoff, *noPipe, *inFlight, *maxDist, *watch); err != nil {
 		fmt.Fprintln(os.Stderr, "smatch-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, dsName, cmd string, userID profile.ID, topK, theta int, kBits uint, batch int, verify bool, timeout time.Duration, retries int, backoff time.Duration, noPipe bool, inFlight int) error {
+func run(server, dsName, cmd string, userID profile.ID, topK, theta int, kBits uint, batch int, verify bool, timeout time.Duration, retries int, backoff time.Duration, noPipe bool, inFlight int, maxDist int64, watch time.Duration) error {
 	ds, err := dataset.ByName(dsName)
 	if err != nil {
 		return err
@@ -210,7 +220,63 @@ func run(server, dsName, cmd string, userID profile.ID, topK, theta int, kBits u
 		fmt.Printf("removed user %d\n", userID)
 		return nil
 
+	case "subscribe":
+		// Standing probe from the user's own encrypted profile material:
+		// the server pushes a notification whenever another upload in the
+		// same key bucket lands within -maxdist of this user's order sum.
+		if maxDist < 0 {
+			return fmt.Errorf("-maxdist %d is negative", maxDist)
+		}
+		p, err := userProfile(userID)
+		if err != nil {
+			return err
+		}
+		dev, err := device(userID)
+		if err != nil {
+			return err
+		}
+		entry, _, err := dev.PrepareUpload(p)
+		if err != nil {
+			return err
+		}
+		sub, err := conn.Subscribe(entry, big.NewInt(maxDist), 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("subscribed as user %d (threshold %d); waiting for pushes...\n", userID, maxDist)
+
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if watch > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, watch)
+			defer cancel()
+		}
+		for {
+			select {
+			case n, ok := <-sub.C:
+				if !ok {
+					return fmt.Errorf("subscription ended: connection lost")
+				}
+				event := "match"
+				if n.Event == client.NotifyGone {
+					event = "gone"
+				}
+				fmt.Printf("  push #%d: %s user %d", n.Seq, event, n.ID)
+				if n.Dropped > 0 {
+					fmt.Printf(" (%d dropped under queue pressure)", n.Dropped)
+				}
+				fmt.Println()
+			case <-ctx.Done():
+				if err := sub.Unsubscribe(); err != nil {
+					return fmt.Errorf("unsubscribe: %w", err)
+				}
+				fmt.Printf("unsubscribed (local drops: %d)\n", sub.LocalDropped())
+				return nil
+			}
+		}
+
 	default:
-		return fmt.Errorf("unknown -cmd %q (want upload, upload-all, upload-batch, query or remove)", cmd)
+		return fmt.Errorf("unknown -cmd %q (want upload, upload-all, upload-batch, query, remove or subscribe)", cmd)
 	}
 }

@@ -30,6 +30,14 @@
 // up to -pipeline-depth requests in flight at once, handled by a worker
 // pool and answered out of order by request ID. v1 clients are served
 // lockstep, byte-for-byte as before.
+//
+// v2 clients can also register standing push subscriptions
+// (smatch-client -cmd subscribe): when an uploaded profile lands within a
+// subscription's distance threshold the server pushes a match
+// notification without being asked. Each subscription's pending pushes
+// are bounded by -notify-queue (overflow drops the oldest and counts it
+// in /metrics — a slow subscriber never stalls uploads), and -max-subs
+// caps subscriptions per connection.
 package main
 
 import (
@@ -62,6 +70,8 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline; stalled readers are dropped")
 		pipeDepth    = flag.Int("pipeline-depth", 32, "per-connection cap on in-flight pipelined (protocol v2) requests; also the worker count per pipelined connection")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for in-flight requests before force-close")
+		notifyQueue  = flag.Int("notify-queue", 0, "per-subscription bound on queued push notifications (0 = default); overflow drops the oldest, counted in /metrics")
+		maxSubs      = flag.Int("max-subs", 0, "per-connection cap on standing push subscriptions (0 = default)")
 		storePath    = flag.String("store", "", "snapshot file: restored at startup, saved on shutdown and every 5 minutes")
 		walDir       = flag.String("wal", "", "write-ahead log directory: journal every mutation before acknowledging it, recover checkpoint+log at startup")
 		metricsAddr  = flag.String("metrics", "", "serve GET /metrics (JSON) on this address; empty disables the endpoint")
@@ -69,13 +79,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*listen, *oprfBits, *maxTopK, *maxConns, *pipeDepth, *writeTimeout, *drainTimeout, *storePath, *walDir, *metricsAddr, *pprofAddr); err != nil {
+	if err := run(*listen, *oprfBits, *maxTopK, *maxConns, *pipeDepth, *notifyQueue, *maxSubs, *writeTimeout, *drainTimeout, *storePath, *walDir, *metricsAddr, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "smatch-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, oprfBits, maxTopK, maxConns, pipeDepth int, writeTimeout, drainTimeout time.Duration, storePath, walDir, metricsAddr, pprofAddr string) error {
+func run(listen string, oprfBits, maxTopK, maxConns, pipeDepth, notifyQueue, maxSubs int, writeTimeout, drainTimeout time.Duration, storePath, walDir, metricsAddr, pprofAddr string) error {
 	log.Printf("generating %d-bit RSA-OPRF key...", oprfBits)
 	oprfSrv, err := oprf.NewServer(oprfBits)
 	if err != nil {
@@ -100,10 +110,13 @@ func run(listen string, oprfBits, maxTopK, maxConns, pipeDepth int, writeTimeout
 		MaxConns:      maxConns,
 		PipelineDepth: pipeDepth,
 		DrainTimeout:  drainTimeout,
-		Logf:          log.Printf,
-		Store:         store,
-		Metrics:       reg,
-		Journal:       journal,
+
+		NotifyQueueCap: notifyQueue,
+		MaxSubsPerConn: maxSubs,
+		Logf:           log.Printf,
+		Store:          store,
+		Metrics:        reg,
+		Journal:        journal,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,234 @@
+package broker
+
+import (
+	"math/big"
+	"testing"
+
+	"smatch/internal/chain"
+	"smatch/internal/match"
+	"smatch/internal/metrics"
+	"smatch/internal/profile"
+)
+
+func entry(id uint32, bucket string, sum int64) match.Entry {
+	return match.Entry{
+		ID:      profile.ID(id),
+		KeyHash: []byte(bucket),
+		Chain:   &chain.Chain{Cts: []*big.Int{big.NewInt(sum)}, CtBits: 48},
+		Auth:    []byte{byte(id)},
+	}
+}
+
+func probe(bucket string, sum, dist int64) Probe {
+	return Probe{KeyHash: []byte(bucket), OrderSum: big.NewInt(sum), MaxDist: big.NewInt(dist)}
+}
+
+func drainAll(s *Sub) []Notification {
+	var out []Notification
+	for {
+		n, ok := s.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, n)
+	}
+}
+
+func TestPublishUpsertQualifies(t *testing.T) {
+	b := New(Config{})
+	woken := 0
+	sub, err := b.Subscribe(probe("b", 100, 10), func() { woken++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.PublishUpsert(entry(1, "b", 105))     // within threshold
+	b.PublishUpsert(entry(2, "b", 250))     // outside threshold
+	b.PublishUpsert(entry(3, "other", 100)) // wrong bucket
+	got := drainAll(sub)
+	if len(got) != 1 {
+		t.Fatalf("got %d notifications, want 1: %+v", len(got), got)
+	}
+	if got[0].Event != EventMatch || got[0].ID != 1 || got[0].Seq != 1 || got[0].Dropped != 0 {
+		t.Fatalf("unexpected notification %+v", got[0])
+	}
+	if woken == 0 {
+		t.Error("wake never invoked")
+	}
+}
+
+func TestPublishUpsertDedupsIdenticalPosition(t *testing.T) {
+	b := New(Config{})
+	sub, err := b.Subscribe(probe("b", 100, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.PublishUpsert(entry(1, "b", 105))
+	b.PublishUpsert(entry(1, "b", 105)) // idempotent re-upload: suppressed
+	b.PublishUpsert(entry(1, "b", 107)) // moved, still in range: notified again
+	got := drainAll(sub)
+	if len(got) != 2 {
+		t.Fatalf("got %d notifications, want 2: %+v", len(got), got)
+	}
+	if got[0].Event != EventMatch || got[1].Event != EventMatch {
+		t.Fatalf("unexpected events %+v", got)
+	}
+}
+
+func TestUpsertOutOfRangeEmitsGone(t *testing.T) {
+	b := New(Config{})
+	sub, err := b.Subscribe(probe("b", 100, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.PublishUpsert(entry(1, "b", 105))
+	b.PublishUpsert(entry(1, "b", 500)) // re-upload out of range
+	b.PublishUpsert(entry(1, "b", 600)) // still out of range: no second gone
+	got := drainAll(sub)
+	if len(got) != 2 {
+		t.Fatalf("got %d notifications, want 2: %+v", len(got), got)
+	}
+	if got[0].Event != EventMatch || got[1].Event != EventGone || got[1].ID != 1 {
+		t.Fatalf("unexpected events %+v", got)
+	}
+}
+
+func TestRekeyAwayEmitsGone(t *testing.T) {
+	b := New(Config{})
+	subB, err := b.Subscribe(probe("b", 100, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subC, err := b.Subscribe(probe("c", 100, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.PublishUpsert(entry(1, "b", 105))
+	b.PublishUpsert(entry(1, "c", 105)) // profile re-keyed into c's bucket
+	gotB := drainAll(subB)
+	if len(gotB) != 2 || gotB[0].Event != EventMatch || gotB[1].Event != EventGone {
+		t.Fatalf("bucket-b notifications %+v", gotB)
+	}
+	gotC := drainAll(subC)
+	if len(gotC) != 1 || gotC[0].Event != EventMatch || gotC[0].ID != 1 {
+		t.Fatalf("bucket-c notifications %+v", gotC)
+	}
+}
+
+func TestPublishRemoveNotifiesOnlyInterested(t *testing.T) {
+	b := New(Config{})
+	near, err := b.Subscribe(probe("b", 100, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := b.Subscribe(probe("b", 5000, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.PublishUpsert(entry(1, "b", 105))
+	b.PublishRemove(profile.ID(1))
+	b.PublishRemove(profile.ID(99)) // never uploaded: nobody told
+	got := drainAll(near)
+	if len(got) != 2 || got[1].Event != EventGone || got[1].ID != 1 {
+		t.Fatalf("near notifications %+v", got)
+	}
+	if got := drainAll(far); len(got) != 0 {
+		t.Fatalf("far subscriber notified: %+v", got)
+	}
+}
+
+func TestQueueDropsOldestAndCounts(t *testing.T) {
+	m := metrics.New()
+	b := New(Config{QueueCap: 4, Metrics: m})
+	sub, err := b.Subscribe(probe("b", 0, 1_000_000), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		b.PublishUpsert(entry(uint32(i), "b", int64(i)))
+	}
+	got := drainAll(sub)
+	if len(got) != 4 {
+		t.Fatalf("queue held %d, want cap 4", len(got))
+	}
+	// The oldest 6 were dropped; what remains is the newest 4 in order,
+	// each stamped with the cumulative drop count.
+	for i, n := range got {
+		if want := uint64(7 + i); n.Seq != want {
+			t.Errorf("notification %d seq = %d, want %d", i, n.Seq, want)
+		}
+		if n.Dropped != 6 {
+			t.Errorf("notification %d dropped = %d, want 6", i, n.Dropped)
+		}
+	}
+	if sub.Dropped() != 6 {
+		t.Errorf("sub.Dropped() = %d, want 6", sub.Dropped())
+	}
+	if m.NotifiesDropped.Load() != 6 || m.NotifiesEnqueued.Load() != 10 {
+		t.Errorf("metrics dropped=%d enqueued=%d, want 6/10", m.NotifiesDropped.Load(), m.NotifiesEnqueued.Load())
+	}
+}
+
+func TestUnsubscribeStopsDeliveryAndCleansIndex(t *testing.T) {
+	m := metrics.New()
+	b := New(Config{Metrics: m})
+	sub, err := b.Subscribe(probe("b", 100, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.PublishUpsert(entry(1, "b", 105))
+	b.Unsubscribe(sub)
+	b.Unsubscribe(sub) // idempotent
+	b.PublishUpsert(entry(2, "b", 105))
+	b.PublishRemove(profile.ID(1))
+	if n, ok := sub.Pop(); ok {
+		t.Fatalf("pop after unsubscribe returned %+v", n)
+	}
+	if b.NumSubs() != 0 {
+		t.Errorf("NumSubs = %d after unsubscribe", b.NumSubs())
+	}
+	st := b.Stats()
+	if st.Subs != 0 || st.Buckets != 0 || st.Queued != 0 {
+		t.Errorf("stats %+v not empty after unsubscribe", st)
+	}
+	if m.SubscriptionsActive.Load() != 0 || m.Subscribes.Load() != 1 || m.Unsubscribes.Load() != 1 {
+		t.Errorf("gauge/counters %d/%d/%d, want 0/1/1",
+			m.SubscriptionsActive.Load(), m.Subscribes.Load(), m.Unsubscribes.Load())
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	b := New(Config{})
+	bad := []Probe{
+		{KeyHash: nil, OrderSum: big.NewInt(1), MaxDist: big.NewInt(1)},
+		{KeyHash: []byte("b"), OrderSum: nil, MaxDist: big.NewInt(1)},
+		{KeyHash: []byte("b"), OrderSum: big.NewInt(1), MaxDist: nil},
+		{KeyHash: []byte("b"), OrderSum: big.NewInt(1), MaxDist: big.NewInt(-1)},
+		{KeyHash: make([]byte, match.MaxKeyHashLen+1), OrderSum: big.NewInt(1), MaxDist: big.NewInt(1)},
+	}
+	for i, p := range bad {
+		if _, err := b.Subscribe(p, nil); err == nil {
+			t.Errorf("probe %d accepted", i)
+		}
+	}
+	if b.NumSubs() != 0 {
+		t.Errorf("NumSubs = %d after rejected probes", b.NumSubs())
+	}
+}
+
+func TestProbeInputsAreCopied(t *testing.T) {
+	b := New(Config{})
+	sum := big.NewInt(100)
+	dist := big.NewInt(10)
+	sub, err := b.Subscribe(Probe{KeyHash: []byte("b"), OrderSum: sum, MaxDist: dist}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's values must not move the registered probe.
+	sum.SetInt64(0)
+	dist.SetInt64(0)
+	b.PublishUpsert(entry(1, "b", 105))
+	got := drainAll(sub)
+	if len(got) != 1 || got[0].Event != EventMatch {
+		t.Fatalf("registered probe drifted with caller mutation: %+v", got)
+	}
+}

@@ -66,6 +66,7 @@ type Conn struct {
 	noV2   bool // server rejected the hello; don't offer it again
 
 	queryID atomic.Uint64
+	subID   atomic.Uint64 // subscription IDs; conn-scoped, never reused
 }
 
 // Options tune the connection.
@@ -468,10 +469,11 @@ type muxSession struct {
 
 	writeMu sync.Mutex
 
-	mu      sync.Mutex
-	pending map[uint64]chan muxResult
-	err     error // non-nil once the session is poisoned
-	nextID  uint64
+	mu       sync.Mutex
+	pending  map[uint64]chan muxResult
+	pushSubs map[uint64]*Subscription // active subscriptions by sub ID
+	err      error                    // non-nil once the session is poisoned
+	nextID   uint64
 
 	// lastRead is the UnixNano of the most recent successfully read
 	// frame; a timed-out request consults it to distinguish a dead
@@ -494,6 +496,7 @@ func newMuxSession(conn *tls.Conn, window int, m *metrics.Registry) *muxSession 
 		metrics:    m,
 		window:     make(chan struct{}, window),
 		pending:    make(map[uint64]chan muxResult),
+		pushSubs:   make(map[uint64]*Subscription),
 		readerDone: make(chan struct{}),
 	}
 	s.lastRead.Store(time.Now().UnixNano())
@@ -516,6 +519,35 @@ func (s *muxSession) readLoop() {
 			return
 		}
 		s.lastRead.Store(time.Now().UnixNano())
+		if wire.IsPushID(id) {
+			// Server-initiated frame: route by subscription ID instead of a
+			// pending request. Anything in the push range that is not a
+			// well-formed notification matching its envelope ID means the
+			// peer is off-protocol: poison the session.
+			if t != wire.TypeMatchNotify {
+				s.fail(&connFailure{fmt.Errorf("client: unexpected push frame type %d", t)})
+				return
+			}
+			n, derr := wire.DecodeMatchNotify(payload)
+			if derr != nil {
+				s.fail(&connFailure{fmt.Errorf("client: bad push frame: %w", derr)})
+				return
+			}
+			if wire.SubIDOfPush(id) != n.SubID {
+				s.fail(&connFailure{fmt.Errorf("client: push frame ID %d carries subscription %d", id, n.SubID)})
+				return
+			}
+			s.mu.Lock()
+			sub := s.pushSubs[n.SubID]
+			s.mu.Unlock()
+			if sub != nil {
+				// deliver never blocks the reader; a full channel drops.
+				sub.deliver(Notification{Seq: n.Seq, Dropped: n.Dropped, Event: n.Event, ID: n.ID, Auth: n.Auth})
+			}
+			// An unknown sub ID is a push racing an unsubscribe; the frame
+			// is complete, so the stream stays in sync.
+			continue
+		}
 		s.mu.Lock()
 		ch, ok := s.pending[id]
 		if ok {
@@ -531,7 +563,8 @@ func (s *muxSession) readLoop() {
 }
 
 // fail poisons the session: every parked caller gets the error, future
-// callers are refused, and the conn is closed (unblocking the reader).
+// callers are refused, subscription channels close (their server side
+// died with the conn), and the conn is closed (unblocking the reader).
 func (s *muxSession) fail(err error) {
 	s.mu.Lock()
 	if s.err != nil {
@@ -541,6 +574,8 @@ func (s *muxSession) fail(err error) {
 	s.err = err
 	parked := s.pending
 	s.pending = make(map[uint64]chan muxResult)
+	subs := s.pushSubs
+	s.pushSubs = make(map[uint64]*Subscription)
 	s.mu.Unlock()
 	s.conn.Close()
 	if s.metrics != nil {
@@ -549,6 +584,29 @@ func (s *muxSession) fail(err error) {
 	for _, ch := range parked {
 		ch <- muxResult{err: err}
 	}
+	for _, sub := range subs {
+		sub.closeChan()
+	}
+}
+
+// addSub registers a subscription for push routing; refused once the
+// session is poisoned.
+func (s *muxSession) addSub(sub *Subscription) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.pushSubs[sub.id] = sub
+	return nil
+}
+
+// removeSub unregisters a subscription; late pushes for its ID are
+// discarded by the reader.
+func (s *muxSession) removeSub(id uint64) {
+	s.mu.Lock()
+	delete(s.pushSubs, id)
+	s.mu.Unlock()
 }
 
 func (s *muxSession) do(t wire.MsgType, payload []byte, wantType wire.MsgType, timeout time.Duration) ([]byte, error) {

@@ -197,6 +197,21 @@ type Registry struct {
 	ConnsDrained      atomic.Uint64
 	DrainForcedCloses atomic.Uint64
 
+	// Push-based matching counters (populated when the server runs the
+	// subscription broker). Subscribes/Unsubscribes count registry
+	// operations and SubscriptionsActive gauges live subscriptions;
+	// NotifiesEnqueued counts notifications generated by apply-side
+	// evaluation, NotifiesSent counts push frames written to subscribers,
+	// and NotifiesDropped counts notifications evicted from a bounded
+	// subscription queue (drop-oldest) because the subscriber was slow —
+	// enqueued minus sent minus dropped is the backlog still queued.
+	Subscribes          atomic.Uint64
+	Unsubscribes        atomic.Uint64
+	SubscriptionsActive atomic.Int64
+	NotifiesEnqueued    atomic.Uint64
+	NotifiesSent        atomic.Uint64
+	NotifiesDropped     atomic.Uint64
+
 	// Client resilience counters (populated when a client.Conn is built
 	// with this registry — e.g. a load generator exporting its own
 	// /metrics). BrokenConns counts connections marked unusable after an
@@ -275,6 +290,13 @@ func (r *Registry) Snapshot() map[string]any {
 		"conns_rejected":      r.ConnsRejected.Load(),
 		"conns_drained":       r.ConnsDrained.Load(),
 		"drain_forced_closes": r.DrainForcedCloses.Load(),
+
+		"subscribes":           r.Subscribes.Load(),
+		"unsubscribes":         r.Unsubscribes.Load(),
+		"subscriptions_active": r.SubscriptionsActive.Load(),
+		"notifies_enqueued":    r.NotifiesEnqueued.Load(),
+		"notifies_sent":        r.NotifiesSent.Load(),
+		"notifies_dropped":     r.NotifiesDropped.Load(),
 
 		"client_broken_conns": r.ClientBrokenConns.Load(),
 		"client_reconnects":   r.ClientReconnects.Load(),

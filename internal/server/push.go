@@ -1,0 +1,252 @@
+// Push delivery for the v2 pipelined protocol: each upgraded connection
+// owns a connPush — the conn-local subscription table plus a pump
+// goroutine that drains the broker's bounded per-subscription queues and
+// writes TypeMatchNotify frames through the connection's single-writer /
+// write-deadline choke point (a mutex shared with the response writer, so
+// a push can never interleave bytes with a response).
+//
+// Subscriptions are conn-scoped by construction: they are registered by
+// the pipelined reader, keyed by the client-chosen sub ID, delivered only
+// on this connection, and torn down when the connection ends. A v1
+// connection has no connPush and no way to reach these handlers (the
+// lockstep path routes subscribe frames to the service registry, which
+// rejects them as unknown), so a v1 client can never receive a push.
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"smatch/internal/broker"
+	"smatch/internal/wire"
+)
+
+// connPush carries one pipelined connection's subscription state and
+// push-delivery machinery.
+type connPush struct {
+	s    *Server
+	conn net.Conn
+
+	// writeMu is the connection's single-writer choke point: the response
+	// writer and the push pump both serialize frame writes through it.
+	writeMu sync.Mutex
+	// writeFailed latches the first torn write; after it, nobody writes
+	// (the conn is closed and both writer and pump only drain).
+	writeFailed atomic.Bool
+
+	wake  chan struct{} // 1-buffered: queued notifications are waiting
+	drain chan struct{} // 1-buffered: flush pending pushes, then close
+	stop  chan struct{} // closed at teardown: exit without touching conn
+	done  chan struct{} // closed when the pump goroutine exits
+
+	mu   sync.Mutex
+	subs map[uint64]*broker.Sub // client-chosen sub ID -> registration
+}
+
+func newConnPush(s *Server, conn net.Conn) *connPush {
+	p := &connPush{
+		s:     s,
+		conn:  conn,
+		wake:  make(chan struct{}, 1),
+		drain: make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		subs:  make(map[uint64]*broker.Sub),
+	}
+	go p.run()
+	return p
+}
+
+// wakeFn is the broker's non-blocking enqueue signal.
+func (p *connPush) wakeFn() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// requestDrain asks the pump to flush pending notifications and close the
+// connection — the graceful-drain path. Never blocks; safe after
+// teardown; repeated signals coalesce.
+func (p *connPush) requestDrain() {
+	select {
+	case p.drain <- struct{}{}:
+	default:
+	}
+}
+
+// hasSubs reports whether the connection currently holds any live
+// subscriptions; the pipelined reader uses it to keep an idle subscriber
+// alive across read-deadline expiries.
+func (p *connPush) hasSubs() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.subs) > 0
+}
+
+// teardown ends the pump and deregisters every subscription. Called once
+// when the pipelined loop exits; subscriptions die with their conn.
+func (p *connPush) teardown() {
+	close(p.stop)
+	<-p.done
+	p.mu.Lock()
+	subs := p.subs
+	p.subs = nil
+	p.mu.Unlock()
+	for _, sub := range subs {
+		p.s.broker.Unsubscribe(sub)
+	}
+}
+
+// run is the pump: park until notifications queue up, then pop and write
+// them. On drain it performs a final flush and closes the connection so
+// the closing conn's subscribers see everything queued up to the drain
+// boundary (conns_drained counts it, like a drained response path).
+func (p *connPush) run() {
+	defer close(p.done)
+	for {
+		select {
+		case <-p.wake:
+			p.flush()
+		case <-p.drain:
+			p.flush()
+			p.s.metrics.ConnsDrained.Add(1)
+			p.conn.Close()
+			return
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// flush pops every queued notification across this conn's subscriptions
+// and writes the push frames. Pops use the broker's bounded queues, so a
+// concurrent publisher is never blocked by the writes happening here.
+func (p *connPush) flush() {
+	p.mu.Lock()
+	type pair struct {
+		id  uint64
+		sub *broker.Sub
+	}
+	snapshot := make([]pair, 0, len(p.subs))
+	for id, sub := range p.subs {
+		snapshot = append(snapshot, pair{id, sub})
+	}
+	p.mu.Unlock()
+	for _, sp := range snapshot {
+		for {
+			n, ok := sp.sub.Pop()
+			if !ok {
+				break
+			}
+			if !p.writePush(sp.id, n) {
+				return
+			}
+		}
+	}
+}
+
+// writePush writes one TypeMatchNotify frame under the write choke point.
+// A failed write latches writeFailed and closes the conn, mirroring the
+// response writer's torn-stream handling. Returns false when the conn is
+// no longer writable.
+func (p *connPush) writePush(subID uint64, n broker.Notification) bool {
+	if p.writeFailed.Load() {
+		return false
+	}
+	msg := wire.MatchNotify{
+		SubID:   subID,
+		Seq:     n.Seq,
+		Dropped: n.Dropped,
+		Event:   uint8(n.Event),
+		ID:      n.ID,
+		Auth:    n.Auth,
+	}
+	p.writeMu.Lock()
+	err := p.s.writeFrameV2(p.conn, wire.PushID(subID), wire.TypeMatchNotify, msg.Encode())
+	p.writeMu.Unlock()
+	if err != nil {
+		if p.writeFailed.CompareAndSwap(false, true) {
+			p.s.cfg.Logf("server: push write: %v", err)
+			p.conn.Close()
+		}
+		return false
+	}
+	p.s.metrics.NotifiesSent.Add(1)
+	return true
+}
+
+// handleSubscribe registers a standing probe for this connection. Runs on
+// the pipelined reader (registration is a map insert — no store access,
+// no I/O), so a subscription is active before any later frame on the same
+// connection is processed.
+func (s *Server) handleSubscribe(p *connPush, payload []byte) (wire.MsgType, []byte, error) {
+	req, err := wire.DecodeSubscribeReq(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	ch, err := req.ProbeChain()
+	if err != nil {
+		return 0, nil, err
+	}
+	if ch.NumAttrs() == 0 {
+		return 0, nil, fmt.Errorf("server: empty subscription probe chain")
+	}
+	p.mu.Lock()
+	if len(p.subs) >= s.cfg.MaxSubsPerConn {
+		p.mu.Unlock()
+		return 0, nil, fmt.Errorf("server: subscription limit %d reached on this connection", s.cfg.MaxSubsPerConn)
+	}
+	if _, dup := p.subs[req.SubID]; dup {
+		p.mu.Unlock()
+		return 0, nil, fmt.Errorf("server: subscription %d already registered on this connection", req.SubID)
+	}
+	p.mu.Unlock()
+	sub, err := s.broker.Subscribe(broker.Probe{
+		KeyHash:  req.KeyHash,
+		OrderSum: ch.OrderSum(),
+		MaxDist:  req.MaxDist,
+	}, p.wakeFn)
+	if err != nil {
+		return 0, nil, err
+	}
+	p.mu.Lock()
+	if p.subs == nil || len(p.subs) >= s.cfg.MaxSubsPerConn {
+		// Raced teardown or a concurrent registration filling the last
+		// slot; roll back.
+		p.mu.Unlock()
+		s.broker.Unsubscribe(sub)
+		return 0, nil, fmt.Errorf("server: subscription limit %d reached on this connection", s.cfg.MaxSubsPerConn)
+	}
+	if _, dup := p.subs[req.SubID]; dup {
+		p.mu.Unlock()
+		s.broker.Unsubscribe(sub)
+		return 0, nil, fmt.Errorf("server: subscription %d already registered on this connection", req.SubID)
+	}
+	p.subs[req.SubID] = sub
+	p.mu.Unlock()
+	resp := wire.SubscribeResp{SubID: req.SubID}
+	return wire.TypeSubscribeResp, resp.Encode(), nil
+}
+
+// handleUnsubscribe cancels a conn-local subscription.
+func (s *Server) handleUnsubscribe(p *connPush, payload []byte) (wire.MsgType, []byte, error) {
+	req, err := wire.DecodeUnsubscribeReq(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	p.mu.Lock()
+	sub, ok := p.subs[req.SubID]
+	if ok {
+		delete(p.subs, req.SubID)
+	}
+	p.mu.Unlock()
+	if !ok {
+		return 0, nil, fmt.Errorf("server: unknown subscription %d", req.SubID)
+	}
+	s.broker.Unsubscribe(sub)
+	resp := wire.UnsubscribeResp{SubID: req.SubID}
+	return wire.TypeUnsubscribeResp, resp.Encode(), nil
+}

@@ -1,0 +1,797 @@
+// Push-based matching integration suite: subscriptions registered over
+// real TLS, server-initiated TypeMatchNotify frames, the
+// slow-subscriber-never-blocks-apply guarantee, pull≡push equivalence
+// against fresh MAX-distance queries, chaos on long-lived subscriber
+// connections (under -race), and the v1 regression — a lockstep client
+// must never see a push frame.
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/tls"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"smatch/internal/client"
+	"smatch/internal/netfault"
+	"smatch/internal/profile"
+	"smatch/internal/wire"
+)
+
+// collectUntil drains a subscription channel until it closes or the
+// deadline passes, returning everything received.
+func collectUntil(sub *client.Subscription, n int, deadline time.Duration) []client.Notification {
+	var out []client.Notification
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	for len(out) < n {
+		select {
+		case notif, ok := <-sub.C:
+			if !ok {
+				return out
+			}
+			out = append(out, notif)
+		case <-timer.C:
+			return out
+		}
+	}
+	return out
+}
+
+// TestPushEndToEnd is the acceptance path: a subscriber over TLS receives
+// a TypeMatchNotify for a qualifying upload without ever querying, a
+// non-qualifying upload stays silent, a remove pushes the gone event, and
+// unsubscribe stops delivery.
+func TestPushEndToEnd(t *testing.T) {
+	addr, srv := startServer(t)
+	subscriber := dial(t, addr)
+	uploader := dial(t, addr)
+
+	probe := matchEntryForTest(0, "push-e2e", 100)
+	sub, err := subscriber.Subscribe(probe, big.NewInt(10), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := uploader.Upload(matchEntryForTest(1, "push-e2e", 105)); err != nil {
+		t.Fatal(err)
+	}
+	if err := uploader.Upload(matchEntryForTest(2, "push-e2e", 500)); err != nil {
+		t.Fatal(err) // outside the threshold: must not notify
+	}
+	got := collectUntil(sub, 1, 5*time.Second)
+	if len(got) != 1 {
+		t.Fatalf("got %d notifications, want 1: %+v", len(got), got)
+	}
+	if got[0].Event != client.NotifyMatch || got[0].ID != profile.ID(1) || got[0].Seq != 1 || got[0].Dropped != 0 {
+		t.Fatalf("unexpected notification %+v", got[0])
+	}
+	if len(got[0].Auth) == 0 {
+		t.Error("match notification carries no auth blob for verification")
+	}
+
+	if err := uploader.Remove(profile.ID(1)); err != nil {
+		t.Fatal(err)
+	}
+	got = collectUntil(sub, 1, 5*time.Second)
+	if len(got) != 1 || got[0].Event != client.NotifyGone || got[0].ID != profile.ID(1) {
+		t.Fatalf("remove pushed %+v, want one gone event for profile 1", got)
+	}
+
+	if err := sub.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if err := uploader.Upload(matchEntryForTest(3, "push-e2e", 101)); err != nil {
+		t.Fatal(err)
+	}
+	if got := collectUntil(sub, 1, 300*time.Millisecond); len(got) != 0 {
+		t.Fatalf("notified after unsubscribe: %+v", got)
+	}
+	if n := srv.broker.NumSubs(); n != 0 {
+		t.Errorf("broker holds %d subscriptions after unsubscribe", n)
+	}
+	if srv.Metrics().NotifiesSent.Load() < 2 {
+		t.Errorf("notifies_sent = %d, want >= 2", srv.Metrics().NotifiesSent.Load())
+	}
+}
+
+// TestSubscriptionsDieWithConn: closing the subscriber's connection
+// deregisters its subscriptions server-side and closes the channel
+// client-side.
+func TestSubscriptionsDieWithConn(t *testing.T) {
+	addr, srv := startServer(t)
+	subscriber := dial(t, addr)
+	sub, err := subscriber.Subscribe(matchEntryForTest(0, "push-die", 100), big.NewInt(10), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subscriber.Close()
+	select {
+	case _, ok := <-sub.C:
+		if ok {
+			t.Fatal("received a notification instead of channel close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscription channel not closed after conn close")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.broker.NumSubs() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("broker still holds %d subscriptions after conn close", srv.broker.NumSubs())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.Metrics().SubscriptionsActive.Load() != 0 {
+		t.Errorf("subscriptions_active = %d after conn close", srv.Metrics().SubscriptionsActive.Load())
+	}
+}
+
+// TestSubscribeRefusedOnLockstep: the client refuses to subscribe over a
+// v1 lockstep session — there is no frame the server could push on.
+func TestSubscribeRefusedOnLockstep(t *testing.T) {
+	addr, _ := startServer(t)
+	conn := dialOpts(t, addr, client.Options{DisablePipeline: true})
+	if _, err := conn.Subscribe(matchEntryForTest(0, "b", 1), big.NewInt(1), 1); err != client.ErrNoPush {
+		t.Fatalf("Subscribe on lockstep conn returned %v, want ErrNoPush", err)
+	}
+}
+
+// TestMaxSubsPerConnEnforced: the per-connection subscription cap turns
+// the overflow registration into a server error, not a silent drop.
+func TestMaxSubsPerConnEnforced(t *testing.T) {
+	srv, err := New(Config{OPRF: testOPRF(t), ReadTimeout: 5 * time.Second, MaxSubsPerConn: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	defer func() { cancel(); <-done }()
+	conn := dialOpts(t, a.String(), client.Options{})
+	for i := 0; i < 2; i++ {
+		if _, err := conn.Subscribe(matchEntryForTest(0, fmt.Sprintf("b%d", i), 1), big.NewInt(1), 1); err != nil {
+			t.Fatalf("subscription %d refused: %v", i, err)
+		}
+	}
+	if _, err := conn.Subscribe(matchEntryForTest(0, "b2", 1), big.NewInt(1), 1); err == nil {
+		t.Fatal("third subscription accepted past MaxSubsPerConn=2")
+	}
+}
+
+// TestIdleSubscriberSurvivesReadTimeout: a standing probe is legitimately
+// quiet — a subscriber that sends nothing for several read-deadline
+// windows must keep its connection and still receive pushes; once it
+// unsubscribes, the now-plain-idle connection dies by the deadline again.
+func TestIdleSubscriberSurvivesReadTimeout(t *testing.T) {
+	const readTimeout = 300 * time.Millisecond
+	srv, err := New(Config{OPRF: testOPRF(t), ReadTimeout: readTimeout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	defer func() { cancel(); <-done }()
+
+	subscriber := dialOpts(t, a.String(), client.Options{Timeout: 5 * time.Second})
+	sub, err := subscriber.Subscribe(matchEntryForTest(0, "push-idle", 100), big.NewInt(10), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sit silent across several deadline windows. The reader must re-arm
+	// each expiry without dropping the conn or counting a read timeout.
+	time.Sleep(4 * readTimeout)
+	if n := srv.Metrics().ReadTimeouts.Load(); n != 0 {
+		t.Errorf("read_timeouts = %d while a subscriber idled, want 0", n)
+	}
+
+	uploader := dialOpts(t, a.String(), client.Options{Timeout: 5 * time.Second})
+	if err := uploader.Upload(matchEntryForTest(1, "push-idle", 105)); err != nil {
+		t.Fatal(err)
+	}
+	got := collectUntil(sub, 1, 5*time.Second)
+	if len(got) != 1 || got[0].Event != client.NotifyMatch || got[0].ID != profile.ID(1) {
+		t.Fatalf("idle subscriber got %+v, want one match for profile 1", got)
+	}
+	uploader.Close()
+
+	// With the subscription gone the conn is ordinary-idle again: the next
+	// deadline expiry must reap it.
+	if err := sub.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * readTimeout)
+	for srv.Metrics().ReadTimeouts.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("unsubscribed idle conn not reaped by read deadline")
+		}
+		time.Sleep(readTimeout / 10)
+	}
+}
+
+// dialRawTLS opens a bare TLS connection for byte-level protocol tests.
+func dialRawTLS(t *testing.T, addr string) *tls.Conn {
+	t.Helper()
+	conn, err := tls.Dial("tcp", addr, &tls.Config{InsecureSkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// dialRawTLSNarrow is dialRawTLS with a tiny TCP receive buffer, so a
+// reader that stalls makes the server's writes block almost immediately
+// instead of disappearing into kernel buffering.
+func dialRawTLSNarrow(t *testing.T, address string) *tls.Conn {
+	t.Helper()
+	tcp, err := net.DialTimeout("tcp", address, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tcp.(*net.TCPConn).SetReadBuffer(4 << 10); err != nil {
+		t.Fatal(err)
+	}
+	conn := tls.Client(tcp, &tls.Config{InsecureSkipVerify: true})
+	if err := conn.Handshake(); err != nil {
+		tcp.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// upgradeRawV2 performs the hello exchange on a raw conn, leaving it in
+// v2 framing.
+func upgradeRawV2(t *testing.T, conn *tls.Conn) {
+	t.Helper()
+	hello := wire.Hello{Version: wire.ProtocolV2, Depth: 8}
+	if err := wire.WriteFrame(conn, wire.TypeHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	rt, _, err := wire.ReadFrame(conn)
+	if err != nil || rt != wire.TypeHelloResp {
+		t.Fatalf("hello exchange: type %d, err %v", rt, err)
+	}
+}
+
+// subscribeRawV2 registers a probe over a raw v2 conn and consumes the ack.
+func subscribeRawV2(t *testing.T, conn *tls.Conn, subID uint64, bucket string, sum, maxDist int64) {
+	t.Helper()
+	probe := matchEntryForTest(0, bucket, sum)
+	req := wire.SubscribeReq{
+		SubID:    subID,
+		KeyHash:  probe.KeyHash,
+		CtBits:   uint32(probe.Chain.CtBits),
+		NumAttrs: uint16(probe.Chain.NumAttrs()),
+		Chain:    probe.Chain.Bytes(),
+		MaxDist:  big.NewInt(maxDist),
+	}
+	if err := wire.WriteFrameV2(conn, 1, wire.TypeSubscribeReq, req.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	id, rt, payload, err := wire.ReadFrameV2(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 || rt != wire.TypeSubscribeResp {
+		t.Fatalf("subscribe ack: id %d type %d (%x)", id, rt, payload)
+	}
+}
+
+// TestStalledSubscriberNeverBlocksUploads is the second acceptance
+// criterion: a subscriber that stops reading its socket entirely must not
+// stall the upload ack path — publishes only append to the broker's
+// bounded queue, and overflow is dropped and counted, never waited on.
+func TestStalledSubscriberNeverBlocksUploads(t *testing.T) {
+	srv, err := New(Config{
+		OPRF:           testOPRF(t),
+		ReadTimeout:    10 * time.Second,
+		WriteTimeout:   500 * time.Millisecond,
+		NotifyQueueCap: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	defer func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("server did not shut down")
+		}
+	}()
+
+	// Subscribe on a narrow-windowed raw conn, then never read again: the
+	// server's push writes fill the small socket buffers, block, and hit
+	// the write deadline while publishes keep overflowing the queue.
+	raw := dialRawTLSNarrow(t, a.String())
+	upgradeRawV2(t, raw)
+	subscribeRawV2(t, raw, 1, "push-stall", 0, 1<<40)
+
+	// Big auth blobs make each push frame heavy, so the pump jams fast.
+	uploader := dialOpts(t, a.String(), client.Options{Timeout: 5 * time.Second})
+	auth := bytes.Repeat([]byte{0xaa}, 60<<10)
+	start := time.Now()
+	const uploads = 200
+	for i := 1; i <= uploads; i++ {
+		e := matchEntryForTest(uint32(i), "push-stall", int64(i))
+		e.Auth = auth
+		if err := uploader.Upload(e); err != nil {
+			t.Fatalf("upload %d failed behind a stalled subscriber: %v", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	// Every ack must have been prompt: nowhere near even one WriteTimeout
+	// per upload, which is what any accidental coupling to the stalled
+	// push writes would cost.
+	if elapsed > 20*time.Second {
+		t.Errorf("%d uploads took %v behind a stalled subscriber", uploads, elapsed)
+	}
+	if drops := srv.Metrics().NotifiesDropped.Load(); drops == 0 {
+		t.Error("stalled subscriber produced no counted drops")
+	}
+	if enq := srv.Metrics().NotifiesEnqueued.Load(); enq == 0 {
+		t.Error("no notifications enqueued")
+	}
+}
+
+// TestV1ClientNeverReceivesPush is the regression satellite: a client
+// that never sends a hello stays on the v1 lockstep path, where
+// subscribe frames are rejected by the service registry and no push
+// frame can ever appear — the stream stays strictly
+// request/response, byte-for-byte.
+func TestV1ClientNeverReceivesPush(t *testing.T) {
+	addr, _ := startServer(t)
+	raw := dialRawTLS(t, addr)
+
+	// A v1 subscribe attempt gets an error frame, not a registration.
+	req := wire.SubscribeReq{SubID: 1, KeyHash: []byte("push-v1"), CtBits: 48, NumAttrs: 1, Chain: make([]byte, 6), MaxDist: big.NewInt(1 << 30)}
+	if err := wire.WriteFrame(raw, wire.TypeSubscribeReq, req.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	rt, _, err := wire.ReadFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != wire.TypeError {
+		t.Fatalf("v1 subscribe answered with type %d, want TypeError", rt)
+	}
+
+	// Qualifying uploads from a v2 client push to nobody on this conn.
+	uploader := dial(t, addr)
+	if err := uploader.Upload(matchEntryForTest(7, "push-v1", 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The lockstep exchange stays in byte-lockstep: each request is
+	// answered by exactly its response, never an interleaved push frame.
+	for i := 0; i < 3; i++ {
+		if err := wire.WriteFrame(raw, wire.TypeQueryReq, (&wire.QueryReq{QueryID: uint64(i + 1), ID: 7, TopK: 1}).Encode()); err != nil {
+			t.Fatal(err)
+		}
+		rt, payload, err := wire.ReadFrame(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt != wire.TypeQueryResp {
+			t.Fatalf("lockstep query %d answered with type %d, want TypeQueryResp", i, rt)
+		}
+		resp, err := wire.DecodeQueryResp(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.QueryID != uint64(i+1) {
+			t.Fatalf("lockstep response for query %d, want %d", resp.QueryID, i+1)
+		}
+	}
+
+	// And between requests the server sends nothing unsolicited.
+	if err := raw.SetReadDeadline(time.Now().Add(300 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if rt, _, err := wire.ReadFrame(raw); err == nil {
+		t.Fatalf("v1 conn received unsolicited frame type %d", rt)
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("v1 conn read ended with %v, want idle timeout", err)
+	}
+}
+
+// TestPullPushEquivalence is the equivalence satellite: with no drops,
+// replaying the notification stream (matches minus gones) must converge
+// to exactly the set a fresh MAX-distance query returns for the same
+// probe and threshold.
+func TestPullPushEquivalence(t *testing.T) {
+	addr, srv := startServer(t)
+	subscriber := dial(t, addr)
+	uploader := dial(t, addr)
+
+	const (
+		bucket  = "push-eq"
+		probeID = 999
+		sum     = 500
+		dist    = 50
+	)
+	// The subscriber's own profile goes in before subscribing (queries
+	// resolve the probe by stored ID; the broker only pushes uploads that
+	// happen after registration, and the query path excludes self).
+	self := matchEntryForTest(probeID, bucket, sum)
+	if err := subscriber.Upload(self); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := subscriber.Subscribe(self, big.NewInt(dist), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministic workload: uploads in and out of range, re-uploads
+	// drifting across the threshold, re-keys to another bucket, removes.
+	for i := 1; i <= 30; i++ {
+		if err := uploader.Upload(matchEntryForTest(uint32(i), bucket, int64(430+5*i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 10; i++ {
+		if err := uploader.Upload(matchEntryForTest(uint32(i), bucket, int64(400+i))); err != nil {
+			t.Fatal(err) // drifted below the threshold
+		}
+	}
+	for i := 25; i <= 28; i++ {
+		if err := uploader.Upload(matchEntryForTest(uint32(i), "push-eq-other", int64(430+5*i))); err != nil {
+			t.Fatal(err) // re-keyed away
+		}
+	}
+	for i := 15; i <= 18; i++ {
+		if err := uploader.Remove(profile.ID(uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := map[profile.ID]bool{}
+	results, err := uploader.QueryMaxDistance(profile.ID(probeID), big.NewInt(dist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		want[r.ID] = true
+	}
+
+	// Replay the push stream until it converges to the pull answer.
+	live := map[profile.ID]bool{}
+	deadline := time.NewTimer(10 * time.Second)
+	defer deadline.Stop()
+	converged := func() bool {
+		if len(live) != len(want) {
+			return false
+		}
+		for id := range want {
+			if !live[id] {
+				return false
+			}
+		}
+		return true
+	}
+	for !converged() {
+		select {
+		case n, ok := <-sub.C:
+			if !ok {
+				t.Fatalf("subscription closed before convergence: live %v, want %v", live, want)
+			}
+			if n.Dropped != 0 {
+				t.Fatalf("notification reports %d drops; equivalence needs a lossless stream", n.Dropped)
+			}
+			switch n.Event {
+			case client.NotifyMatch:
+				live[n.ID] = true
+			case client.NotifyGone:
+				delete(live, n.ID)
+			}
+		case <-deadline.C:
+			t.Fatalf("push stream did not converge to pull: live %v, want %v", live, want)
+		}
+	}
+	// Quiesced stream must not drift past the pull answer.
+	time.Sleep(100 * time.Millisecond)
+	for {
+		select {
+		case n := <-sub.C:
+			t.Fatalf("stream kept going after convergence: %+v", n)
+		default:
+		}
+		break
+	}
+	if sub.LocalDropped() != 0 {
+		t.Errorf("client dropped %d notifications locally", sub.LocalDropped())
+	}
+	if srv.Metrics().NotifiesDropped.Load() != 0 {
+		t.Errorf("server dropped %d notifications", srv.Metrics().NotifiesDropped.Load())
+	}
+}
+
+// TestPushChaosLongLived is the chaos satellite: a long-lived subscriber
+// connection with injected transport faults (fragmented writes, slow
+// reads) rides out a concurrent upload/remove storm. Invariants: no
+// notification is delivered twice, sequence accounting is exact — for
+// the i-th delivered notification, seq == i + server drops — and the
+// server drains within its deadline at the end. Run under -race in CI.
+func TestPushChaosLongLived(t *testing.T) {
+	srv, err := New(Config{
+		OPRF:           testOPRF(t),
+		ReadTimeout:    5 * time.Second,
+		WriteTimeout:   2 * time.Second,
+		DrainTimeout:   3 * time.Second,
+		NotifyQueueCap: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx) }()
+
+	faults := netfault.Faults{
+		MaxWriteChunk: 7,
+		ChunkDelay:    100 * time.Microsecond,
+		ReadDelay:     200 * time.Microsecond,
+	}
+	subscriber := dialOpts(t, a.String(), client.Options{
+		Timeout: 5 * time.Second,
+		Dialer: func(network, addr string) (net.Conn, error) {
+			raw, err := net.DialTimeout(network, addr, 2*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			return netfault.New(raw, faults), nil
+		},
+	})
+	sub, err := subscriber.Subscribe(matchEntryForTest(0, "push-chaos", 0), big.NewInt(1<<40), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Consumer drains continuously so nothing is dropped client-side.
+	var received []client.Notification
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for n := range sub.C {
+			received = append(received, n)
+		}
+	}()
+
+	// Upload/remove storm from clean concurrent connections.
+	const uploaders = 3
+	const perUploader = 50
+	var wg sync.WaitGroup
+	errCh := make(chan error, uploaders)
+	for u := 0; u < uploaders; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			conn, err := client.Dial(a.String(), client.Options{Timeout: 5 * time.Second})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer conn.Close()
+			base := uint32(1 + u*perUploader)
+			for i := uint32(0); i < perUploader; i++ {
+				id := base + i
+				if err := conn.Upload(matchEntryForTest(id, "push-chaos", int64(id))); err != nil {
+					errCh <- fmt.Errorf("upload %d: %w", id, err)
+					return
+				}
+				if i%5 == 4 {
+					if err := conn.Remove(profile.ID(id)); err != nil {
+						errCh <- fmt.Errorf("remove %d: %w", id, err)
+						return
+					}
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Let deliveries settle: stop once the sent counter catches up with
+	// enqueued-minus-dropped, then drain the server.
+	m := srv.Metrics()
+	deadline := time.Now().Add(10 * time.Second)
+	for m.NotifiesSent.Load() < m.NotifiesEnqueued.Load()-m.NotifiesDropped.Load() {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	drainStart := time.Now()
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	case <-time.After(6 * time.Second):
+		t.Fatal("server did not drain with a live subscriber attached")
+	}
+	if elapsed := time.Since(drainStart); elapsed > 5*time.Second {
+		t.Errorf("drain took %v, want under DrainTimeout plus slack", elapsed)
+	}
+
+	// The conn died with the server; the subscription channel must close.
+	select {
+	case <-consumerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscription channel never closed after server drain")
+	}
+
+	if sub.LocalDropped() != 0 {
+		t.Fatalf("client dropped %d notifications with a live consumer", sub.LocalDropped())
+	}
+	// Exact sequence accounting: the server assigns seq at enqueue and
+	// stamps cumulative drops at delivery, the transport is in-order and
+	// reliable, so the i-th delivered notification (1-based) satisfies
+	// seq == i + dropped. This simultaneously proves no duplicate
+	// delivery, no reordering, and that every gap is a counted drop.
+	for i, n := range received {
+		if n.Seq != uint64(i+1)+n.Dropped {
+			t.Fatalf("notification %d: seq %d, dropped %d — accounting broken (want seq == %d+dropped)",
+				i, n.Seq, n.Dropped, i+1)
+		}
+		if n.Event != client.NotifyMatch && n.Event != client.NotifyGone {
+			t.Fatalf("notification %d: unknown event %d", i, n.Event)
+		}
+		if n.ID == 0 || n.ID > uploaders*perUploader {
+			t.Fatalf("notification %d: profile %d never uploaded", i, n.ID)
+		}
+	}
+	if len(received) == 0 {
+		t.Fatal("chaos run delivered no notifications at all")
+	}
+}
+
+// TestPushSubscriptionSoak is the CI soak step: several subscriber
+// connections with per-bucket probes ride a sustained concurrent
+// upload/remove workload, with the sequence-accounting invariant checked
+// on every stream. Guarded by -short.
+func TestPushSubscriptionSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped with -short")
+	}
+	addr, srv := startServer(t)
+
+	const (
+		buckets      = 4
+		subsPerBkt   = 2
+		uploaders    = 4
+		perUploader  = 150
+		clientBuffer = 8192
+	)
+	type subscriber struct {
+		sub    *client.Subscription
+		recv   []client.Notification
+		done   chan struct{}
+		bucket int
+	}
+	var subs []*subscriber
+	for b := 0; b < buckets; b++ {
+		for k := 0; k < subsPerBkt; k++ {
+			conn := dial(t, addr)
+			probe := matchEntryForTest(0, fmt.Sprintf("soak-%d", b), int64(500*b+250*k))
+			s, err := conn.Subscribe(probe, big.NewInt(200), clientBuffer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := &subscriber{sub: s, done: make(chan struct{}), bucket: b}
+			go func() {
+				defer close(sc.done)
+				for n := range s.C {
+					sc.recv = append(sc.recv, n)
+				}
+			}()
+			subs = append(subs, sc)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, uploaders)
+	for u := 0; u < uploaders; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			conn, err := client.Dial(addr, client.Options{Timeout: 5 * time.Second})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer conn.Close()
+			for i := 0; i < perUploader; i++ {
+				id := uint32(1 + u*perUploader + i)
+				bucket := fmt.Sprintf("soak-%d", int(id)%buckets)
+				sum := int64((int(id) * 37) % 2000)
+				if err := conn.Upload(matchEntryForTest(id, bucket, sum)); err != nil {
+					errCh <- fmt.Errorf("upload %d: %w", id, err)
+					return
+				}
+				switch i % 7 {
+				case 3: // drift within/out of range
+					if err := conn.Upload(matchEntryForTest(id, bucket, sum+150)); err != nil {
+						errCh <- fmt.Errorf("re-upload %d: %w", id, err)
+						return
+					}
+				case 5:
+					if err := conn.Remove(profile.ID(id)); err != nil {
+						errCh <- fmt.Errorf("remove %d: %w", id, err)
+						return
+					}
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Settle, then close every subscriber conn to end the streams.
+	m := srv.Metrics()
+	deadline := time.Now().Add(10 * time.Second)
+	for m.NotifiesSent.Load() < m.NotifiesEnqueued.Load()-m.NotifiesDropped.Load() {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+	total := 0
+	for si, sc := range subs {
+		select {
+		case <-sc.done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("subscriber %d stream never closed", si)
+		}
+		if d := sc.sub.LocalDropped(); d != 0 {
+			t.Errorf("subscriber %d dropped %d locally with a live consumer", si, d)
+		}
+		for i, n := range sc.recv {
+			if n.Seq != uint64(i+1)+n.Dropped {
+				t.Fatalf("subscriber %d notification %d: seq %d dropped %d — accounting broken", si, i, n.Seq, n.Dropped)
+			}
+		}
+		total += len(sc.recv)
+	}
+	if total == 0 {
+		t.Fatal("soak delivered no notifications at all")
+	}
+	t.Logf("soak: %d notifications across %d subscribers (%d enqueued, %d dropped, %d sent)",
+		total, len(subs), m.NotifiesEnqueued.Load(), m.NotifiesDropped.Load(), m.NotifiesSent.Load())
+}

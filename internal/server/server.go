@@ -18,11 +18,13 @@ import (
 	"crypto/x509/pkix"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 	"net"
 	"sync"
 	"time"
 
+	"smatch/internal/broker"
 	"smatch/internal/match"
 	"smatch/internal/metrics"
 	"smatch/internal/oprf"
@@ -61,6 +63,14 @@ type Config struct {
 	// it caps how many requests one connection can have executing at
 	// once. Zero means 32.
 	PipelineDepth int
+	// NotifyQueueCap bounds each subscription's pending-notification
+	// queue; at the cap the oldest notification is dropped (and counted)
+	// so a slow subscriber never stalls the upload path. Zero means
+	// broker.DefaultQueueCap.
+	NotifyQueueCap int
+	// MaxSubsPerConn caps standing subscriptions per pipelined
+	// connection. Zero means 64.
+	MaxSubsPerConn int
 	// Logf receives structured-ish log lines; nil disables logging.
 	Logf func(format string, args ...any)
 	// Store supplies a pre-populated matching store (e.g. restored from a
@@ -99,6 +109,9 @@ func (c Config) withDefaults() Config {
 	if c.PipelineDepth > 65535 {
 		c.PipelineDepth = 65535 // the hello ack carries it as a uint16
 	}
+	if c.MaxSubsPerConn == 0 {
+		c.MaxSubsPerConn = 64
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -110,6 +123,7 @@ type Server struct {
 	cfg     Config
 	store   *match.Server
 	svc     *service.Registry
+	broker  *broker.Broker
 	metrics *metrics.Registry
 	ln      net.Listener
 	sem     chan struct{} // MaxConns slots; nil means unlimited
@@ -125,11 +139,15 @@ type Server struct {
 // finish their in-flight requests. busy covers the v1 lockstep path
 // (at most one request at a time); inflight counts requests live on the
 // v2 pipelined path (accepted by the reader, response not yet written).
+// drainFn, when set (pipelined connections with a push pump), replaces a
+// direct conn.Close() on the graceful-drain path: it flushes queued push
+// notifications before closing, and must never block.
 type connState struct {
 	mu       sync.Mutex
 	busy     bool
 	inflight int
 	closing  bool
+	drainFn  func()
 }
 
 // New creates a server around a fresh matching store.
@@ -150,7 +168,9 @@ func New(cfg Config) (*Server, error) {
 	// is a gauge: computed on scrape, not on the hot path.
 	reg.RegisterGauge("bucket_stats", func() any { return store.BucketStats() })
 	reg.RegisterGauge("shards", func() any { return store.NumShards() })
-	deps := service.Deps{Store: store, OPRF: cfg.OPRF, Metrics: reg, MaxTopK: cfg.MaxTopK}
+	bk := broker.New(broker.Config{QueueCap: cfg.NotifyQueueCap, Metrics: reg})
+	reg.RegisterGauge("broker", func() any { return bk.Stats() })
+	deps := service.Deps{Store: store, OPRF: cfg.OPRF, Metrics: reg, MaxTopK: cfg.MaxTopK, Publisher: bk}
 	if cfg.Journal != nil {
 		// Assign only when non-nil: a typed-nil *Journal inside the
 		// interface would dodge the handlers' nil checks.
@@ -164,6 +184,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		store:   store,
 		svc:     svc,
+		broker:  bk,
 		metrics: reg,
 		conns:   make(map[net.Conn]*connState),
 	}
@@ -315,7 +336,13 @@ func (s *Server) Shutdown() error {
 		st.closing = true
 		if !st.busy && st.inflight == 0 {
 			// Idle: the handler is parked in its read loop; unblock it now.
-			conn.Close()
+			// A connection with a push pump gets a final notification flush
+			// first (drainFn never blocks).
+			if st.drainFn != nil {
+				st.drainFn()
+			} else {
+				conn.Close()
+			}
 		}
 		st.mu.Unlock()
 	}
@@ -513,7 +540,27 @@ type pipelineResp struct {
 // serializing every response through the write-deadline choke point.
 // Request IDs are the client's; responses complete (and are written) in
 // whatever order the handlers finish.
+//
+// The connection also carries push-based matching: the reader handles
+// subscribe/unsubscribe frames inline (registration is a map insert, so
+// a subscription is live before any later frame on the same connection),
+// and a per-connection pump (see push.go) writes TypeMatchNotify frames
+// through the same write choke point — push.writeMu serializes the
+// writer goroutine and the pump against each other.
 func (s *Server) servePipelined(conn net.Conn, st *connState, depth int) {
+	push := newConnPush(s, conn)
+	st.mu.Lock()
+	alreadyClosing := st.closing
+	if !alreadyClosing {
+		st.drainFn = push.requestDrain
+	}
+	st.mu.Unlock()
+	if alreadyClosing {
+		// Shutdown won the race between the hello ack and here; it already
+		// closed (or will close) the conn directly.
+		push.teardown()
+		return
+	}
 	jobs := make(chan pipelineJob, depth)
 	resps := make(chan pipelineResp, depth)
 	var workers sync.WaitGroup
@@ -539,37 +586,52 @@ func (s *Server) servePipelined(conn net.Conn, st *connState, depth int) {
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		writeFailed := false
 		for resp := range resps {
-			if !writeFailed {
-				if err := s.writeFrameV2(conn, resp.id, resp.t, resp.payload); err != nil {
+			if !push.writeFailed.Load() {
+				push.writeMu.Lock()
+				err := s.writeFrameV2(conn, resp.id, resp.t, resp.payload)
+				push.writeMu.Unlock()
+				if err != nil {
 					// The stream is torn mid-frame; close the conn so the
 					// reader unblocks, then keep draining resps so no
 					// worker is ever left parked on the channel.
-					writeFailed = true
-					s.cfg.Logf("server: %v", err)
-					conn.Close()
+					if push.writeFailed.CompareAndSwap(false, true) {
+						s.cfg.Logf("server: %v", err)
+						conn.Close()
+					}
 				}
 			}
 			st.mu.Lock()
 			st.inflight--
 			drained := st.closing && st.inflight == 0
 			st.mu.Unlock()
-			if drained && !writeFailed {
-				// Graceful drain: every accepted request has its response
-				// on the wire; closing now unblocks the reader.
-				s.metrics.ConnsDrained.Add(1)
-				conn.Close()
+			if drained && !push.writeFailed.Load() {
+				// Graceful drain: every accepted request has its response on
+				// the wire; the pump flushes pending pushes and closes the
+				// conn, which unblocks the reader.
+				push.requestDrain()
 			}
 		}
 	}()
+	reader := &countingReader{r: conn}
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
 			break
 		}
-		id, t, payload, err := wire.ReadFrameV2(conn)
+		frameStart := reader.n
+		id, t, payload, err := wire.ReadFrameV2(reader)
 		if err != nil {
 			if isTimeout(err) {
+				// A standing subscriber is legitimately quiet: it registered a
+				// probe and is waiting for pushes, possibly for hours. As long
+				// as the deadline fired *between* frames (a mid-frame timeout
+				// leaves the stream desynced, so that conn still dies) and the
+				// connection holds live subscriptions, re-arm and keep
+				// listening — a dead subscriber is reaped by the pump's write
+				// deadline the next time a push is attempted.
+				if reader.n == frameStart && push.hasSubs() {
+					continue
+				}
 				s.metrics.ReadTimeouts.Add(1)
 			}
 			break
@@ -583,13 +645,53 @@ func (s *Server) servePipelined(conn net.Conn, st *connState, depth int) {
 		}
 		st.inflight++
 		st.mu.Unlock()
-		s.metrics.PipelineQueueDepth.Add(1)
-		jobs <- pipelineJob{id: id, t: t, payload: payload}
+		switch t {
+		case wire.TypeSubscribeReq, wire.TypeUnsubscribeReq:
+			// Handled on the reader, not a worker: ordering is the point.
+			// Every frame the reader accepts after this one sees the
+			// registration, so an upload pipelined behind a subscribe on the
+			// same connection is guaranteed to be evaluated against it.
+			var (
+				rt  wire.MsgType
+				rp  []byte
+				err error
+			)
+			if t == wire.TypeSubscribeReq {
+				rt, rp, err = s.handleSubscribe(push, payload)
+			} else {
+				rt, rp, err = s.handleUnsubscribe(push, payload)
+			}
+			if err != nil {
+				s.metrics.Errors.Add(1)
+				s.cfg.Logf("server: %v", err)
+				rt = wire.TypeError
+				rp = (&wire.ErrorMsg{Text: err.Error()}).Encode()
+			}
+			resps <- pipelineResp{id: id, t: rt, payload: rp}
+		default:
+			s.metrics.PipelineQueueDepth.Add(1)
+			jobs <- pipelineJob{id: id, t: t, payload: payload}
+		}
 	}
 	close(jobs)
 	workers.Wait()
 	close(resps)
 	<-writerDone
+	push.teardown()
+}
+
+// countingReader tracks how many bytes have been consumed, letting the
+// pipelined reader distinguish an idle read timeout (safe to retry) from
+// one that fired mid-frame (stream desynced, conn must die).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (s *Server) writeError(conn net.Conn, err error) error {

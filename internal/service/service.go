@@ -41,14 +41,25 @@ type Journal interface {
 	AppendRemove(profile.ID) error
 }
 
+// Publisher receives every successfully applied mutation, after the store
+// accepted it — the hook push-based matching fans out from. A Publisher
+// must never block: apply latency is on the ack path.
+// internal/broker's Broker implements it. A nil Publisher in Deps
+// disables publishing.
+type Publisher interface {
+	PublishUpsert(match.Entry)
+	PublishRemove(profile.ID)
+}
+
 // Deps carries everything a handler may need. Store and OPRF are
 // required; Journal may be nil; Metrics may be nil (a private registry is
-// created so recording is always safe).
+// created so recording is always safe); Publisher may be nil.
 type Deps struct {
-	Store   *match.Server
-	OPRF    *oprf.Server
-	Journal Journal
-	Metrics *metrics.Registry
+	Store     *match.Server
+	OPRF      *oprf.Server
+	Journal   Journal
+	Metrics   *metrics.Registry
+	Publisher Publisher
 	// MaxTopK caps the per-query result count a client may request.
 	// Zero means 100.
 	MaxTopK int
@@ -154,6 +165,9 @@ func (r *Registry) upload(payload []byte) (wire.MsgType, []byte, error) {
 	if err := r.deps.Store.Upload(entry); err != nil {
 		return 0, nil, err
 	}
+	if p := r.deps.Publisher; p != nil {
+		p.PublishUpsert(entry)
+	}
 	return wire.TypeUploadResp, nil, nil
 }
 
@@ -198,6 +212,9 @@ func (r *Registry) uploadBatch(payload []byte) (wire.MsgType, []byte, error) {
 				resp.Status[i] = uerr.Error()
 				continue
 			}
+			if p := r.deps.Publisher; p != nil {
+				p.PublishUpsert(entries[i])
+			}
 			m.Uploads.Add(1)
 		}
 	}
@@ -224,6 +241,9 @@ func (r *Registry) remove(payload []byte) (wire.MsgType, []byte, error) {
 	}
 	if err := r.deps.Store.Remove(req.ID); err != nil {
 		return 0, nil, err
+	}
+	if p := r.deps.Publisher; p != nil {
+		p.PublishRemove(req.ID)
 	}
 	return wire.TypeRemoveResp, nil, nil
 }

@@ -44,6 +44,11 @@ const (
 	TypeUploadBatchResp
 	TypeHello
 	TypeHelloResp
+	TypeSubscribeReq
+	TypeSubscribeResp
+	TypeUnsubscribeReq
+	TypeUnsubscribeResp
+	TypeMatchNotify
 )
 
 // MaxFrameSize bounds a frame payload; large enough for a 2048-bit, many-
