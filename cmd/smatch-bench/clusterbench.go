@@ -1,0 +1,279 @@
+// Cluster bench: measures upload and query throughput through the
+// fan-out router at 1, 2 and 4 partitions (one in-process TLS node per
+// partition). The single-partition cell doubles as the baseline — the
+// router's overhead with nothing to fan out — so the scaling trend and
+// the routing tax are both visible in one report (BENCH_cluster.json).
+//
+// Stores run without a WAL: the bench isolates the routing and store
+// cost, not fsync (BENCH_wal.json covers that axis).
+//
+//	smatch-bench -cluster-bench -cluster-out BENCH_cluster.json
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/rsa"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/big"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smatch/internal/chain"
+	"smatch/internal/client"
+	"smatch/internal/cluster"
+	"smatch/internal/match"
+	"smatch/internal/metrics"
+	"smatch/internal/oprf"
+	"smatch/internal/profile"
+	"smatch/internal/server"
+)
+
+const (
+	clusterBenchUsers   = 512
+	clusterBenchBuckets = 64
+	clusterBenchCallers = 16
+)
+
+// clusterBenchCell is one (partitions, op) measurement through the router.
+type clusterBenchCell struct {
+	Partitions int     `json:"partitions"`
+	Op         string  `json:"op"`
+	Ops        int64   `json:"ops"`
+	Seconds    float64 `json:"seconds"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// clusterBenchReport is the BENCH_cluster.json document.
+type clusterBenchReport struct {
+	GOMAXPROCS    int                `json:"gomaxprocs"`
+	NumCPU        int                `json:"num_cpu"`
+	StoredUsers   int                `json:"stored_users"`
+	Callers       int                `json:"callers"`
+	DurationPerOp string             `json:"duration_per_cell"`
+	Results       []clusterBenchCell `json:"results"`
+	QuerySpeedup  map[string]float64 `json:"query_speedup_vs_1_partition"`
+}
+
+// clusterBenchRig is one running cluster: P partition nodes + a router.
+type clusterBenchRig struct {
+	routerAddr string
+	shutdown   []func()
+}
+
+func (r *clusterBenchRig) close() {
+	for i := len(r.shutdown) - 1; i >= 0; i-- {
+		r.shutdown[i]()
+	}
+}
+
+func startClusterRig(oprfSrv *oprf.Server, partitions int) (*clusterBenchRig, error) {
+	rig := &clusterBenchRig{}
+	serve := func(srv *server.Server) (string, error) {
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ctx) }()
+		rig.shutdown = append(rig.shutdown, func() {
+			cancel()
+			<-done
+		})
+		return addr.String(), nil
+	}
+	nodes := make([]cluster.Node, partitions)
+	for i := range nodes {
+		srv, err := server.New(server.Config{OPRF: oprfSrv, ReadTimeout: 30 * time.Second})
+		if err != nil {
+			rig.close()
+			return nil, err
+		}
+		addr, err := serve(srv)
+		if err != nil {
+			rig.close()
+			return nil, err
+		}
+		nodes[i] = cluster.Node{ID: fmt.Sprintf("bench-node-%d", i), Addr: addr}
+	}
+	pm, err := cluster.NewMap(uint32(partitions), nodes)
+	if err != nil {
+		rig.close()
+		return nil, err
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Map:           pm,
+		ClientOptions: client.Options{Timeout: 30 * time.Second},
+		Metrics:       metrics.New(),
+	})
+	if err != nil {
+		rig.close()
+		return nil, err
+	}
+	rig.shutdown = append(rig.shutdown, rt.Close)
+	rsrv, err := server.New(server.Config{
+		OPRF:             oprfSrv,
+		ReadTimeout:      30 * time.Second,
+		RemoteSubscriber: rt.Subscribe,
+	})
+	if err != nil {
+		rig.close()
+		return nil, err
+	}
+	rt.Register(rsrv)
+	if rig.routerAddr, err = serve(rsrv); err != nil {
+		rig.close()
+		return nil, err
+	}
+	return rig, nil
+}
+
+func clusterBenchEntry(i int) match.Entry {
+	return match.Entry{
+		ID:      profile.ID(i),
+		KeyHash: []byte(fmt.Sprintf("cluster-bench-%03d", i%clusterBenchBuckets)),
+		Chain:   &chain.Chain{Cts: []*big.Int{big.NewInt(int64(i * 13))}, CtBits: 48},
+		Auth:    []byte("bench-auth"),
+	}
+}
+
+// clusterBenchUpload measures batched upload throughput through the
+// router (which splits each batch by owning partition) and leaves the
+// store seeded for the query cell.
+func clusterBenchUpload(addr string, dur time.Duration) (clusterBenchCell, error) {
+	conn, err := client.Dial(addr, client.Options{Timeout: 30 * time.Second})
+	if err != nil {
+		return clusterBenchCell{}, err
+	}
+	defer conn.Close()
+	const batch = 64
+	var ops int64
+	start := time.Now()
+	i := 0
+	for time.Since(start) < dur || i < clusterBenchUsers {
+		entries := make([]match.Entry, 0, batch)
+		for j := 0; j < batch; j++ {
+			entries = append(entries, clusterBenchEntry(1+(i%clusterBenchUsers)))
+			i++
+		}
+		if _, err := conn.UploadBatch(entries); err != nil {
+			return clusterBenchCell{}, err
+		}
+		ops += batch
+	}
+	elapsed := time.Since(start).Seconds()
+	return clusterBenchCell{Op: "upload", Ops: ops, Seconds: elapsed, OpsPerSec: float64(ops) / elapsed}, nil
+}
+
+// clusterBenchQuery measures top-k query throughput: callers goroutines
+// share one pipelined connection to the router, queries spread across
+// every stored user so the fan-out hits all partitions.
+func clusterBenchQuery(addr string, dur time.Duration) (clusterBenchCell, error) {
+	conn, err := client.Dial(addr, client.Options{Timeout: 30 * time.Second, MaxInFlight: 128})
+	if err != nil {
+		return clusterBenchCell{}, err
+	}
+	defer conn.Close()
+	var (
+		stop  atomic.Bool
+		total atomic.Int64
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	start := time.Now()
+	for g := 0; g < clusterBenchCallers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var done int64
+			for !stop.Load() {
+				id := profile.ID(1 + (int(done)+g*37)%clusterBenchUsers)
+				if _, err := conn.Query(id, 4); err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = fmt.Errorf("caller %d: %w", g, err)
+					}
+					errMu.Unlock()
+					stop.Store(true)
+					return
+				}
+				done++
+			}
+			total.Add(done)
+		}(g)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if first != nil {
+		return clusterBenchCell{}, first
+	}
+	ops := total.Load()
+	return clusterBenchCell{Op: "query", Ops: ops, Seconds: elapsed, OpsPerSec: float64(ops) / elapsed}, nil
+}
+
+func runClusterBench(out io.Writer, dur time.Duration, outPath string, partitionCounts []int) error {
+	rsaKey, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		return err
+	}
+	oprfSrv, err := oprf.NewServerFromKey(rsaKey)
+	if err != nil {
+		return err
+	}
+	report := clusterBenchReport{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		StoredUsers:   clusterBenchUsers,
+		Callers:       clusterBenchCallers,
+		DurationPerOp: dur.String(),
+		QuerySpeedup:  map[string]float64{},
+	}
+	var baseQuery float64
+	for _, p := range partitionCounts {
+		rig, err := startClusterRig(oprfSrv, p)
+		if err != nil {
+			return err
+		}
+		up, err := clusterBenchUpload(rig.routerAddr, dur)
+		if err != nil {
+			rig.close()
+			return err
+		}
+		up.Partitions = p
+		q, err := clusterBenchQuery(rig.routerAddr, dur)
+		rig.close()
+		if err != nil {
+			return err
+		}
+		q.Partitions = p
+		report.Results = append(report.Results, up, q)
+		fmt.Fprintf(out, "partitions=%-2d upload %10.0f ops/sec | query %10.0f ops/sec\n",
+			p, up.OpsPerSec, q.OpsPerSec)
+		if p == partitionCounts[0] && baseQuery == 0 {
+			baseQuery = q.OpsPerSec
+		} else if baseQuery > 0 {
+			report.QuerySpeedup[fmt.Sprintf("%d", p)] = q.OpsPerSec / baseQuery
+		}
+	}
+
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, append(doc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", outPath)
+	}
+	return nil
+}

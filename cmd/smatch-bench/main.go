@@ -35,6 +35,11 @@
 // for 1, 8 and 64 concurrent callers sharing one connection, lockstep v1
 // vs pipelined v2); -pipe-out writes the JSON report that is committed as
 // BENCH_pipeline.json.
+//
+// -cluster-bench switches to the cluster routing benchmark (upload and
+// query throughput through the fan-out router fronting 1, 2 and 4
+// in-process partition nodes); -cluster-out writes the JSON report that
+// is committed as BENCH_cluster.json.
 package main
 
 import (
@@ -69,6 +74,9 @@ func main() {
 		pipeBench  = flag.Bool("pipe-bench", false, "run the wire-pipelining query throughput benchmark (lockstep v1 vs pipelined v2) instead of the paper experiments")
 		pipeDur    = flag.Duration("pipe-dur", time.Second, "measurement window per pipe-bench cell")
 		pipeOut    = flag.String("pipe-out", "", "write the pipe-bench JSON report to this file (e.g. BENCH_pipeline.json)")
+		clBench    = flag.Bool("cluster-bench", false, "run the cluster routing benchmark (upload/query throughput through the fan-out router at 1, 2 and 4 partitions) instead of the paper experiments")
+		clDur      = flag.Duration("cluster-dur", time.Second, "measurement window per cluster-bench cell")
+		clOut      = flag.String("cluster-out", "", "write the cluster-bench JSON report to this file (e.g. BENCH_cluster.json)")
 	)
 	flag.Parse()
 
@@ -95,6 +103,13 @@ func main() {
 	}
 	if *pipeBench {
 		if err := runPipeBench(os.Stdout, *pipeDur, *pipeOut, []int{1, 8, 64}); err != nil {
+			fmt.Fprintln(os.Stderr, "smatch-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *clBench {
+		if err := runClusterBench(os.Stdout, *clDur, *clOut, []int{1, 2, 4}); err != nil {
 			fmt.Fprintln(os.Stderr, "smatch-bench:", err)
 			os.Exit(1)
 		}

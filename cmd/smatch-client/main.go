@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		server   = flag.String("server", "127.0.0.1:7788", "server address")
+		server   = flag.String("server", "127.0.0.1:7788", "server address, or a comma-separated seed list (host1:port,host2:port) — the client fails over to the next seed when its current one is unreachable")
 		dsName   = flag.String("dataset", "Infocom06", "deployment dataset (Infocom06, Sigcomm09, Weibo)")
 		cmd      = flag.String("cmd", "", "upload | upload-all | upload-batch | query | remove | subscribe")
 		batch    = flag.Int("batch", 64, "entries per frame for -cmd upload-batch")

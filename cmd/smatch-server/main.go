@@ -38,6 +38,24 @@
 // are bounded by -notify-queue (overflow drops the oldest and counts it
 // in /metrics — a slow subscriber never stalls uploads), and -max-subs
 // caps subscriptions per connection.
+//
+// # Cluster mode
+//
+// Three additional roles distribute the store across processes (see
+// DESIGN.md §14 and the README cluster quickstart):
+//
+//   - Partition leader: an ordinary -wal server; followers replicate it
+//     by pulling WAL records over the wire. With -sync-repl each write is
+//     acknowledged only after a follower confirms it (semi-synchronous).
+//   - Follower: -replica-of LEADERADDR -node-id ID -wal DIR keeps a
+//     byte-identical copy of the leader's journal, applying each shipped
+//     record through the crash-recovery replay path. A follower serves
+//     queries and is the promotion target when the leader dies.
+//   - Router: -router -peers id=addr,id=addr -partitions N terminates
+//     client connections (it holds the cluster's OPRF key), forwards each
+//     upload/remove to the bucket's owning partition, scatters queries,
+//     and relays push subscriptions from the owning partition. It stores
+//     nothing.
 package main
 
 import (
@@ -51,9 +69,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"smatch/internal/client"
+	"smatch/internal/cluster"
 	"smatch/internal/match"
 	"smatch/internal/metrics"
 	"smatch/internal/oprf"
@@ -61,67 +82,228 @@ import (
 	"smatch/internal/wal"
 )
 
+// options collects every flag; one struct so the role runners share it.
+type options struct {
+	listen       string
+	oprfBits     int
+	maxTopK      int
+	maxConns     int
+	pipeDepth    int
+	notifyQueue  int
+	maxSubs      int
+	writeTimeout time.Duration
+	drainTimeout time.Duration
+	storePath    string
+	walDir       string
+	metricsAddr  string
+	pprofAddr    string
+
+	router     bool
+	peers      string
+	partitions uint
+	nodeID     string
+	replicaOf  string
+	syncRepl   bool
+}
+
 func main() {
-	var (
-		listen       = flag.String("listen", "127.0.0.1:7788", "address to listen on")
-		oprfBits     = flag.Int("oprf-bits", 2048, "RSA-OPRF modulus size")
-		maxTopK      = flag.Int("max-topk", 100, "cap on per-query result count")
-		maxConns     = flag.Int("max-conns", 0, "cap on concurrent connections (0 = unlimited); at the cap, accepts stop and overflow dials are turned away")
-		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline; stalled readers are dropped")
-		pipeDepth    = flag.Int("pipeline-depth", 32, "per-connection cap on in-flight pipelined (protocol v2) requests; also the worker count per pipelined connection")
-		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for in-flight requests before force-close")
-		notifyQueue  = flag.Int("notify-queue", 0, "per-subscription bound on queued push notifications (0 = default); overflow drops the oldest, counted in /metrics")
-		maxSubs      = flag.Int("max-subs", 0, "per-connection cap on standing push subscriptions (0 = default)")
-		storePath    = flag.String("store", "", "snapshot file: restored at startup, saved on shutdown and every 5 minutes")
-		walDir       = flag.String("wal", "", "write-ahead log directory: journal every mutation before acknowledging it, recover checkpoint+log at startup")
-		metricsAddr  = flag.String("metrics", "", "serve GET /metrics (JSON) on this address; empty disables the endpoint")
-		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (debug only — keep it on localhost, e.g. 127.0.0.1:6060); empty disables the endpoint")
-	)
+	var o options
+	flag.StringVar(&o.listen, "listen", "127.0.0.1:7788", "address to listen on")
+	flag.IntVar(&o.oprfBits, "oprf-bits", 2048, "RSA-OPRF modulus size")
+	flag.IntVar(&o.maxTopK, "max-topk", 100, "cap on per-query result count")
+	flag.IntVar(&o.maxConns, "max-conns", 0, "cap on concurrent connections (0 = unlimited); at the cap, accepts stop and overflow dials are turned away")
+	flag.DurationVar(&o.writeTimeout, "write-timeout", 30*time.Second, "per-response write deadline; stalled readers are dropped")
+	flag.IntVar(&o.pipeDepth, "pipeline-depth", 32, "per-connection cap on in-flight pipelined (protocol v2) requests; also the worker count per pipelined connection")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 5*time.Second, "graceful-shutdown budget for in-flight requests before force-close")
+	flag.IntVar(&o.notifyQueue, "notify-queue", 0, "per-subscription bound on queued push notifications (0 = default); overflow drops the oldest, counted in /metrics")
+	flag.IntVar(&o.maxSubs, "max-subs", 0, "per-connection cap on standing push subscriptions (0 = default)")
+	flag.StringVar(&o.storePath, "store", "", "snapshot file: restored at startup, saved on shutdown and every 5 minutes")
+	flag.StringVar(&o.walDir, "wal", "", "write-ahead log directory: journal every mutation before acknowledging it, recover checkpoint+log at startup")
+	flag.StringVar(&o.metricsAddr, "metrics", "", "serve GET /metrics (JSON) on this address; empty disables the endpoint")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (debug only — keep it on localhost, e.g. 127.0.0.1:6060); empty disables the endpoint")
+	flag.BoolVar(&o.router, "router", false, "run as a cluster router: terminate clients, fan operations out to the -peers partition nodes, store nothing")
+	flag.StringVar(&o.peers, "peers", "", "router only: comma-separated id=addr partition nodes, e.g. node-a=10.0.0.1:7788,node-b=10.0.0.2:7788")
+	flag.UintVar(&o.partitions, "partitions", 16, "router only: partition count (power of two); fixed for the life of the cluster")
+	flag.StringVar(&o.nodeID, "node-id", "", "this node's stable cluster identity (required with -replica-of)")
+	flag.StringVar(&o.replicaOf, "replica-of", "", "run as a follower replicating the leader at this address (requires -wal and -node-id)")
+	flag.BoolVar(&o.syncRepl, "sync-repl", false, "leader only: hold each write's ack until a follower confirms replication (requires -wal)")
 	flag.Parse()
 
-	if err := run(*listen, *oprfBits, *maxTopK, *maxConns, *pipeDepth, *notifyQueue, *maxSubs, *writeTimeout, *drainTimeout, *storePath, *walDir, *metricsAddr, *pprofAddr); err != nil {
+	var err error
+	if o.router {
+		err = runRouter(o)
+	} else {
+		err = run(o)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "smatch-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, oprfBits, maxTopK, maxConns, pipeDepth, notifyQueue, maxSubs int, writeTimeout, drainTimeout time.Duration, storePath, walDir, metricsAddr, pprofAddr string) error {
-	log.Printf("generating %d-bit RSA-OPRF key...", oprfBits)
-	oprfSrv, err := oprf.NewServer(oprfBits)
+// parsePeers turns "id=addr,id=addr" into cluster nodes.
+func parsePeers(s string) ([]cluster.Node, error) {
+	var nodes []cluster.Node
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("malformed peer %q (want id=addr)", part)
+		}
+		nodes = append(nodes, cluster.Node{ID: id, Addr: addr})
+	}
+	if len(nodes) == 0 {
+		return nil, errors.New("-router requires -peers id=addr,...")
+	}
+	return nodes, nil
+}
+
+func newOPRF(bits int) (*oprf.Server, error) {
+	log.Printf("generating %d-bit RSA-OPRF key...", bits)
+	srv, err := oprf.NewServer(bits)
+	if err != nil {
+		return nil, err
+	}
+	pk := srv.PublicKey()
+	log.Printf("OPRF public key: N=%d bits, e=%d", pk.N.BitLen(), pk.E)
+	return srv, nil
+}
+
+// runRouter is the stateless role: terminate clients, fan out, merge.
+func runRouter(o options) error {
+	nodes, err := parsePeers(o.peers)
 	if err != nil {
 		return err
 	}
-	pk := oprfSrv.PublicKey()
-	log.Printf("OPRF public key: N=%d bits, e=%d", pk.N.BitLen(), pk.E)
-
+	pm, err := cluster.NewMap(uint32(o.partitions), nodes)
+	if err != nil {
+		return err
+	}
+	oprfSrv, err := newOPRF(o.oprfBits)
+	if err != nil {
+		return err
+	}
 	reg := metrics.New()
-	store, journal, err := openState(walDir, storePath, reg)
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Map:           pm,
+		ClientOptions: client.Options{Timeout: 30 * time.Second},
+		Metrics:       reg,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		OPRF:             oprfSrv,
+		MaxTopK:          o.maxTopK,
+		ReadTimeout:      60 * time.Second,
+		WriteTimeout:     o.writeTimeout,
+		MaxConns:         o.maxConns,
+		PipelineDepth:    o.pipeDepth,
+		DrainTimeout:     o.drainTimeout,
+		NotifyQueueCap:   o.notifyQueue,
+		MaxSubsPerConn:   o.maxSubs,
+		Logf:             log.Printf,
+		Metrics:          reg,
+		RemoteSubscriber: rt.Subscribe,
+	})
+	if err != nil {
+		return err
+	}
+	rt.Register(srv)
+	addr, err := srv.Listen(o.listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("router listening on %s (%d partitions over %d nodes)", addr, pm.NumPartitions, len(pm.Nodes))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	startDebugEndpoints(ctx, reg, o.metricsAddr, o.pprofAddr)
+
+	err = srv.Serve(ctx)
+	// Per-role drain order: client connections have drained (Serve
+	// returned), so nothing is mid-flight on the upstream conns when
+	// they close.
+	rt.Close()
+	log.Printf("router shut down")
+	return err
+}
+
+// run is the storage role: single node, partition leader, or follower.
+func run(o options) error {
+	oprfSrv, err := newOPRF(o.oprfBits)
+	if err != nil {
+		return err
+	}
+	reg := metrics.New()
+	store, journal, err := openState(o.walDir, o.storePath, reg)
 	if err != nil {
 		return err
 	}
 	if journal != nil {
 		defer journal.Close()
 	}
-	srv, err := server.New(server.Config{
+	acks := cluster.NewAckTracker()
+	cfg := server.Config{
 		OPRF:          oprfSrv,
-		MaxTopK:       maxTopK,
+		MaxTopK:       o.maxTopK,
 		ReadTimeout:   60 * time.Second,
-		WriteTimeout:  writeTimeout,
-		MaxConns:      maxConns,
-		PipelineDepth: pipeDepth,
-		DrainTimeout:  drainTimeout,
+		WriteTimeout:  o.writeTimeout,
+		MaxConns:      o.maxConns,
+		PipelineDepth: o.pipeDepth,
+		DrainTimeout:  o.drainTimeout,
 
-		NotifyQueueCap: notifyQueue,
-		MaxSubsPerConn: maxSubs,
+		NotifyQueueCap: o.notifyQueue,
+		MaxSubsPerConn: o.maxSubs,
 		Logf:           log.Printf,
 		Store:          store,
 		Metrics:        reg,
 		Journal:        journal,
-	})
+	}
+	if o.syncRepl {
+		if journal == nil {
+			return errors.New("-sync-repl requires -wal")
+		}
+		cfg.ServiceJournal = &cluster.SyncJournal{J: journal, Acks: acks}
+		log.Printf("semi-synchronous replication: each write's ack waits for a follower")
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
-	addr, err := srv.Listen(listen)
+	if journal != nil {
+		// Any journaled node can be replicated from: serve follower pulls
+		// and rebalance dumps.
+		ldr := &cluster.Leader{Journal: journal, Store: srv.Store(), Acks: acks, Metrics: reg}
+		ldr.Register(srv.Service())
+	}
+	if o.replicaOf != "" {
+		if journal == nil || o.nodeID == "" {
+			return errors.New("-replica-of requires -wal and -node-id")
+		}
+		rep, err := cluster.StartReplicator(cluster.ReplicatorConfig{
+			NodeID:        o.nodeID,
+			LeaderAddr:    o.replicaOf,
+			Journal:       journal,
+			Store:         srv.Store(),
+			ClientOptions: client.Options{Timeout: 30 * time.Second},
+			Metrics:       reg,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		// Per-role drain order: the replicator is this journal's writer,
+		// so it stops (LIFO, before the deferred journal.Close) once
+		// Serve has drained.
+		defer rep.Stop()
+		log.Printf("replicating from %s as %q (local LSN %d)", o.replicaOf, o.nodeID, rep.AppliedLSN())
+	}
+	addr, err := srv.Listen(o.listen)
 	if err != nil {
 		return err
 	}
@@ -129,7 +311,53 @@ func run(listen string, oprfBits, maxTopK, maxConns, pipeDepth, notifyQueue, max
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	startDebugEndpoints(ctx, reg, o.metricsAddr, o.pprofAddr)
 
+	go func() {
+		ticker := time.NewTicker(30 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				log.Printf("stored profiles: %d in %d key buckets | %s",
+					srv.Store().NumUsers(), srv.Store().NumBuckets(), reg.Summary())
+			}
+		}
+	}()
+	if o.storePath != "" || journal != nil {
+		go func() {
+			ticker := time.NewTicker(5 * time.Minute)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := checkpointState(srv.Store(), journal, o.storePath); err != nil {
+						log.Printf("periodic checkpoint: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	err = srv.Serve(ctx)
+	if o.storePath != "" || journal != nil {
+		if serr := checkpointState(srv.Store(), journal, o.storePath); serr != nil {
+			log.Printf("final checkpoint: %v", serr)
+		} else {
+			log.Printf("final checkpoint written (%d users)", srv.Store().NumUsers())
+		}
+	}
+	log.Printf("shut down")
+	return err
+}
+
+// startDebugEndpoints serves /metrics and pprof when configured, each on
+// its own listener, both shut down when ctx ends.
+func startDebugEndpoints(ctx context.Context, reg *metrics.Registry, metricsAddr, pprofAddr string) {
 	if metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
@@ -147,7 +375,6 @@ func run(listen string, oprfBits, maxTopK, maxConns, pipeDepth, notifyQueue, max
 			_ = msrv.Shutdown(shutdownCtx)
 		}()
 	}
-
 	if pprofAddr != "" {
 		// Debug-only profiling endpoint (CPU/heap/goroutine/block profiles
 		// for `go tool pprof`). It exposes internals and serves uncapped
@@ -173,47 +400,6 @@ func run(listen string, oprfBits, maxTopK, maxConns, pipeDepth, notifyQueue, max
 			_ = psrv.Shutdown(shutdownCtx)
 		}()
 	}
-
-	go func() {
-		ticker := time.NewTicker(30 * time.Second)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-ticker.C:
-				log.Printf("stored profiles: %d in %d key buckets | %s",
-					srv.Store().NumUsers(), srv.Store().NumBuckets(), reg.Summary())
-			}
-		}
-	}()
-	if storePath != "" || journal != nil {
-		go func() {
-			ticker := time.NewTicker(5 * time.Minute)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-ticker.C:
-					if err := checkpointState(srv.Store(), journal, storePath); err != nil {
-						log.Printf("periodic checkpoint: %v", err)
-					}
-				}
-			}
-		}()
-	}
-
-	err = srv.Serve(ctx)
-	if storePath != "" || journal != nil {
-		if serr := checkpointState(srv.Store(), journal, storePath); serr != nil {
-			log.Printf("final checkpoint: %v", serr)
-		} else {
-			log.Printf("final checkpoint written (%d users)", srv.Store().NumUsers())
-		}
-	}
-	log.Printf("shut down")
-	return err
 }
 
 // openState assembles the store and (optionally) its write-ahead log from

@@ -277,3 +277,18 @@ func TestSnapshotBytesStable(t *testing.T) {
 		t.Error("two snapshots of the same store restore differently")
 	}
 }
+
+func TestParsePeers(t *testing.T) {
+	nodes, err := parsePeers("node-a=10.0.0.1:7788, node-b=10.0.0.2:7788")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 || nodes[0].ID != "node-a" || nodes[1].Addr != "10.0.0.2:7788" {
+		t.Fatalf("parsed %+v", nodes)
+	}
+	for _, bad := range []string{"", "no-equals", "=addr", "id=", ","} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"math/big"
 	"math/rand/v2"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,8 +57,9 @@ var ErrClosed = errors.New("client: connection closed")
 // (v2) connection concurrent requests genuinely interleave on the wire;
 // on a lockstep (v1) connection they serialize.
 type Conn struct {
-	addr string
-	opts Options
+	addrs []string // seed list; addrs[cur] is the address in use
+	cur   int      // guarded by mu; advanced on dial failover
+	opts  Options
 
 	mu     sync.Mutex
 	sess   session // nil until (re)connected
@@ -151,31 +153,64 @@ type session interface {
 	close()
 }
 
-// Dial connects to an S-MATCH server and negotiates the protocol.
+// Dial connects to an S-MATCH server and negotiates the protocol. addr
+// may be a comma-separated seed list ("host1:9000,host2:9000"): the
+// client uses one address at a time and fails over to the next on dial
+// failure — both here and on every later redial, so the existing
+// retry/backoff machinery transparently walks the seed list when its
+// current node dies.
 func Dial(addr string, opts Options) (*Conn, error) {
-	c := &Conn{addr: addr, opts: opts.withDefaults()}
+	var addrs []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, errors.New("client: empty address")
+	}
+	c := &Conn{addrs: addrs, opts: opts.withDefaults()}
 	if _, err := c.getSession(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// dialTLS dials and completes the TLS handshake under the timeout.
+// dialTLS dials and completes the TLS handshake under the timeout. With
+// a multi-address seed list it tries each address once, starting from
+// the one currently in use, and sticks with the first that answers.
+// Called with c.mu held (every dial happens inside getSession/negotiate),
+// which is what makes reading and advancing c.cur safe.
 func (c *Conn) dialTLS() (*tls.Conn, error) {
 	dial := c.opts.Dialer
 	if dial == nil {
 		d := &net.Dialer{Timeout: c.opts.Timeout}
 		dial = d.Dial
 	}
-	raw, err := dial("tcp", c.addr)
+	var lastErr error
+	for i := 0; i < len(c.addrs); i++ {
+		idx := (c.cur + i) % len(c.addrs)
+		tc, err := c.dialTLSAddr(dial, c.addrs[idx])
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.cur = idx
+		return tc, nil
+	}
+	return nil, lastErr
+}
+
+func (c *Conn) dialTLSAddr(dial func(network, addr string) (net.Conn, error), addr string) (*tls.Conn, error) {
+	raw, err := dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	tc := tls.Client(raw, c.opts.TLSConfig)
 	_ = tc.SetDeadline(time.Now().Add(c.opts.Timeout))
 	if err := tc.Handshake(); err != nil {
 		tc.Close()
-		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	_ = tc.SetDeadline(time.Time{})
 	return tc, nil
@@ -373,6 +408,17 @@ func (c *Conn) roundTrip(t wire.MsgType, payload []byte, wantType wire.MsgType, 
 		}
 	}
 	return nil, lastErr
+}
+
+// Forward performs one raw request round trip: the payload is passed
+// through verbatim and the raw response payload returned, with the
+// connection's full resilience machinery (redial, failover across the
+// seed list, idempotent retries) applied. This is the cluster router's
+// primitive — it forwards already-encoded frames to partition owners
+// without re-encoding, so forwarded bytes are exactly the client's
+// bytes.
+func (c *Conn) Forward(t wire.MsgType, payload []byte, wantType wire.MsgType, idempotent bool) ([]byte, error) {
+	return c.roundTrip(t, payload, wantType, idempotent)
 }
 
 // interpret translates one raw response frame: server error frames

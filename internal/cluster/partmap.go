@@ -1,0 +1,218 @@
+// Package cluster distributes the S-MATCH store across processes: a
+// versioned partition map assigns the bucket key space to nodes, WAL
+// log shipping replicates each partition leader onto followers, and a
+// router terminates client connections, fanning operations out to
+// partition owners and merging the results.
+//
+// The unit of placement is the bucket: every profile in a bucket (same
+// h(Kup)) lives on the same partition, because matching is a
+// within-bucket computation — a query scatter therefore needs exactly
+// one partition to succeed, and its results are byte-identical to a
+// single-node store holding the same entries.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"smatch/internal/match"
+)
+
+// Node is one cluster member: a stable identity and the address its
+// v2-speaking server listens on.
+type Node struct {
+	ID   string
+	Addr string
+}
+
+// PartitionMap is the cluster's ownership contract: a fixed power-of-two
+// number of partitions over the stable bucket hash, and the node set
+// partitions are placed on with rendezvous hashing. Everything placement
+// touches is derived from stable hashes of the map's contents, so every
+// process holding the same encoded map computes identical owners.
+// Version orders map generations; a router flips to a new version only
+// after rebalancing has moved the affected buckets.
+type PartitionMap struct {
+	Version       uint64
+	NumPartitions uint32 // power of two
+	Nodes         []Node // sorted by ID; no duplicates
+}
+
+// Validate checks the structural invariants.
+func (m *PartitionMap) Validate() error {
+	if m.NumPartitions == 0 || m.NumPartitions&(m.NumPartitions-1) != 0 {
+		return fmt.Errorf("cluster: partition count %d is not a power of two", m.NumPartitions)
+	}
+	if len(m.Nodes) == 0 {
+		return errors.New("cluster: partition map with no nodes")
+	}
+	seen := make(map[string]bool, len(m.Nodes))
+	for i, n := range m.Nodes {
+		if n.ID == "" || n.Addr == "" {
+			return fmt.Errorf("cluster: node %d missing ID or address", i)
+		}
+		if seen[n.ID] {
+			return fmt.Errorf("cluster: duplicate node ID %q", n.ID)
+		}
+		seen[n.ID] = true
+		if i > 0 && m.Nodes[i-1].ID >= n.ID {
+			return errors.New("cluster: nodes not sorted by ID")
+		}
+	}
+	return nil
+}
+
+// PartitionOf maps a bucket key (h(Kup) bytes) to its partition: the
+// stable hash masked down to the partition count.
+func (m *PartitionMap) PartitionOf(keyHash []byte) uint32 {
+	return uint32(match.PartitionHash(keyHash) & uint64(m.NumPartitions-1))
+}
+
+// Replicas returns the map's nodes in preference order for a partition —
+// rendezvous (highest-random-weight) hashing: each node's weight is the
+// stable hash of its ID mixed with the partition number, and nodes sort
+// by descending weight. The first node is the partition's leader, the
+// next ReplicationFactor-1 its followers. Rendezvous placement moves
+// only the affected partitions when the node set changes, which is what
+// keeps rebalancing proportional to the change.
+func (m *PartitionMap) Replicas(partition uint32) []Node {
+	type scored struct {
+		n Node
+		w uint64
+	}
+	nodes := make([]scored, len(m.Nodes))
+	var key []byte
+	for i, n := range m.Nodes {
+		key = key[:0]
+		key = append(key, n.ID...)
+		key = append(key, 0xff) // unambiguous separator: node IDs are ID strings, 0xff never ends one ambiguously with the counter
+		key = binary.BigEndian.AppendUint64(key, uint64(partition))
+		// FNV-1a avalanches poorly in its final bytes — the partition
+		// counter at the key's tail would barely move the weight, and one
+		// node would win every partition. The finalizer (murmur3's
+		// fmix64) spreads the counter across all 64 bits; it is fixed
+		// forever for the same reason PartitionHash is.
+		nodes[i] = scored{n, mix64(match.PartitionHash(key))}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].w != nodes[j].w {
+			return nodes[i].w > nodes[j].w
+		}
+		return nodes[i].n.ID < nodes[j].n.ID // total order even on hash ties
+	})
+	out := make([]Node, len(nodes))
+	for i, s := range nodes {
+		out[i] = s.n
+	}
+	return out
+}
+
+// mix64 is murmur3's 64-bit finalizer: a bijective full-avalanche mix.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Owner returns the partition's leader (the first replica).
+func (m *PartitionMap) Owner(partition uint32) Node {
+	return m.Replicas(partition)[0]
+}
+
+// OwnerOf returns the leader owning a bucket key.
+func (m *PartitionMap) OwnerOf(keyHash []byte) Node {
+	return m.Owner(m.PartitionOf(keyHash))
+}
+
+// Encode serializes the map (big-endian, length-prefixed strings) for
+// the opaque payload of wire.PartitionMapResp.
+func (m *PartitionMap) Encode() []byte {
+	buf := binary.BigEndian.AppendUint64(nil, m.Version)
+	buf = binary.BigEndian.AppendUint32(buf, m.NumPartitions)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Nodes)))
+	for _, n := range m.Nodes {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(n.ID)))
+		buf = append(buf, n.ID...)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(n.Addr)))
+		buf = append(buf, n.Addr...)
+	}
+	return buf
+}
+
+// maxMapNodes bounds a decoded node count before any allocation.
+const maxMapNodes = 4096
+
+// DecodeMap parses and validates an encoded partition map.
+func DecodeMap(b []byte) (*PartitionMap, error) {
+	var m PartitionMap
+	if len(b) < 16 {
+		return nil, errors.New("cluster: truncated partition map")
+	}
+	m.Version = binary.BigEndian.Uint64(b)
+	m.NumPartitions = binary.BigEndian.Uint32(b[8:])
+	n := binary.BigEndian.Uint32(b[12:])
+	b = b[16:]
+	if n > maxMapNodes {
+		return nil, fmt.Errorf("cluster: partition map claims %d nodes", n)
+	}
+	str := func() (string, error) {
+		if len(b) < 2 {
+			return "", errors.New("cluster: truncated partition map")
+		}
+		l := int(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < l {
+			return "", errors.New("cluster: truncated partition map")
+		}
+		s := string(b[:l])
+		b = b[l:]
+		return s, nil
+	}
+	m.Nodes = make([]Node, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var node Node
+		var err error
+		if node.ID, err = str(); err != nil {
+			return nil, err
+		}
+		if node.Addr, err = str(); err != nil {
+			return nil, err
+		}
+		m.Nodes = append(m.Nodes, node)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("cluster: %d trailing bytes after partition map", len(b))
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// NewMap builds a validated version-1 map over the given nodes, sorting
+// them by ID.
+func NewMap(numPartitions uint32, nodes []Node) (*PartitionMap, error) {
+	sorted := append([]Node(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	m := &PartitionMap{Version: 1, NumPartitions: numPartitions, Nodes: sorted}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WithNodes derives the next map generation (Version+1) over a changed
+// node set — the membership-change primitive rebalancing starts from.
+func (m *PartitionMap) WithNodes(nodes []Node) (*PartitionMap, error) {
+	next, err := NewMap(m.NumPartitions, nodes)
+	if err != nil {
+		return nil, err
+	}
+	next.Version = m.Version + 1
+	return next, nil
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"smatch/internal/match"
+)
+
+func testNodes(n int) []Node {
+	out := make([]Node, n)
+	for i := range out {
+		out[i] = Node{ID: fmt.Sprintf("node-%02d", i), Addr: fmt.Sprintf("127.0.0.1:%d", 9000+i)}
+	}
+	return out
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]PartitionMap{
+		"zero partitions":      {NumPartitions: 0, Nodes: testNodes(1)},
+		"non-power-of-two":     {NumPartitions: 3, Nodes: testNodes(1)},
+		"no nodes":             {NumPartitions: 4},
+		"missing address":      {NumPartitions: 4, Nodes: []Node{{ID: "a"}}},
+		"missing ID":           {NumPartitions: 4, Nodes: []Node{{Addr: "x:1"}}},
+		"duplicate IDs":        {NumPartitions: 4, Nodes: []Node{{ID: "a", Addr: "x:1"}, {ID: "a", Addr: "x:2"}}},
+		"unsorted node IDs":    {NumPartitions: 4, Nodes: []Node{{ID: "b", Addr: "x:1"}, {ID: "a", Addr: "x:2"}}},
+	}
+	for name, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: validated without error", name)
+		}
+	}
+	good := PartitionMap{Version: 1, NumPartitions: 4, Nodes: testNodes(3)}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid map rejected: %v", err)
+	}
+}
+
+func TestNewMapSortsNodes(t *testing.T) {
+	m, err := NewMap(8, []Node{{ID: "c", Addr: "x:3"}, {ID: "a", Addr: "x:1"}, {ID: "b", Addr: "x:2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if m.Nodes[i].ID != want {
+			t.Fatalf("nodes not sorted: %+v", m.Nodes)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m, err := NewMap(16, testNodes(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Version = 7
+	got, err := DecodeMap(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestDecodeMapRejects(t *testing.T) {
+	m, _ := NewMap(4, testNodes(2))
+	enc := m.Encode()
+	if _, err := DecodeMap(enc[:10]); err == nil {
+		t.Error("truncated map decoded")
+	}
+	if _, err := DecodeMap(append(enc, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := DecodeMap(nil); err == nil {
+		t.Error("empty map decoded")
+	}
+	// A decoded map is validated: corrupt the partition count.
+	bad := append([]byte(nil), enc...)
+	bad[11] = 3 // NumPartitions low byte -> 3, not a power of two
+	if _, err := DecodeMap(bad); err == nil {
+		t.Error("non-power-of-two partition count decoded")
+	}
+}
+
+func TestPartitionOfMatchesStableHash(t *testing.T) {
+	m, _ := NewMap(8, testNodes(3))
+	for _, key := range [][]byte{[]byte("bucket-a"), []byte("bucket-b"), {0, 1, 2, 3}} {
+		want := uint32(match.PartitionHash(key) & 7)
+		if got := m.PartitionOf(key); got != want {
+			t.Errorf("PartitionOf(%q) = %d, want %d", key, got, want)
+		}
+	}
+}
+
+func TestReplicasIsStablePermutation(t *testing.T) {
+	m, _ := NewMap(16, testNodes(5))
+	for p := uint32(0); p < m.NumPartitions; p++ {
+		reps := m.Replicas(p)
+		if len(reps) != len(m.Nodes) {
+			t.Fatalf("partition %d: %d replicas, want %d", p, len(reps), len(m.Nodes))
+		}
+		seen := make(map[string]bool)
+		for _, n := range reps {
+			if seen[n.ID] {
+				t.Fatalf("partition %d: node %s listed twice", p, n.ID)
+			}
+			seen[n.ID] = true
+		}
+		if !reflect.DeepEqual(reps, m.Replicas(p)) {
+			t.Fatalf("partition %d: Replicas not deterministic", p)
+		}
+		if m.Owner(p) != reps[0] {
+			t.Fatalf("partition %d: Owner != Replicas[0]", p)
+		}
+	}
+}
+
+// TestRendezvousMinimalMovement pins the property partitioned rebalancing
+// depends on: when the node set changes, only partitions touching the
+// changed node move — everything else keeps its owner.
+func TestRendezvousMinimalMovement(t *testing.T) {
+	nodes := testNodes(8)
+	m, err := NewMap(256, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Remove one node: partitions it did not own must keep their owner.
+	removed := nodes[3].ID
+	smaller, err := m.WithNodes(append(append([]Node(nil), nodes[:3]...), nodes[4:]...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smaller.Version != m.Version+1 {
+		t.Fatalf("WithNodes version = %d, want %d", smaller.Version, m.Version+1)
+	}
+	moved := 0
+	for p := uint32(0); p < m.NumPartitions; p++ {
+		before, after := m.Owner(p), smaller.Owner(p)
+		if before.ID == removed {
+			moved++
+			continue
+		}
+		if before.ID != after.ID {
+			t.Fatalf("partition %d moved %s -> %s though %s was the node removed", p, before.ID, after.ID, removed)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed node owned nothing; pick different IDs")
+	}
+
+	// Add a node: a partition either keeps its owner or moves to the
+	// newcomer — never between two old nodes.
+	grown, err := m.WithNodes(append(append([]Node(nil), nodes...), Node{ID: "node-zz", Addr: "127.0.0.1:9999"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gained := 0
+	for p := uint32(0); p < m.NumPartitions; p++ {
+		before, after := m.Owner(p), grown.Owner(p)
+		if after.ID == "node-zz" {
+			gained++
+			continue
+		}
+		if before.ID != after.ID {
+			t.Fatalf("partition %d moved %s -> %s though only node-zz was added", p, before.ID, after.ID)
+		}
+	}
+	if gained == 0 {
+		t.Fatal("added node gained nothing across 256 partitions")
+	}
+}

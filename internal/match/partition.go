@@ -1,0 +1,69 @@
+// Cluster partition hashing: a STABLE hash over the bucket key space.
+//
+// The in-process shard hash (shardIndex) is deliberately seeded per
+// process with maphash.MakeSeed — that randomization is a hash-flooding
+// defense, and it is fine there because shard placement is invisible
+// outside the process. Cluster ownership is the opposite: the router and
+// every node must compute the identical owner for a bucket, across
+// processes, restarts and machines, or uploads and queries land on
+// different partitions. PartitionHash is therefore a fixed, documented
+// function of the raw h(Kup) bytes with no per-process state.
+//
+// The function is FNV-1a (64-bit), chosen for being trivially stable
+// (constants are in the function, not a seed file), dependency-free and
+// fast. It does NOT need to resist hash flooding: bucket keys are OPRF
+// outputs — effectively uniform digests an adversary cannot shape without
+// controlling the server's RSA key — so the adversarial-input argument
+// that justifies maphash's seed does not apply here.
+package match
+
+import "sort"
+
+// FNV-1a 64-bit parameters (FNV is public domain; see RFC draft
+// draft-eastlake-fnv). Fixed forever: changing them is a cluster-wide
+// incompatible change and would need a partition-map version bump plus a
+// full rebalance.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// PartitionHash returns the stable 64-bit partition hash of a bucket key
+// (the profile-key hash h(Kup)). Every process — router, leader, follower,
+// tooling — computes the same value for the same bytes, which is the
+// property cluster ownership is built on. Do not use it for in-process
+// shard placement; that is shardIndex's seeded hash.
+func PartitionHash(keyHash []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range keyHash {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// ForEachEntry calls fn with every stored record in ascending user-ID
+// order — the same deterministic order Snapshot writes, under the same
+// all-stripes read lock, so the walk is a globally consistent view. Used
+// by cluster rebalancing to stream a partition's entries off a node. fn
+// must not call back into the store (every ID-stripe read lock is held);
+// a non-nil error aborts the walk.
+func (s *Server) ForEachEntry(fn func(Entry) error) error {
+	for i := range s.ids {
+		s.ids[i].mu.RLock()
+		defer s.ids[i].mu.RUnlock()
+	}
+	var recs []*stored
+	for i := range s.ids {
+		for _, rec := range s.ids[i].m {
+			recs = append(recs, rec)
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	for _, rec := range recs {
+		if err := fn(rec.Entry); err != nil {
+			return err
+		}
+	}
+	return nil
+}

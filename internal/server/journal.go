@@ -158,6 +158,15 @@ func (j *Journal) Checkpoint(store *match.Server) error {
 // Close flushes and closes the underlying log.
 func (j *Journal) Close() error { return j.wal.Close() }
 
+// ApplyRecord applies one journal record to a store with replay
+// semantics (a remove of an unknown user is a no-op). This is the
+// follower's apply path in cluster replication: shipped records are the
+// same bytes the journal writes, so replicating IS replaying — the
+// follower exercises exactly the code crash recovery does.
+func ApplyRecord(store *match.Server, rec []byte) error {
+	return applyOp(store, rec, true)
+}
+
 // applyOp decodes one journaled operation and applies it to the store.
 // During replay a remove of an unknown user is ignored: the checkpoint
 // the replay runs on top of may already reflect the removal.

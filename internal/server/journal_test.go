@@ -378,3 +378,124 @@ func TestJournalRejectsCorruptReplay(t *testing.T) {
 		t.Fatal("unknown journal op replayed without error")
 	}
 }
+
+// TestShippedStreamEquivalence extends the crash-cut equivalence
+// harness to log shipping: a follower that applies records pulled off
+// the leader's WAL with ReadFrom — the replication transport — must
+// land on the same byte-identical snapshot as crash recovery does, at
+// EVERY shipped-prefix length. This is the property that lets a
+// follower take over for a crashed leader: shipped prefix k == crashed
+// leader recovered at acknowledged op k.
+func TestShippedStreamEquivalence(t *testing.T) {
+	ops := mixedWorkload()
+	dir := t.TempDir()
+	j, store, _, err := OpenJournal(wal.Options{Dir: dir, NoSync: true, DisableGroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		op.journalAndApply(t, j, store)
+	}
+	leaderSnap := snapshotBytes(t, store)
+
+	// References: store state after the first k ops.
+	refs := make([][]byte, len(ops)+1)
+	ref := match.NewServer()
+	refs[0] = snapshotBytes(t, ref)
+	for k, op := range ops {
+		op.apply(t, ref)
+		refs[k+1] = snapshotBytes(t, ref)
+	}
+
+	// Ship the whole log in deliberately awkward batch sizes and check
+	// the follower store at every record boundary along the way.
+	for _, batch := range []int{1, 3, 1000} {
+		follower := match.NewServer()
+		applied := 0
+		cursor := uint64(1)
+		for {
+			recs, err := j.WAL().ReadFrom(cursor, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) == 0 {
+				break
+			}
+			for _, rec := range recs {
+				if err := ApplyRecord(follower, rec); err != nil {
+					t.Fatalf("batch=%d: applying shipped record %d: %v", batch, cursor, err)
+				}
+				cursor++
+				applied++
+				if !bytes.Equal(snapshotBytes(t, follower), refs[applied]) {
+					t.Fatalf("batch=%d: follower after %d shipped records != reference", batch, applied)
+				}
+			}
+		}
+		if applied != len(ops) {
+			t.Fatalf("batch=%d: shipped %d records, want %d", batch, applied, len(ops))
+		}
+		if !bytes.Equal(snapshotBytes(t, follower), leaderSnap) {
+			t.Fatalf("batch=%d: fully shipped follower != leader", batch)
+		}
+	}
+	j.Close()
+}
+
+// TestShippedStreamAfterCheckpoint covers the (re)join path: a follower
+// that bootstraps from the leader's checkpoint snapshot and then tails
+// the remaining records reaches the leader's exact state.
+func TestShippedStreamAfterCheckpoint(t *testing.T) {
+	ops := mixedWorkload()
+	split := 7
+	dir := t.TempDir()
+	j, store, _, err := OpenJournal(wal.Options{Dir: dir, NoSync: true, DisableGroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops[:split] {
+		op.journalAndApply(t, j, store)
+	}
+	if err := j.Checkpoint(store); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops[split:] {
+		op.journalAndApply(t, j, store)
+	}
+
+	// A fresh follower asking for LSN 1 must be told the range is gone.
+	if _, err := j.WAL().ReadFrom(1, 100); err != wal.ErrCompacted {
+		t.Fatalf("ReadFrom(1) after checkpoint = %v, want ErrCompacted", err)
+	}
+
+	// Bootstrap: restore the checkpoint snapshot, then tail from its LSN.
+	rc, ckptLSN, ok, err := j.WAL().LatestCheckpoint()
+	if err != nil || !ok {
+		t.Fatalf("LatestCheckpoint: ok=%v err=%v", ok, err)
+	}
+	follower, err := match.Restore(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cursor := ckptLSN + 1
+	for {
+		recs, err := j.WAL().ReadFrom(cursor, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		for _, rec := range recs {
+			if err := ApplyRecord(follower, rec); err != nil {
+				t.Fatal(err)
+			}
+			cursor++
+		}
+	}
+	if !bytes.Equal(snapshotBytes(t, follower), snapshotBytes(t, store)) {
+		t.Fatal("checkpoint-bootstrapped follower != leader")
+	}
+	j.Close()
+}

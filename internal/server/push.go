@@ -41,19 +41,21 @@ type connPush struct {
 	stop  chan struct{} // closed at teardown: exit without touching conn
 	done  chan struct{} // closed when the pump goroutine exits
 
-	mu   sync.Mutex
-	subs map[uint64]*broker.Sub // client-chosen sub ID -> registration
+	mu     sync.Mutex
+	subs   map[uint64]*broker.Sub // client-chosen sub ID -> registration
+	remote map[uint64]func()      // client-chosen sub ID -> remote cancel
 }
 
 func newConnPush(s *Server, conn net.Conn) *connPush {
 	p := &connPush{
-		s:     s,
-		conn:  conn,
-		wake:  make(chan struct{}, 1),
-		drain: make(chan struct{}, 1),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
-		subs:  make(map[uint64]*broker.Sub),
+		s:      s,
+		conn:   conn,
+		wake:   make(chan struct{}, 1),
+		drain:  make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		subs:   make(map[uint64]*broker.Sub),
+		remote: make(map[uint64]func()),
 	}
 	go p.run()
 	return p
@@ -83,8 +85,11 @@ func (p *connPush) requestDrain() {
 func (p *connPush) hasSubs() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.subs) > 0
+	return len(p.subs)+len(p.remote) > 0
 }
+
+// nSubs returns the live subscription count (local + remote) under mu.
+func (p *connPush) nSubsLocked() int { return len(p.subs) + len(p.remote) }
 
 // teardown ends the pump and deregisters every subscription. Called once
 // when the pipelined loop exits; subscriptions die with their conn.
@@ -93,10 +98,15 @@ func (p *connPush) teardown() {
 	<-p.done
 	p.mu.Lock()
 	subs := p.subs
+	remote := p.remote
 	p.subs = nil
+	p.remote = nil
 	p.mu.Unlock()
 	for _, sub := range subs {
 		p.s.broker.Unsubscribe(sub)
+	}
+	for _, cancel := range remote {
+		cancel()
 	}
 }
 
@@ -153,19 +163,27 @@ func (p *connPush) flush() {
 // response writer's torn-stream handling. Returns false when the conn is
 // no longer writable.
 func (p *connPush) writePush(subID uint64, n broker.Notification) bool {
-	if p.writeFailed.Load() {
-		return false
-	}
-	msg := wire.MatchNotify{
+	return p.writeNotify(wire.MatchNotify{
 		SubID:   subID,
 		Seq:     n.Seq,
 		Dropped: n.Dropped,
 		Event:   uint8(n.Event),
 		ID:      n.ID,
 		Auth:    n.Auth,
+	})
+}
+
+// writeNotify writes one fully formed TypeMatchNotify frame under the
+// write choke point. Both delivery paths end here: the local pump
+// (broker queues) and the remote relay (a router forwarding an upstream
+// partition's notify stream) — the shared writeMu is what keeps relayed
+// pushes from interleaving with responses or local pushes.
+func (p *connPush) writeNotify(msg wire.MatchNotify) bool {
+	if p.writeFailed.Load() {
+		return false
 	}
 	p.writeMu.Lock()
-	err := p.s.writeFrameV2(p.conn, wire.PushID(subID), wire.TypeMatchNotify, msg.Encode())
+	err := p.s.writeFrameV2(p.conn, wire.PushID(msg.SubID), wire.TypeMatchNotify, msg.Encode())
 	p.writeMu.Unlock()
 	if err != nil {
 		if p.writeFailed.CompareAndSwap(false, true) {
@@ -195,7 +213,7 @@ func (s *Server) handleSubscribe(p *connPush, payload []byte) (wire.MsgType, []b
 		return 0, nil, fmt.Errorf("server: empty subscription probe chain")
 	}
 	p.mu.Lock()
-	if len(p.subs) >= s.cfg.MaxSubsPerConn {
+	if p.nSubsLocked() >= s.cfg.MaxSubsPerConn {
 		p.mu.Unlock()
 		return 0, nil, fmt.Errorf("server: subscription limit %d reached on this connection", s.cfg.MaxSubsPerConn)
 	}
@@ -203,7 +221,14 @@ func (s *Server) handleSubscribe(p *connPush, payload []byte) (wire.MsgType, []b
 		p.mu.Unlock()
 		return 0, nil, fmt.Errorf("server: subscription %d already registered on this connection", req.SubID)
 	}
+	if _, dup := p.remote[req.SubID]; dup {
+		p.mu.Unlock()
+		return 0, nil, fmt.Errorf("server: subscription %d already registered on this connection", req.SubID)
+	}
 	p.mu.Unlock()
+	if s.cfg.RemoteSubscriber != nil {
+		return s.handleRemoteSubscribe(p, req)
+	}
 	sub, err := s.broker.Subscribe(broker.Probe{
 		KeyHash:  req.KeyHash,
 		OrderSum: ch.OrderSum(),
@@ -213,7 +238,7 @@ func (s *Server) handleSubscribe(p *connPush, payload []byte) (wire.MsgType, []b
 		return 0, nil, err
 	}
 	p.mu.Lock()
-	if p.subs == nil || len(p.subs) >= s.cfg.MaxSubsPerConn {
+	if p.subs == nil || p.nSubsLocked() >= s.cfg.MaxSubsPerConn {
 		// Raced teardown or a concurrent registration filling the last
 		// slot; roll back.
 		p.mu.Unlock()
@@ -231,7 +256,41 @@ func (s *Server) handleSubscribe(p *connPush, payload []byte) (wire.MsgType, []b
 	return wire.TypeSubscribeResp, resp.Encode(), nil
 }
 
-// handleUnsubscribe cancels a conn-local subscription.
+// handleRemoteSubscribe registers the probe with the configured remote
+// subscriber (a router registering on the partition that owns the
+// probed bucket) and relays its notification stream onto this
+// connection. The deliver callback rewrites the subscription ID to the
+// client's and funnels through writeNotify, so relayed pushes share the
+// same single-writer choke point as local ones.
+func (s *Server) handleRemoteSubscribe(p *connPush, req *wire.SubscribeReq) (wire.MsgType, []byte, error) {
+	subID := req.SubID
+	deliver := func(msg wire.MatchNotify) bool {
+		msg.SubID = subID
+		return p.writeNotify(msg)
+	}
+	cancel, err := s.cfg.RemoteSubscriber(req, deliver)
+	if err != nil {
+		return 0, nil, err
+	}
+	p.mu.Lock()
+	if p.remote == nil || p.nSubsLocked() >= s.cfg.MaxSubsPerConn {
+		p.mu.Unlock()
+		cancel()
+		return 0, nil, fmt.Errorf("server: subscription limit %d reached on this connection", s.cfg.MaxSubsPerConn)
+	}
+	if _, dup := p.remote[subID]; dup {
+		p.mu.Unlock()
+		cancel()
+		return 0, nil, fmt.Errorf("server: subscription %d already registered on this connection", subID)
+	}
+	p.remote[subID] = cancel
+	p.mu.Unlock()
+	resp := wire.SubscribeResp{SubID: subID}
+	return wire.TypeSubscribeResp, resp.Encode(), nil
+}
+
+// handleUnsubscribe cancels a conn-local subscription (local broker
+// registration or remote relay).
 func (s *Server) handleUnsubscribe(p *connPush, payload []byte) (wire.MsgType, []byte, error) {
 	req, err := wire.DecodeUnsubscribeReq(payload)
 	if err != nil {
@@ -242,11 +301,20 @@ func (s *Server) handleUnsubscribe(p *connPush, payload []byte) (wire.MsgType, [
 	if ok {
 		delete(p.subs, req.SubID)
 	}
+	cancel, rok := p.remote[req.SubID]
+	if rok {
+		delete(p.remote, req.SubID)
+	}
 	p.mu.Unlock()
-	if !ok {
+	if !ok && !rok {
 		return 0, nil, fmt.Errorf("server: unknown subscription %d", req.SubID)
 	}
-	s.broker.Unsubscribe(sub)
+	if ok {
+		s.broker.Unsubscribe(sub)
+	}
+	if rok {
+		cancel()
+	}
 	resp := wire.UnsubscribeResp{SubID: req.SubID}
 	return wire.TypeUnsubscribeResp, resp.Encode(), nil
 }

@@ -85,6 +85,18 @@ type Config struct {
 	// touches the store, and only then acknowledged. Pair it with the
 	// store recovered by OpenJournal.
 	Journal *Journal
+	// ServiceJournal, when non-nil, replaces Journal as the durability
+	// hook the request handlers run — the cluster's semi-synchronous
+	// replication wraps the local Journal so an ack also waits for a
+	// follower. Journal should still be set to the wrapped local journal
+	// so replication pulls can reach the WAL.
+	ServiceJournal service.Journal
+	// RemoteSubscriber, when non-nil, replaces the local broker as the
+	// target of subscribe requests: the server registers the standing
+	// probe remotely (a router registering on the partition that owns
+	// the probed bucket) and relays the returned notification stream to
+	// the client. cancel tears the remote subscription down.
+	RemoteSubscriber func(req *wire.SubscribeReq, deliver func(wire.MatchNotify) bool) (cancel func(), err error)
 }
 
 func (c Config) withDefaults() Config {
@@ -171,7 +183,9 @@ func New(cfg Config) (*Server, error) {
 	bk := broker.New(broker.Config{QueueCap: cfg.NotifyQueueCap, Metrics: reg})
 	reg.RegisterGauge("broker", func() any { return bk.Stats() })
 	deps := service.Deps{Store: store, OPRF: cfg.OPRF, Metrics: reg, MaxTopK: cfg.MaxTopK, Publisher: bk}
-	if cfg.Journal != nil {
+	if cfg.ServiceJournal != nil {
+		deps.Journal = cfg.ServiceJournal
+	} else if cfg.Journal != nil {
 		// Assign only when non-nil: a typed-nil *Journal inside the
 		// interface would dodge the handlers' nil checks.
 		deps.Journal = cfg.Journal
@@ -196,6 +210,12 @@ func New(cfg Config) (*Server, error) {
 
 // Store exposes the matching store (for in-process inspection and tests).
 func (s *Server) Store() *match.Server { return s.store }
+
+// Service exposes the request-handler registry so cluster roles can
+// install additional operations (replication pulls on a leader) or
+// replace the standard ones with forwarders (a router). Mutate it only
+// between New and Serve.
+func (s *Server) Service() *service.Registry { return s.svc }
 
 // Metrics exposes the server's observability registry.
 func (s *Server) Metrics() *metrics.Registry { return s.metrics }

@@ -103,6 +103,22 @@ func New(deps Deps) (*Registry, error) {
 	return r, nil
 }
 
+// Register installs (or replaces) the handler for one message type.
+// This is the cluster hook: a leader adds TypeReplicatePull* handlers, a
+// router swaps the mutation/query handlers for forwarders that fan out
+// to partition owners — both without the registry growing cluster
+// knowledge. Not safe to call once the registry is serving traffic;
+// register everything before Serve.
+func (r *Registry) Register(t wire.MsgType, h Handler) {
+	r.handlers[t] = h
+}
+
+// Handler returns the installed handler for t (nil if none) — lets a
+// wrapper delegate to the handler it replaces.
+func (r *Registry) Handler(t wire.MsgType) Handler {
+	return r.handlers[t]
+}
+
 // Handle routes one request to its handler. Unknown types are an error,
 // exactly like the pre-service dispatch switch's default arm.
 func (r *Registry) Handle(t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {

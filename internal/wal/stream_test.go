@@ -1,0 +1,360 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// streamPayload is the payload appended at a given LSN in these tests;
+// readers verify delivered bytes against it, which turns the cursor
+// arithmetic into a content check: a skipped or duplicated record shows
+// up as a payload mismatch, not just a count being off.
+func streamPayload(lsn uint64) []byte {
+	return []byte(fmt.Sprintf("rec-%06d", lsn))
+}
+
+func TestReadFromBasics(t *testing.T) {
+	w := testOpen(t, t.TempDir())
+	const n = 10
+	for i := uint64(1); i <= n; i++ {
+		if _, err := w.Append(streamPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// From the beginning (0 and 1 are equivalent).
+	for _, from := range []uint64{0, 1} {
+		recs, err := w.ReadFrom(from, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != n {
+			t.Fatalf("ReadFrom(%d) returned %d records, want %d", from, len(recs), n)
+		}
+		for i, rec := range recs {
+			if want := streamPayload(uint64(i + 1)); string(rec) != string(want) {
+				t.Fatalf("record %d = %q, want %q", i, rec, want)
+			}
+		}
+	}
+
+	// max caps the batch; the next call resumes at the cursor.
+	recs, err := w.ReadFrom(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || string(recs[2]) != string(streamPayload(3)) {
+		t.Fatalf("ReadFrom(1, 3) = %d records ending %q", len(recs), recs[len(recs)-1])
+	}
+	recs, err = w.ReadFrom(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || string(recs[0]) != string(streamPayload(4)) {
+		t.Fatalf("ReadFrom(4, 3) = %d records starting %q", len(recs), recs[0])
+	}
+
+	// Mid-log start.
+	recs, err = w.ReadFrom(n, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0]) != string(streamPayload(n)) {
+		t.Fatalf("ReadFrom(%d) = %v", n, recs)
+	}
+
+	// Past the tail: nothing, no error — the caller long-polls WaitFor.
+	recs, err = w.ReadFrom(n+1, 10)
+	if err != nil || recs != nil {
+		t.Fatalf("ReadFrom past tail = %v, %v; want nil, nil", recs, err)
+	}
+}
+
+func TestReadFromSpansRotatedSegments(t *testing.T) {
+	// Tiny segments force one rotation every couple of records.
+	w := testOpen(t, t.TempDir(), func(o *Options) { o.SegmentSize = 64 })
+	const n = 40
+	for i := uint64(1); i <= n; i++ {
+		if _, err := w.Append(streamPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := w.ReadFrom(1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("got %d records across rotated segments, want %d", len(recs), n)
+	}
+	for i, rec := range recs {
+		if want := streamPayload(uint64(i + 1)); string(rec) != string(want) {
+			t.Fatalf("record %d = %q, want %q", i, rec, want)
+		}
+	}
+}
+
+func TestReadFromCompacted(t *testing.T) {
+	w := testOpen(t, t.TempDir(), func(o *Options) { o.SegmentSize = 64 })
+	const n = 20
+	for i := uint64(1); i <= n; i++ {
+		if _, err := w.Append(streamPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const upTo = 12
+	err := w.Checkpoint(upTo, func(wr io.Writer) error {
+		return binary.Write(wr, binary.BigEndian, uint64(upTo))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The pruned range is gone as log records.
+	if _, err := w.ReadFrom(1, n); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("ReadFrom(1) after checkpoint = %v, want ErrCompacted", err)
+	}
+
+	// The documented recovery: restart from the newest checkpoint, then
+	// resume the record stream right after it.
+	rc, lsn, ok, err := w.LatestCheckpoint()
+	if err != nil || !ok {
+		t.Fatalf("LatestCheckpoint: ok=%v err=%v", ok, err)
+	}
+	var got uint64
+	if err := binary.Read(rc, binary.BigEndian, &got); err != nil {
+		t.Fatal(err)
+	}
+	rc.Close()
+	if lsn != upTo || got != upTo {
+		t.Fatalf("checkpoint lsn=%d payload=%d, want %d", lsn, got, upTo)
+	}
+	recs, err := w.ReadFrom(lsn+1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n-upTo || string(recs[0]) != string(streamPayload(upTo+1)) {
+		t.Fatalf("resume after checkpoint: %d records starting %q", len(recs), recs[0])
+	}
+}
+
+func TestWaitFor(t *testing.T) {
+	w := testOpen(t, t.TempDir())
+	lsn, err := w.Append([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Already committed: immediate true.
+	if !w.WaitFor(lsn, 0) {
+		t.Fatal("WaitFor on committed LSN returned false")
+	}
+	// Future LSN, short timeout: false, and it actually waits it out.
+	start := time.Now()
+	if w.WaitFor(lsn+1, 30*time.Millisecond) {
+		t.Fatal("WaitFor on future LSN returned true")
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("WaitFor returned before the timeout")
+	}
+
+	// A concurrent append unblocks the wait well before the deadline.
+	done := make(chan bool, 1)
+	go func() { done <- w.WaitFor(lsn+1, 5*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	if _, err := w.Append([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("WaitFor returned false after the LSN committed")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitFor did not wake on commit")
+	}
+
+	// Close wakes waiters with false.
+	go func() { done <- w.WaitFor(lsn+100, 5*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("WaitFor returned true after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitFor did not wake on Close")
+	}
+}
+
+// TestTailFollowExactlyOnce is the satellite requirement: a reader
+// streaming the log while it is concurrently appended, rotated, and
+// checkpointed delivers every record exactly once. The writer appends N
+// content-addressed records through tiny segments and checkpoints a
+// trailing prefix as it goes; the reader follows with ReadFrom + WaitFor
+// and falls back to LatestCheckpoint when it loses a race with
+// compaction. Exactly-once is enforced by content: each delivered record
+// must equal the expected payload at the reader's dense-LSN cursor, so a
+// skip or a duplicate anywhere fails immediately.
+func TestTailFollowExactlyOnce(t *testing.T) {
+	w := testOpen(t, t.TempDir(), func(o *Options) { o.SegmentSize = 256 })
+	const n = 2000
+
+	var appended atomic.Uint64
+	writerErr := make(chan error, 1)
+	go func() {
+		defer close(writerErr)
+		for i := uint64(1); i <= n; i++ {
+			if _, err := w.Append(streamPayload(i)); err != nil {
+				writerErr <- err
+				return
+			}
+			appended.Store(i)
+			// Checkpoint a trailing prefix every so often so the reader
+			// races real compaction, not a static log.
+			if i%97 == 0 {
+				upTo := i
+				err := w.Checkpoint(upTo, func(wr io.Writer) error {
+					return binary.Write(wr, binary.BigEndian, upTo)
+				})
+				if err != nil {
+					writerErr <- err
+					return
+				}
+			}
+		}
+	}()
+
+	next := uint64(1)       // LSN the reader expects next
+	var viaCheckpoint int   // LSNs obtained via checkpoint fallback
+	var fallbacks, polls int
+	for next <= n {
+		recs, err := w.ReadFrom(next, 64)
+		if errors.Is(err, ErrCompacted) {
+			rc, lsn, ok, cerr := w.LatestCheckpoint()
+			if cerr != nil || !ok {
+				t.Fatalf("LatestCheckpoint after ErrCompacted: ok=%v err=%v", ok, cerr)
+			}
+			var covered uint64
+			if err := binary.Read(rc, binary.BigEndian, &covered); err != nil {
+				t.Fatal(err)
+			}
+			rc.Close()
+			if covered != lsn {
+				t.Fatalf("checkpoint content %d disagrees with its LSN %d", covered, lsn)
+			}
+			if lsn < next {
+				t.Fatalf("ErrCompacted at cursor %d but newest checkpoint only covers %d", next, lsn)
+			}
+			viaCheckpoint += int(lsn - next + 1)
+			next = lsn + 1
+			fallbacks++
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			w.WaitFor(next, 50*time.Millisecond)
+			polls++
+			if polls > 10000 {
+				t.Fatalf("reader stalled at LSN %d (appended %d)", next, appended.Load())
+			}
+			continue
+		}
+		for _, rec := range recs {
+			if want := streamPayload(next); string(rec) != string(want) {
+				t.Fatalf("at cursor %d got %q, want %q — stream skipped or duplicated", next, rec, want)
+			}
+			next++
+		}
+	}
+	if err := <-writerErr; err != nil {
+		t.Fatal(err)
+	}
+	if next != n+1 {
+		t.Fatalf("reader cursor ended at %d, want %d", next, n+1)
+	}
+	t.Logf("streamed %d records (%d via %d checkpoint fallbacks)", n-viaCheckpoint, viaCheckpoint, fallbacks)
+}
+
+func TestInstallCheckpointBootstrap(t *testing.T) {
+	dir := t.TempDir()
+	w := testOpen(t, dir)
+
+	// A brand-new follower adopts the leader's LSN space from a shipped
+	// snapshot: after installing at 100, the next append is 101.
+	const upTo = 100
+	snap := []byte("leader snapshot bytes")
+	err := w.InstallCheckpoint(upTo, func(wr io.Writer) error {
+		_, err := wr.Write(snap)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.LastLSN(); got != upTo {
+		t.Fatalf("LastLSN after install = %d, want %d", got, upTo)
+	}
+	if got := w.CheckpointLSN(); got != upTo {
+		t.Fatalf("CheckpointLSN after install = %d, want %d", got, upTo)
+	}
+	lsn, err := w.Append([]byte("first shipped record"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != upTo+1 {
+		t.Fatalf("first append after install got LSN %d, want %d", lsn, upTo+1)
+	}
+
+	// Refusals: moving behind the existing checkpoint, and discarding
+	// committed records.
+	if err := w.InstallCheckpoint(upTo-1, func(io.Writer) error { return nil }); err == nil {
+		t.Fatal("InstallCheckpoint behind existing checkpoint succeeded")
+	}
+	if err := w.InstallCheckpoint(lsn-1, func(io.Writer) error { return nil }); err == nil {
+		t.Fatal("InstallCheckpoint discarding a committed record succeeded")
+	}
+
+	// Re-installing at a later LSN (a fresh leader snapshot) is allowed
+	// and swallows the shipped record.
+	if err := w.InstallCheckpoint(upTo+50, func(wr io.Writer) error {
+		_, err := wr.Write(snap)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-restart: recovery sees the installed checkpoint and the
+	// post-install LSN space.
+	w2 := testOpen(t, dir)
+	rc, ckLSN, ok, err := w2.LatestCheckpoint()
+	if err != nil || !ok {
+		t.Fatalf("LatestCheckpoint after reopen: ok=%v err=%v", ok, err)
+	}
+	got, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || string(got) != string(snap) {
+		t.Fatalf("checkpoint content after reopen = %q, %v", got, err)
+	}
+	if ckLSN != upTo+50 {
+		t.Fatalf("checkpoint LSN after reopen = %d, want %d", ckLSN, upTo+50)
+	}
+	lsns, _ := replayAll(t, w2)
+	if len(lsns) != 0 {
+		t.Fatalf("replay after install-covered log returned %d records", len(lsns))
+	}
+	if lsn, err := w2.Append([]byte("x")); err != nil || lsn != upTo+51 {
+		t.Fatalf("append after reopen: lsn=%d err=%v, want %d", lsn, err, upTo+51)
+	}
+}

@@ -159,6 +159,9 @@ type WAL struct {
 	ckptPath string // "" when no checkpoint exists
 	failed   error  // latched after a write/sync error mid-record
 	closed   bool
+	// commitCh is closed (and replaced) after every successful commit and
+	// on Close — the broadcast WaitFor's tail-followers park on.
+	commitCh chan struct{}
 
 	// replaySegs freezes the recovered segment set at Open time so Replay
 	// is unaffected by concurrent appends.
@@ -199,6 +202,7 @@ func Open(opts Options) (*WAL, error) {
 		appendCh: make(chan *pending, maxBatch),
 		closeCh:  make(chan struct{}),
 		done:     make(chan struct{}),
+		commitCh: make(chan struct{}),
 	}
 	if err := w.recover(); err != nil {
 		dir.Close()
@@ -602,6 +606,9 @@ func (w *WAL) commitLocked(batch []*pending) []appendResult {
 	w.segSize += int64(len(buf))
 	w.nextLSN += uint64(len(batch))
 	w.segments[len(w.segments)-1].count += uint64(len(batch))
+	// Broadcast the commit to tail-followers parked in WaitFor.
+	close(w.commitCh)
+	w.commitCh = make(chan struct{})
 	if m := w.opts.Metrics; m != nil {
 		m.WALAppends.Add(uint64(len(batch)))
 		m.WALAppendedBytes.Add(uint64(len(buf)))
@@ -737,31 +744,8 @@ func (w *WAL) Checkpoint(upTo uint64, write func(io.Writer) error) error {
 
 	// Write the snapshot outside mu: it can be large, and appends must not
 	// stall behind it.
-	final := filepath.Join(w.opts.Dir, fmt.Sprintf("%s%016x%s", ckptPrefix, upTo, ckptSuffix))
-	tmp := final + tmpSuffix
-	f, err := os.Create(tmp)
+	final, err := w.writeCheckpointFile(upTo, write)
 	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("wal: writing checkpoint: %w", err)
-	}
-	if err := w.syncFile(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("wal: %w", err)
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("wal: %w", err)
-	}
-	if err := w.syncDir(); err != nil {
 		return err
 	}
 
@@ -801,6 +785,40 @@ func (w *WAL) Checkpoint(upTo uint64, write func(io.Writer) error) error {
 	return nil
 }
 
+// writeCheckpointFile publishes checkpoint-<upTo>.ckpt crash-atomically:
+// temp file, fsync, rename, directory fsync. Shared by Checkpoint and
+// InstallCheckpoint.
+func (w *WAL) writeCheckpointFile(upTo uint64, write func(io.Writer) error) (string, error) {
+	final := filepath.Join(w.opts.Dir, fmt.Sprintf("%s%016x%s", ckptPrefix, upTo, ckptSuffix))
+	tmp := final + tmpSuffix
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", fmt.Errorf("wal: %w", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", fmt.Errorf("wal: writing checkpoint: %w", err)
+	}
+	if err := w.syncFile(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("wal: %w", err)
+	}
+	if err := w.syncDir(); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
 // Close flushes pending appends, syncs and closes the log. Appends issued
 // after Close fail with ErrClosed.
 func (w *WAL) Close() error {
@@ -818,6 +836,9 @@ func (w *WAL) Close() error {
 	<-w.done // committer has drained and exited (or never ran)
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	// Wake tail-followers so WaitFor observes the close promptly.
+	close(w.commitCh)
+	w.commitCh = make(chan struct{})
 	var firstErr error
 	if w.seg != nil {
 		if err := w.syncFile(w.seg); err != nil {

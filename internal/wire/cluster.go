@@ -1,0 +1,344 @@
+// Cluster wire messages: WAL log-shipping replication and partition-map
+// exchange. Replication is pull-based — a follower is just a v2 client
+// of its leader that repeatedly asks "records after LSN x, please", and
+// the AfterLSN it sends doubles as its acknowledgement: the leader may
+// treat everything at or below it as durably applied by that follower.
+// The shipped unit is the journal record byte-for-byte (op byte +
+// wire-encoded payload), the same bytes crash recovery replays, so the
+// follower's apply path is the replay path.
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxReplicateRecords caps how many journal records one pull response
+// may carry. The frame size limit is the real bound; this keeps a single
+// decode from committing to absurd allocation counts before it has read
+// a byte of record data.
+const MaxReplicateRecords = 4096
+
+// MaxNodeIDLen bounds the follower-chosen node name carried in pulls.
+const MaxNodeIDLen = 128
+
+// ReplicatePullReq asks a leader for journal records after AfterLSN.
+// AfterLSN is also the follower's high-water acknowledgement. WaitMS
+// turns the pull into a long poll: a leader with nothing past AfterLSN
+// holds the request up to that long for new commits before answering
+// empty, which gives tail-following latency without a busy poll loop.
+type ReplicatePullReq struct {
+	NodeID     string // stable follower identity, for ack bookkeeping
+	AfterLSN   uint64 // records strictly after this LSN; acks everything at or below
+	MaxRecords uint32 // cap on records in the response (0 = leader default)
+	WaitMS     uint32 // long-poll budget when caught up (0 = answer immediately)
+}
+
+// Encode serializes the pull request.
+func (r *ReplicatePullReq) Encode() []byte {
+	var e encoder
+	e.bytes([]byte(r.NodeID))
+	e.u64(r.AfterLSN)
+	e.u32(r.MaxRecords)
+	e.u32(r.WaitMS)
+	return e.buf
+}
+
+// DecodeReplicatePullReq parses a pull request payload.
+func DecodeReplicatePullReq(payload []byte) (*ReplicatePullReq, error) {
+	d := decoder{buf: payload}
+	var r ReplicatePullReq
+	id, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(id) == 0 || len(id) > MaxNodeIDLen {
+		return nil, fmt.Errorf("wire: replicate node ID of %d bytes", len(id))
+	}
+	r.NodeID = string(id)
+	if r.AfterLSN, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if r.MaxRecords, err = d.u32(); err != nil {
+		return nil, err
+	}
+	if r.MaxRecords > MaxReplicateRecords {
+		return nil, fmt.Errorf("wire: replicate pull asks for %d records, limit %d", r.MaxRecords, MaxReplicateRecords)
+	}
+	if r.WaitMS, err = d.u32(); err != nil {
+		return nil, err
+	}
+	return &r, d.done()
+}
+
+// ReplicatePullResp answers a pull. Exactly one of two shapes:
+//
+//   - Snapshot == false: Records are the journal records with LSNs
+//     FirstLSN, FirstLSN+1, ... (dense). Empty Records with FirstLSN ==
+//     AfterLSN+1 means "caught up, nothing new within the wait budget".
+//   - Snapshot == true: the requested range was compacted away. Snap is
+//     the leader's newest checkpoint (a store snapshot) covering every
+//     LSN <= SnapLSN; the follower installs it and resumes pulling after
+//     SnapLSN. Records is empty.
+//
+// LeaderLSN is the leader's last committed LSN at answer time in both
+// shapes — the high-water mark a follower measures its replication lag
+// against.
+type ReplicatePullResp struct {
+	Snapshot  bool
+	LeaderLSN uint64
+	SnapLSN   uint64
+	Snap      []byte
+	FirstLSN  uint64
+	Records   [][]byte
+}
+
+// Encode serializes the pull response.
+func (r *ReplicatePullResp) Encode() []byte {
+	var e encoder
+	if r.Snapshot {
+		e.buf = append(e.buf, 1)
+		e.u64(r.LeaderLSN)
+		e.u64(r.SnapLSN)
+		e.bytes(r.Snap)
+		return e.buf
+	}
+	e.buf = append(e.buf, 0)
+	e.u64(r.LeaderLSN)
+	e.u64(r.FirstLSN)
+	e.u32(uint32(len(r.Records)))
+	for _, rec := range r.Records {
+		e.bytes(rec)
+	}
+	return e.buf
+}
+
+// DecodeReplicatePullResp parses a pull response payload.
+func DecodeReplicatePullResp(payload []byte) (*ReplicatePullResp, error) {
+	if len(payload) == 0 {
+		return nil, errors.New("wire: empty replicate pull response")
+	}
+	d := decoder{buf: payload[1:]}
+	var r ReplicatePullResp
+	var err error
+	switch payload[0] {
+	case 1:
+		r.Snapshot = true
+		if r.LeaderLSN, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if r.SnapLSN, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if r.Snap, err = d.bytes(); err != nil {
+			return nil, err
+		}
+		if len(r.Snap) == 0 {
+			return nil, errors.New("wire: replicate snapshot response with no snapshot bytes")
+		}
+		return &r, d.done()
+	case 0:
+		if r.LeaderLSN, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if r.FirstLSN, err = d.u64(); err != nil {
+			return nil, err
+		}
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if n > MaxReplicateRecords {
+			return nil, fmt.Errorf("wire: replicate pull response claims %d records, limit %d", n, MaxReplicateRecords)
+		}
+		if n > 0 {
+			r.Records = make([][]byte, 0, min(int(n), 256))
+			for i := uint32(0); i < n; i++ {
+				rec, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				if len(rec) == 0 {
+					return nil, errors.New("wire: empty replicated record")
+				}
+				r.Records = append(r.Records, rec)
+			}
+		}
+		return &r, d.done()
+	default:
+		return nil, fmt.Errorf("wire: replicate pull response kind %d", payload[0])
+	}
+}
+
+// PartitionMapReq asks a node for its current partition map. HaveVersion
+// lets a poller skip the body when nothing changed: a node whose map
+// version equals HaveVersion answers with an empty Map.
+type PartitionMapReq struct {
+	HaveVersion uint64
+}
+
+// Encode serializes the partition-map request.
+func (r *PartitionMapReq) Encode() []byte {
+	var e encoder
+	e.u64(r.HaveVersion)
+	return e.buf
+}
+
+// DecodePartitionMapReq parses a partition-map request payload.
+func DecodePartitionMapReq(payload []byte) (*PartitionMapReq, error) {
+	d := decoder{buf: payload}
+	var r PartitionMapReq
+	var err error
+	if r.HaveVersion, err = d.u64(); err != nil {
+		return nil, err
+	}
+	return &r, d.done()
+}
+
+// PartitionMapResp carries a version and the opaque encoded map (the
+// cluster package owns the map encoding; the wire layer ships bytes so
+// map evolution never forces a protocol rev). Empty Map with Version ==
+// the request's HaveVersion means "unchanged".
+type PartitionMapResp struct {
+	Version uint64
+	Map     []byte
+}
+
+// Encode serializes the partition-map response.
+func (r *PartitionMapResp) Encode() []byte {
+	var e encoder
+	e.u64(r.Version)
+	e.bytes(r.Map)
+	return e.buf
+}
+
+// DecodePartitionMapResp parses a partition-map response payload.
+func DecodePartitionMapResp(payload []byte) (*PartitionMapResp, error) {
+	d := decoder{buf: payload}
+	var r PartitionMapResp
+	var err error
+	if r.Version, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if r.Map, err = d.bytes(); err != nil {
+		return nil, err
+	}
+	return &r, d.done()
+}
+
+// PartitionDumpReq asks a node to stream the stored entries whose bucket
+// hashes to partition Partition out of Partitions — the rebalancing
+// primitive: when ownership moves, the new owner pulls the affected
+// buckets' entries from the old one. Cursor is the lowest user ID to
+// include (0 starts from the beginning); responses are ID-ascending so
+// the cursor resumes a dump across multiple frames.
+type PartitionDumpReq struct {
+	Partition  uint32
+	Partitions uint32
+	Cursor     uint32 // resume from this user ID (inclusive)
+	MaxEntries uint32 // cap per response (0 = node default)
+}
+
+// Encode serializes the dump request.
+func (r *PartitionDumpReq) Encode() []byte {
+	var e encoder
+	e.u32(r.Partition)
+	e.u32(r.Partitions)
+	e.u32(r.Cursor)
+	e.u32(r.MaxEntries)
+	return e.buf
+}
+
+// DecodePartitionDumpReq parses a dump request payload.
+func DecodePartitionDumpReq(payload []byte) (*PartitionDumpReq, error) {
+	d := decoder{buf: payload}
+	var r PartitionDumpReq
+	var err error
+	if r.Partition, err = d.u32(); err != nil {
+		return nil, err
+	}
+	if r.Partitions, err = d.u32(); err != nil {
+		return nil, err
+	}
+	if r.Partitions == 0 || r.Partitions&(r.Partitions-1) != 0 {
+		return nil, fmt.Errorf("wire: partition count %d is not a power of two", r.Partitions)
+	}
+	if r.Partition >= r.Partitions {
+		return nil, fmt.Errorf("wire: partition %d out of range of %d", r.Partition, r.Partitions)
+	}
+	if r.Cursor, err = d.u32(); err != nil {
+		return nil, err
+	}
+	if r.MaxEntries, err = d.u32(); err != nil {
+		return nil, err
+	}
+	if r.MaxEntries > MaxReplicateRecords {
+		return nil, fmt.Errorf("wire: partition dump asks for %d entries, limit %d", r.MaxEntries, MaxReplicateRecords)
+	}
+	return &r, d.done()
+}
+
+// PartitionDumpResp carries one page of a partition's entries, each an
+// encoded UploadReq payload (the same bytes an upload carries, so the
+// receiving node ingests them through its ordinary journaled upload
+// path). More reports whether another page remains; NextCursor is the
+// user ID to resume from when it does.
+type PartitionDumpResp struct {
+	Entries    [][]byte
+	More       bool
+	NextCursor uint32
+}
+
+// Encode serializes the dump response.
+func (r *PartitionDumpResp) Encode() []byte {
+	var e encoder
+	e.u32(uint32(len(r.Entries)))
+	for _, ent := range r.Entries {
+		e.bytes(ent)
+	}
+	if r.More {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+	e.u32(r.NextCursor)
+	return e.buf
+}
+
+// DecodePartitionDumpResp parses a dump response payload.
+func DecodePartitionDumpResp(payload []byte) (*PartitionDumpResp, error) {
+	d := decoder{buf: payload}
+	var r PartitionDumpResp
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxReplicateRecords {
+		return nil, fmt.Errorf("wire: partition dump response claims %d entries, limit %d", n, MaxReplicateRecords)
+	}
+	if n > 0 {
+		r.Entries = make([][]byte, 0, min(int(n), 256))
+		for i := uint32(0); i < n; i++ {
+			ent, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			if len(ent) == 0 {
+				return nil, errors.New("wire: empty partition dump entry")
+			}
+			r.Entries = append(r.Entries, ent)
+		}
+	}
+	more, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if more > 1 {
+		return nil, fmt.Errorf("wire: partition dump more flag %d", more)
+	}
+	r.More = more == 1
+	if r.NextCursor, err = d.u32(); err != nil {
+		return nil, err
+	}
+	return &r, d.done()
+}

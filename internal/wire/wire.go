@@ -49,6 +49,12 @@ const (
 	TypeUnsubscribeReq
 	TypeUnsubscribeResp
 	TypeMatchNotify
+	TypeReplicatePullReq
+	TypeReplicatePullResp
+	TypePartitionMapReq
+	TypePartitionMapResp
+	TypePartitionDumpReq
+	TypePartitionDumpResp
 )
 
 // MaxFrameSize bounds a frame payload; large enough for a 2048-bit, many-
@@ -404,6 +410,15 @@ func (e *encoder) bytes(b []byte) {
 }
 
 type decoder struct{ buf []byte }
+
+func (d *decoder) u8() (uint8, error) {
+	if len(d.buf) < 1 {
+		return 0, ErrTruncated
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v, nil
+}
 
 func (d *decoder) u16() (uint16, error) {
 	if len(d.buf) < 2 {
