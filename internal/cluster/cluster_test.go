@@ -636,3 +636,107 @@ func TestRebalance(t *testing.T) {
 		t.Errorf("rebalance_moves = %v, want > 0", snap["rebalance_moves"])
 	}
 }
+
+// TestRebalanceUnderTraffic pins the rebalance ordering contract:
+// queries issued while the rebalance is in flight never miss (or see a
+// changed answer for) a moved entry, because nothing is removed from an
+// old owner until the map has flipped to a new owner holding a complete
+// copy; and an upload racing the rebalance is never stranded on a
+// deserted old owner or reverted — it either lands before the write
+// fence (and is copied with everything else) or blocks on the fence and
+// routes by the new map.
+func TestRebalanceUnderTraffic(t *testing.T) {
+	a := startNode(t, "node-a", nodeOpts{})
+	b := startNode(t, "node-b", nodeOpts{})
+	c := startNode(t, "node-c", nodeOpts{})
+	pm := mapOver(t, 8, a, b)
+	rt, routerAddr := startRouter(t, pm, client.Options{}, metrics.New())
+
+	conn := dialT(t, routerAddr)
+	var entries []match.Entry
+	for i := uint32(1); i <= 60; i++ {
+		e := entryFor(i, fmt.Sprintf("traf-%d", i%12), int64(i*2))
+		entries = append(entries, e)
+		if err := conn.Upload(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := make(map[profile.ID][]match.Result)
+	for _, e := range entries {
+		r, err := conn.Query(e.ID, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[e.ID] = r
+	}
+
+	next, err := pm.WithNodes([]Node{{ID: a.id, Addr: a.addr}, {ID: b.id, Addr: b.addr}, {ID: c.id, Addr: c.addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Reader: every answer, before, during and after the move, must
+	// equal the pre-rebalance answer.
+	qconn := dialT(t, routerAddr)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e := entries[i%len(entries)]
+			got, err := qconn.Query(e.ID, 5)
+			if err != nil {
+				t.Errorf("mid-rebalance query %d: %v", e.ID, err)
+				return
+			}
+			if !reflect.DeepEqual(got, want[e.ID]) {
+				t.Errorf("mid-rebalance query %d changed: %+v != %+v", e.ID, got, want[e.ID])
+				return
+			}
+		}
+	}()
+	// Writer: an upload racing the rebalance.
+	late := entryFor(1000, "traf-late", 7)
+	wconn := dialT(t, routerAddr)
+	var lateErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(500 * time.Microsecond)
+		lateErr = wconn.Upload(late)
+	}()
+
+	if err := rt.Rebalance(next); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if lateErr != nil {
+		t.Fatalf("upload racing rebalance: %v", lateErr)
+	}
+
+	// The raced upload lives exactly once, on the new map's owner, and
+	// is queryable through the router.
+	if _, err := conn.Query(late.ID, 5); err != nil {
+		t.Fatalf("query for raced upload: %v", err)
+	}
+	owner := next.Owner(next.PartitionOf(late.KeyHash)).ID
+	for id, n := range map[string]*node{a.id: a, b.id: b, c.id: c} {
+		found := false
+		_ = n.store.ForEachEntry(func(se match.Entry) error {
+			if se.ID == late.ID {
+				found = true
+			}
+			return nil
+		})
+		if found != (id == owner) {
+			t.Fatalf("raced upload on node %s = %v, want on %s only", id, found, owner)
+		}
+	}
+}

@@ -200,11 +200,19 @@ func (r *Replicator) pullOnce() error {
 			// nothing sane can be applied past this point.
 			return fmt.Errorf("cluster: shipped record for LSN %d landed at %d — log diverged", wantLSN, lsn)
 		}
-		if err := server.ApplyRecord(r.cfg.Store, rec); err != nil {
-			return fmt.Errorf("cluster: applying shipped record %d: %w", lsn, err)
-		}
+		// The pull cursor tracks the local JOURNAL, not the store: once
+		// the record is durably appended it must never be re-pulled —
+		// appending it a second time would shift the local LSN space off
+		// the leader's and wedge the follower on the divergence check
+		// above. So an apply error still advances the cursor: the record
+		// is in the WAL, and restart recovery replays the WAL into the
+		// store anyway. The error below surfaces the (store-only, until
+		// a restart or the next clean apply of an upsert) divergence.
 		r.applied.Store(lsn)
 		shippedBytes += uint64(len(rec))
+		if err := server.ApplyRecord(r.cfg.Store, rec); err != nil {
+			return fmt.Errorf("cluster: applying journaled record %d to the store (journal is ahead; a restart replays it): %w", lsn, err)
+		}
 	}
 	if len(resp.Records) > 0 {
 		r.lagBytes.Store(shippedBytes / uint64(len(resp.Records)))

@@ -284,6 +284,17 @@ func (l *Leader) pullSnapshot(w *wal.WAL) (wire.MsgType, []byte, error) {
 	if _, err := io.Copy(&buf, rc); err != nil {
 		return 0, nil, err
 	}
+	// A response frame that cannot be written would otherwise surface as
+	// an opaque per-pull frame error on both sides, forever; name the
+	// actual problem (and count it) so the operator sees why a follower
+	// can never bootstrap.
+	const snapOverhead = 1 + 8 + 8 + 4 // kind + LeaderLSN + SnapLSN + length prefix
+	if buf.Len()+snapOverhead > wire.MaxFrameSize {
+		if m := l.Metrics; m != nil {
+			m.ReplicationSnapshotOversize.Add(1)
+		}
+		return 0, nil, fmt.Errorf("cluster: leader checkpoint is %d bytes but a replication frame caps at %d — this follower fell behind a compaction and cannot catch up; keep followers closer than the compaction horizon or shrink the store (DESIGN §14)", buf.Len(), wire.MaxFrameSize)
+	}
 	if m := l.Metrics; m != nil {
 		m.ReplicationSnapshots.Add(1)
 		m.ReplicationBytesShipped.Add(uint64(buf.Len()))

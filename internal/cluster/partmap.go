@@ -40,6 +40,11 @@ type PartitionMap struct {
 	Nodes         []Node // sorted by ID; no duplicates
 }
 
+// maxNodeStrLen bounds a node's ID and address: Encode length-prefixes
+// both with a uint16, so anything longer would silently truncate into
+// an encoding the peer rejects (or worse, misparses).
+const maxNodeStrLen = 65535
+
 // Validate checks the structural invariants.
 func (m *PartitionMap) Validate() error {
 	if m.NumPartitions == 0 || m.NumPartitions&(m.NumPartitions-1) != 0 {
@@ -52,6 +57,9 @@ func (m *PartitionMap) Validate() error {
 	for i, n := range m.Nodes {
 		if n.ID == "" || n.Addr == "" {
 			return fmt.Errorf("cluster: node %d missing ID or address", i)
+		}
+		if len(n.ID) > maxNodeStrLen || len(n.Addr) > maxNodeStrLen {
+			return fmt.Errorf("cluster: node %d ID or address exceeds %d bytes", i, maxNodeStrLen)
 		}
 		if seen[n.ID] {
 			return fmt.Errorf("cluster: duplicate node ID %q", n.ID)
@@ -130,7 +138,9 @@ func (m *PartitionMap) OwnerOf(keyHash []byte) Node {
 }
 
 // Encode serializes the map (big-endian, length-prefixed strings) for
-// the opaque payload of wire.PartitionMapResp.
+// the opaque payload of wire.PartitionMapResp. The map must have
+// passed Validate, which bounds node strings to the uint16 length
+// prefix used here.
 func (m *PartitionMap) Encode() []byte {
 	buf := binary.BigEndian.AppendUint64(nil, m.Version)
 	buf = binary.BigEndian.AppendUint32(buf, m.NumPartitions)

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"smatch/internal/match"
@@ -17,14 +18,20 @@ func testNodes(n int) []Node {
 }
 
 func TestValidateRejects(t *testing.T) {
+	longStr := strings.Repeat("x", maxNodeStrLen+1)
 	cases := map[string]PartitionMap{
-		"zero partitions":      {NumPartitions: 0, Nodes: testNodes(1)},
-		"non-power-of-two":     {NumPartitions: 3, Nodes: testNodes(1)},
-		"no nodes":             {NumPartitions: 4},
-		"missing address":      {NumPartitions: 4, Nodes: []Node{{ID: "a"}}},
-		"missing ID":           {NumPartitions: 4, Nodes: []Node{{Addr: "x:1"}}},
-		"duplicate IDs":        {NumPartitions: 4, Nodes: []Node{{ID: "a", Addr: "x:1"}, {ID: "a", Addr: "x:2"}}},
-		"unsorted node IDs":    {NumPartitions: 4, Nodes: []Node{{ID: "b", Addr: "x:1"}, {ID: "a", Addr: "x:2"}}},
+		"zero partitions":   {NumPartitions: 0, Nodes: testNodes(1)},
+		"non-power-of-two":  {NumPartitions: 3, Nodes: testNodes(1)},
+		"no nodes":          {NumPartitions: 4},
+		"missing address":   {NumPartitions: 4, Nodes: []Node{{ID: "a"}}},
+		"missing ID":        {NumPartitions: 4, Nodes: []Node{{Addr: "x:1"}}},
+		"duplicate IDs":     {NumPartitions: 4, Nodes: []Node{{ID: "a", Addr: "x:1"}, {ID: "a", Addr: "x:2"}}},
+		"unsorted node IDs": {NumPartitions: 4, Nodes: []Node{{ID: "b", Addr: "x:1"}, {ID: "a", Addr: "x:2"}}},
+		// Encode length-prefixes node strings with a uint16; anything
+		// longer must be refused before it can truncate into a corrupt
+		// encoding.
+		"oversize node ID": {NumPartitions: 4, Nodes: []Node{{ID: longStr, Addr: "x:1"}}},
+		"oversize address": {NumPartitions: 4, Nodes: []Node{{ID: "a", Addr: longStr}}},
 	}
 	for name, m := range cases {
 		if err := m.Validate(); err == nil {

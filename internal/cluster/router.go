@@ -61,6 +61,14 @@ type Router struct {
 	// hash moved partitions uses it to remove the stale entry from the
 	// old owner with one targeted op instead of a scatter.
 	ownerHint sync.Map
+
+	// rebalMu is the rebalance write fence: mutations (upload, batch
+	// upload, remove) hold it shared, Rebalance holds it exclusively.
+	// With writers quiesced, the entries Rebalance copies cannot be
+	// overwritten mid-move and no write can land on a moving partition
+	// and be stranded on the old owner. Queries never take the fence —
+	// they stay live (and correct, see Rebalance) throughout.
+	rebalMu sync.RWMutex
 }
 
 // NewRouter builds a router over a validated partition map. Upstream
@@ -191,6 +199,8 @@ func (rt *Router) forward(part uint32, t wire.MsgType, payload []byte, want wire
 // any stale copy of the user from the partition that previously owned
 // them (a re-key moves the bucket hash, and with it the partition).
 func (rt *Router) handleUpload(payload []byte) (wire.MsgType, []byte, error) {
+	rt.rebalMu.RLock()
+	defer rt.rebalMu.RUnlock()
 	req, err := wire.DecodeUploadReq(payload)
 	if err != nil {
 		return 0, nil, err
@@ -262,6 +272,8 @@ func (rt *Router) removeAt(part uint32, id profile.ID) {
 // order — the client sees exactly the response a single node would have
 // produced.
 func (rt *Router) handleUploadBatch(payload []byte) (wire.MsgType, []byte, error) {
+	rt.rebalMu.RLock()
+	defer rt.rebalMu.RUnlock()
 	req, err := wire.DecodeUploadBatchReq(payload)
 	if err != nil {
 		return 0, nil, err
@@ -306,6 +318,8 @@ func (rt *Router) handleUploadBatch(payload []byte) (wire.MsgType, []byte, error
 // otherwise a scatter across all partitions — the remove request
 // carries only the user ID, and only the owning partition can succeed.
 func (rt *Router) handleRemove(payload []byte) (wire.MsgType, []byte, error) {
+	rt.rebalMu.RLock()
+	defer rt.rebalMu.RUnlock()
 	req, err := wire.DecodeRemoveReq(payload)
 	if err != nil {
 		return 0, nil, err
@@ -493,14 +507,28 @@ func (rt *Router) Subscribe(req *wire.SubscribeReq, deliver func(wire.MatchNotif
 	return func() { sub.Unsubscribe() }, nil
 }
 
-// Rebalance moves bucket ownership to a new map generation: for every
-// partition whose owner changed, the new owner pulls the partition's
-// entries off the old owner page by page (ordinary journaled uploads on
-// the receiving side), the old owner drops them, and only then does the
-// router flip to the new map. Queries keep working throughout — until
-// the flip they route by the old map, whose owner still holds every
-// bucket (entries transiently exist on both nodes, which the query
-// merge's dedup covers).
+// Rebalance moves bucket ownership to a new map generation. The
+// ordering is what makes it safe under live traffic:
+//
+//  1. Mutations are fenced for the duration (uploads and removes block
+//     on rebalMu until the rebalance completes; queries never block).
+//     With writers quiesced, a copy below cannot race an overwrite, and
+//     no write can land on a moving partition and be stranded on the
+//     old owner or reverted to an older dumped version.
+//  2. For every partition whose owner changed, the new owner pulls the
+//     partition's entries off the old owner page by page (ordinary
+//     journaled uploads on the receiving side). Nothing is removed yet:
+//     until the flip, queries route by the old map, whose owner still
+//     holds every bucket. Entries transiently exist on both nodes,
+//     which the query merge's dedup covers — and the two copies are
+//     byte-identical, because writes are fenced.
+//  3. The router flips to the new map. At that instant every new owner
+//     holds a complete, current copy of its moved partitions, so
+//     queries are correct on both sides of the flip.
+//  4. Only then are the moved entries removed from their old owners —
+//     queries no longer route there, so the removals are invisible.
+//     A cleanup failure leaves duplicates, never a gap; the error names
+//     the node so the operator can retry the drop.
 func (rt *Router) Rebalance(next *PartitionMap) error {
 	if err := next.Validate(); err != nil {
 		return err
@@ -512,14 +540,23 @@ func (rt *Router) Rebalance(next *PartitionMap) error {
 	if next.NumPartitions != old.NumPartitions {
 		return errors.New("cluster: rebalance cannot change the partition count")
 	}
+	rt.rebalMu.Lock()
+	defer rt.rebalMu.Unlock()
+	type moved struct {
+		from Node
+		ids  []profile.ID
+	}
+	var moves []moved
 	for p := uint32(0); p < old.NumPartitions; p++ {
 		from, to := old.Owner(p), next.Owner(p)
 		if from.ID == to.ID {
 			continue
 		}
-		if err := rt.movePartition(p, from, to); err != nil {
-			return fmt.Errorf("cluster: moving partition %d %s -> %s: %w", p, from.ID, to.ID, err)
+		ids, err := rt.copyPartition(p, from, to)
+		if err != nil {
+			return fmt.Errorf("cluster: copying partition %d %s -> %s: %w", p, from.ID, to.ID, err)
 		}
+		moves = append(moves, moved{from, ids})
 	}
 	rt.mapMu.Lock()
 	rt.pm = next
@@ -527,70 +564,93 @@ func (rt *Router) Rebalance(next *PartitionMap) error {
 	// Active-replica indices refer to the old map's replica orderings.
 	rt.active.Range(func(k, _ any) bool { rt.active.Delete(k); return true })
 	rt.cfg.Logf("cluster: partition map flipped to version %d", next.Version)
-	return nil
+	var cleanupErr error
+	for _, mv := range moves {
+		if err := rt.dropMoved(mv.from, mv.ids); err != nil {
+			rt.cfg.Logf("cluster: dropping moved entries from %s: %v (stale duplicates remain until retried)", mv.from.ID, err)
+			if cleanupErr == nil {
+				cleanupErr = fmt.Errorf("cluster: map flipped to version %d, but dropping moved entries from %s failed: %w", next.Version, mv.from.ID, err)
+			}
+		}
+	}
+	return cleanupErr
 }
 
-// movePartition streams one partition's entries old owner -> new owner.
-func (rt *Router) movePartition(p uint32, from, to Node) error {
+// copyPartition streams one partition's entries old owner -> new owner,
+// leaving the old owner's copy in place, and returns the copied user
+// IDs for the post-flip cleanup. The caller holds the write fence, so
+// the dump is a consistent, complete listing of the partition.
+func (rt *Router) copyPartition(p uint32, from, to Node) ([]profile.ID, error) {
 	src, err := rt.getConn(from)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	dst, err := rt.getConn(to)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	pm := rt.Map()
+	var ids []profile.ID
 	cursor := uint32(0)
 	for {
 		req := wire.PartitionDumpReq{Partition: p, Partitions: pm.NumPartitions, Cursor: cursor, MaxEntries: wire.MaxUploadBatch}
 		payload, err := src.Forward(wire.TypePartitionDumpReq, req.Encode(), wire.TypePartitionDumpResp, true)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		resp, err := wire.DecodePartitionDumpResp(payload)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if len(resp.Entries) > 0 {
 			batch := wire.UploadBatchReq{Entries: make([]wire.UploadReq, len(resp.Entries))}
-			ids := make([]profile.ID, len(resp.Entries))
+			pageIDs := make([]profile.ID, len(resp.Entries))
 			for i, raw := range resp.Entries {
 				u, err := wire.DecodeUploadReq(raw)
 				if err != nil {
-					return fmt.Errorf("dump entry %d: %w", i, err)
+					return nil, fmt.Errorf("dump entry %d: %w", i, err)
 				}
 				batch.Entries[i] = *u
-				ids[i] = u.ID
+				pageIDs[i] = u.ID
 			}
 			ackPayload, err := dst.Forward(wire.TypeUploadBatchReq, batch.Encode(), wire.TypeUploadBatchResp, true)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			ack, err := wire.DecodeUploadBatchResp(ackPayload)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			for i, status := range ack.Status {
 				if status != "" {
-					return fmt.Errorf("new owner rejected entry for user %d: %s", ids[i], status)
+					return nil, fmt.Errorf("new owner rejected entry for user %d: %s", pageIDs[i], status)
 				}
 			}
-			// The new owner has the entries durably; drop them from the
-			// old owner so post-flip scatters see each user once.
-			for _, id := range ids {
-				rm := wire.RemoveReq{ID: id}
-				if _, err := src.Forward(wire.TypeRemoveReq, rm.Encode(), wire.TypeRemoveResp, true); err != nil && !errors.Is(err, client.ErrServer) {
-					return err
-				}
-			}
+			ids = append(ids, pageIDs...)
 			if m := rt.cfg.Metrics; m != nil {
-				m.RebalanceMoves.Add(uint64(len(ids)))
+				m.RebalanceMoves.Add(uint64(len(pageIDs)))
 			}
 		}
 		if !resp.More {
-			return nil
+			return ids, nil
 		}
 		cursor = resp.NextCursor
 	}
+}
+
+// dropMoved removes the copied entries from a moved partition's old
+// owner. Runs after the map flip: queries route to the new owner by
+// then, so each remove is invisible to them.
+func (rt *Router) dropMoved(from Node, ids []profile.ID) error {
+	src, err := rt.getConn(from)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		rm := wire.RemoveReq{ID: id}
+		if _, err := src.Forward(wire.TypeRemoveReq, rm.Encode(), wire.TypeRemoveResp, true); err != nil && !errors.Is(err, client.ErrServer) {
+			return err
+		}
+	}
+	return nil
 }

@@ -249,15 +249,16 @@ type Registry struct {
 	// (replication pulls answered); on a follower, records/bytes applied
 	// off the shipped stream. Router counters live on the router role;
 	// fan-out latency covers one scatter/gather (all partitions, merged).
-	ReplicationRecordsShipped atomic.Uint64
-	ReplicationBytesShipped   atomic.Uint64
-	ReplicationPulls          atomic.Uint64
-	ReplicationSnapshots      atomic.Uint64 // pulls answered with a checkpoint instead of records
-	RouterForwards            atomic.Uint64
-	RouterScatters            atomic.Uint64
-	RouterRetries             atomic.Uint64 // forwards retried against another replica
-	RebalanceMoves            atomic.Uint64 // entries streamed to a new owner
-	RouterFanoutLatency       Histogram
+	ReplicationRecordsShipped   atomic.Uint64
+	ReplicationBytesShipped     atomic.Uint64
+	ReplicationPulls            atomic.Uint64
+	ReplicationSnapshots        atomic.Uint64 // pulls answered with a checkpoint instead of records
+	ReplicationSnapshotOversize atomic.Uint64 // checkpoint pulls refused: snapshot exceeds one frame
+	RouterForwards              atomic.Uint64
+	RouterScatters              atomic.Uint64
+	RouterRetries               atomic.Uint64 // forwards retried against another replica
+	RebalanceMoves              atomic.Uint64 // entries streamed to a new owner
+	RouterFanoutLatency         Histogram
 
 	mu     sync.Mutex
 	gauges map[string]func() any
@@ -330,15 +331,16 @@ func (r *Registry) Snapshot() map[string]any {
 		"wal_fsync_latency":  r.WALFsyncLatency.Snapshot(),
 		"wal_batch_size":     r.WALBatchSize.ValueSnapshot(),
 
-		"replication_records_shipped": r.ReplicationRecordsShipped.Load(),
-		"replication_bytes_shipped":   r.ReplicationBytesShipped.Load(),
-		"replication_pulls":           r.ReplicationPulls.Load(),
-		"replication_snapshots":       r.ReplicationSnapshots.Load(),
-		"router_forwards":             r.RouterForwards.Load(),
-		"router_scatters":             r.RouterScatters.Load(),
-		"router_retries":              r.RouterRetries.Load(),
-		"rebalance_moves":             r.RebalanceMoves.Load(),
-		"router_fanout_latency":       r.RouterFanoutLatency.Snapshot(),
+		"replication_records_shipped":   r.ReplicationRecordsShipped.Load(),
+		"replication_bytes_shipped":     r.ReplicationBytesShipped.Load(),
+		"replication_pulls":             r.ReplicationPulls.Load(),
+		"replication_snapshots":         r.ReplicationSnapshots.Load(),
+		"replication_snapshot_oversize": r.ReplicationSnapshotOversize.Load(),
+		"router_forwards":               r.RouterForwards.Load(),
+		"router_scatters":               r.RouterScatters.Load(),
+		"router_retries":                r.RouterRetries.Load(),
+		"rebalance_moves":               r.RebalanceMoves.Load(),
+		"router_fanout_latency":         r.RouterFanoutLatency.Snapshot(),
 	}
 	r.mu.Lock()
 	for name, fn := range r.gauges {
