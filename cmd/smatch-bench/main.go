@@ -16,8 +16,13 @@
 //
 // -match-bench switches to the match-store throughput benchmark (Upload /
 // Match / mixed ops/sec for the sharded store vs the single-lock baseline
-// at 1, 8 and 32 goroutines); -match-out writes the JSON report that is
-// committed as BENCH_match.json.
+// at 1, 8 and 32 goroutines, plus single-bucket 100k-entry cells that
+// isolate the ordered index against the sorted-slice baseline);
+// -match-out writes the JSON report that is committed as BENCH_match.json.
+// -match-smoke instead runs the short single-bucket regression gate used
+// in CI, failing when the indexed store's advantage over the slice
+// baseline collapses; -match-baseline names the committed report to
+// structurally validate.
 //
 // -wal-bench switches to the write-ahead-log benchmark (durable
 // appends/sec with group commit vs one fsync per append, again at 1, 8
@@ -65,6 +70,8 @@ func main() {
 		matchBench = flag.Bool("match-bench", false, "run the match-store throughput benchmark instead of the paper experiments")
 		matchDur   = flag.Duration("match-dur", 500*time.Millisecond, "measurement window per match-bench cell")
 		matchOut   = flag.String("match-out", "", "write the match-bench JSON report to this file (e.g. BENCH_match.json)")
+		matchSmoke = flag.Bool("match-smoke", false, "run the ordered-index regression gate: short single-bucket cells, fail if the indexed store loses its structural advantage over the slice baseline")
+		matchBase  = flag.String("match-baseline", "", "committed match-bench report to structurally validate during -match-smoke (e.g. BENCH_match.json)")
 		walBench   = flag.Bool("wal-bench", false, "run the write-ahead-log append benchmark instead of the paper experiments")
 		walDur     = flag.Duration("wal-dur", 500*time.Millisecond, "measurement window per wal-bench cell")
 		walOut     = flag.String("wal-out", "", "write the wal-bench JSON report to this file (e.g. BENCH_wal.json)")
@@ -80,6 +87,13 @@ func main() {
 	)
 	flag.Parse()
 
+	if *matchSmoke {
+		if err := runMatchSmoke(os.Stdout, *matchDur, *matchBase); err != nil {
+			fmt.Fprintln(os.Stderr, "smatch-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *matchBench {
 		if err := runMatchBench(os.Stdout, *matchDur, *matchOut, []int{1, 8, 32}); err != nil {
 			fmt.Fprintln(os.Stderr, "smatch-bench:", err)

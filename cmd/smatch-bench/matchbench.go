@@ -35,20 +35,54 @@ type matchBenchCell struct {
 
 // matchBenchReport is the BENCH_match.json document.
 type matchBenchReport struct {
-	GOMAXPROCS     int              `json:"gomaxprocs"`
-	NumCPU         int              `json:"num_cpu"`
-	Shards         int              `json:"shards"`
-	PreloadedUsers int              `json:"preloaded_users"`
-	Buckets        int              `json:"buckets"`
-	DurationPerOp  string           `json:"duration_per_cell"`
-	Caveat         string           `json:"caveat,omitempty"`
-	Results        []matchBenchCell `json:"results"`
+	GOMAXPROCS       int              `json:"gomaxprocs"`
+	NumCPU           int              `json:"num_cpu"`
+	Shards           int              `json:"shards"`
+	PreloadedUsers   int              `json:"preloaded_users"`
+	Buckets          int              `json:"buckets"`
+	LargeBucketUsers int              `json:"large_bucket_users"`
+	DurationPerOp    string           `json:"duration_per_cell"`
+	Caveat           string           `json:"caveat,omitempty"`
+	Results          []matchBenchCell `json:"results"`
 }
 
 const (
 	matchBenchUsers   = 20000
 	matchBenchBuckets = 256
+	// matchBenchLargeUsers is the population of the single-bucket cells:
+	// every entry shares one key hash, so these cells isolate per-bucket
+	// data-structure cost (skiplist seek+walk vs sorted-slice memmove/scan)
+	// with no sharding or bucket-spread help.
+	matchBenchLargeUsers = 100_000
+	// largeSumSpread spaces the preloaded order sums so range queries have
+	// a controllable neighborhood; bigmaxdist's threshold covers ~128
+	// neighbors out of the 100k.
+	largeSumSpread = 64
 )
+
+var largeBucketKey = []byte("bench-big-bucket")
+
+func largeEntry(id profile.ID, sum int64) match.Entry {
+	return match.Entry{
+		ID:      id,
+		KeyHash: largeBucketKey,
+		Chain:   &chain.Chain{Cts: []*big.Int{big.NewInt(sum)}, CtBits: 48},
+		Auth:    []byte("bench-auth"),
+	}
+}
+
+// preloadLarge files matchBenchLargeUsers entries into ONE bucket with
+// ascending order sums. Ascending matters: it keeps the slice store's
+// preload at the append-at-tail fast path (random order would cost an
+// O(n) memmove per insert, minutes at this size) so both stores start the
+// measured window from the same population in comparable time.
+func preloadLarge(s match.Store) {
+	for i := 1; i <= matchBenchLargeUsers; i++ {
+		if err := s.Upload(largeEntry(profile.ID(i), int64(i)*largeSumSpread)); err != nil {
+			panic(err)
+		}
+	}
+}
 
 func benchEntry(id profile.ID, bucket int, sum int64) match.Entry {
 	return match.Entry{
@@ -106,6 +140,8 @@ func runMatchBench(w io.Writer, dur time.Duration, outPath string, goroutines []
 		PreloadedUsers: matchBenchUsers,
 		Buckets:        matchBenchBuckets,
 		DurationPerOp:  dur.String(),
+
+		LargeBucketUsers: matchBenchLargeUsers,
 	}
 	if runtime.NumCPU() == 1 {
 		report.Caveat = "single-CPU host: goroutines timeshare one core, so lock " +
@@ -168,6 +204,23 @@ func runMatchBench(w io.Writer, dur time.Duration, outPath string, goroutines []
 		}
 	}
 
+	// Single-bucket cells: the ordered-index win is per bucket, so these
+	// run at g=1 against one 100k-entry bucket where sharding cannot help.
+	for _, st := range stores {
+		for _, op := range largeOps() {
+			s := st.mk()
+			preloadLarge(s)
+			ops2, secs := benchCell(s, 1, dur, op.run(s))
+			cell := matchBenchCell{
+				Store: st.name, Op: op.name, Goroutines: 1,
+				Ops: ops2, Seconds: secs, OpsPerSec: float64(ops2) / secs,
+			}
+			report.Results = append(report.Results, cell)
+			fmt.Fprintf(w, "%-12s %-10s g=%-3d %12.0f ops/sec\n",
+				cell.Store, cell.Op, cell.Goroutines, cell.OpsPerSec)
+		}
+	}
+
 	doc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -178,6 +231,146 @@ func runMatchBench(w io.Writer, dur time.Duration, outPath string, goroutines []
 			return err
 		}
 		fmt.Fprintf(w, "wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// largeOps are the single-bucket operation mixes. bigupload inserts at
+// random positions (the slice baseline pays an O(n) memmove, the index an
+// O(log n) seek); bigmaxdist is a narrow range query (linear scan vs range
+// seek + short walk); bigmatch is the kNN lookup both stores answer with a
+// seek + 2k-step expansion over their respective structures; bigchurn is
+// the re-upload/remove/query interleaving that exercises the Upload
+// re-key path under index mutation pressure.
+func largeOps() []struct {
+	name string
+	run  func(s match.Store) func(g int, i int64, rng *rand.Rand)
+} {
+	sumRange := int64(matchBenchLargeUsers) * largeSumSpread
+	return []struct {
+		name string
+		run  func(s match.Store) func(g int, i int64, rng *rand.Rand)
+	}{
+		{"bigupload", func(s match.Store) func(int, int64, *rand.Rand) {
+			return func(g int, i int64, rng *rand.Rand) {
+				id := profile.ID(matchBenchLargeUsers + 1 + int64(g)*100_000_000 + i)
+				_ = s.Upload(largeEntry(id, rng.Int63n(sumRange)))
+			}
+		}},
+		{"bigmatch", func(s match.Store) func(int, int64, *rand.Rand) {
+			return func(g int, i int64, rng *rand.Rand) {
+				_, _ = s.Match(profile.ID(1+rng.Intn(matchBenchLargeUsers)), 5)
+			}
+		}},
+		{"bigmaxdist", func(s match.Store) func(int, int64, *rand.Rand) {
+			d := big.NewInt(64 * largeSumSpread) // ~128 neighbors of 100k
+			return func(g int, i int64, rng *rand.Rand) {
+				_, _ = s.MatchMaxDistance(profile.ID(1+rng.Intn(matchBenchLargeUsers)), d)
+			}
+		}},
+		{"bigchurn", func(s match.Store) func(int, int64, *rand.Rand) {
+			d := big.NewInt(64 * largeSumSpread)
+			return func(g int, i int64, rng *rand.Rand) {
+				id := profile.ID(1 + rng.Intn(matchBenchLargeUsers))
+				switch rng.Intn(4) {
+				case 0: // re-upload at a new position (remove + insert)
+					_ = s.Upload(largeEntry(id, rng.Int63n(sumRange)))
+				case 1: // remove, then refill so the population holds steady
+					_ = s.Remove(id)
+					_ = s.Upload(largeEntry(id, rng.Int63n(sumRange)))
+				case 2:
+					_, _ = s.Match(id, 5)
+				default:
+					_, _ = s.MatchMaxDistance(id, d)
+				}
+			}
+		}},
+	}
+}
+
+// runMatchSmoke is the CI regression gate for the ordered index: it runs
+// the single-bucket cells with a short window and fails when the indexed
+// store loses its structural advantage over the slice baseline — a
+// hardware-independent ratio check, deliberately lenient (the index wins
+// these cells by orders of magnitude when healthy, so a miss of even the
+// loose floor means the seek paths have degraded to scans). It also
+// verifies the committed baseline report still carries the single-bucket
+// cells, so a bench refresh cannot silently drop them.
+func runMatchSmoke(w io.Writer, dur time.Duration, baselinePath string) error {
+	live := map[string]float64{} // "store/op" -> ops/sec
+	stores := []struct {
+		name string
+		mk   func() match.Store
+	}{
+		{"single-lock", func() match.Store { return match.NewUnsharded() }},
+		{"sharded", func() match.Store { return match.NewServer() }},
+	}
+	for _, st := range stores {
+		for _, op := range largeOps() {
+			if op.name == "bigmatch" || op.name == "bigchurn" {
+				continue // the gate needs only the two structural extremes
+			}
+			s := st.mk()
+			preloadLarge(s)
+			ops, secs := benchCell(s, 1, dur, op.run(s))
+			live[st.name+"/"+op.name] = float64(ops) / secs
+			fmt.Fprintf(w, "%-12s %-10s %12.0f ops/sec\n", st.name, op.name, float64(ops)/secs)
+		}
+	}
+
+	// Ratio floors: healthy values are ~10-1000x, so 2x (range query) and
+	// 1.1x (insert) only trip on a real structural regression, not noise.
+	checks := []struct {
+		op    string
+		floor float64
+	}{
+		{"bigmaxdist", 2.0},
+		{"bigupload", 1.1},
+	}
+	var failed bool
+	for _, c := range checks {
+		ratio := live["sharded/"+c.op] / live["single-lock/"+c.op]
+		status := "ok"
+		if ratio < c.floor {
+			status, failed = "FAIL", true
+		}
+		fmt.Fprintf(w, "%-10s sharded/single-lock = %.2fx (floor %.2fx) %s\n", c.op, ratio, c.floor, status)
+	}
+
+	if baselinePath != "" {
+		doc, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		var base matchBenchReport
+		if err := json.Unmarshal(doc, &base); err != nil {
+			return fmt.Errorf("baseline %s: %w", baselinePath, err)
+		}
+		if base.LargeBucketUsers < matchBenchLargeUsers {
+			return fmt.Errorf("baseline %s: large_bucket_users = %d, want >= %d (refresh with -match-bench)",
+				baselinePath, base.LargeBucketUsers, matchBenchLargeUsers)
+		}
+		want := map[string]bool{"sharded/bigupload": false, "sharded/bigmaxdist": false,
+			"single-lock/bigupload": false, "single-lock/bigmaxdist": false}
+		for _, cell := range base.Results {
+			key := cell.Store + "/" + cell.Op
+			if _, ok := want[key]; ok {
+				want[key] = true
+				if cell.OpsPerSec <= 0 {
+					return fmt.Errorf("baseline %s: cell %s has no throughput", baselinePath, key)
+				}
+			}
+		}
+		for key, seen := range want {
+			if !seen {
+				return fmt.Errorf("baseline %s: missing single-bucket cell %s (refresh with -match-bench)", baselinePath, key)
+			}
+		}
+		fmt.Fprintf(w, "baseline %s: single-bucket cells present\n", baselinePath)
+	}
+
+	if failed {
+		return fmt.Errorf("match smoke: ordered index lost its structural advantage (see ratios above)")
 	}
 	return nil
 }

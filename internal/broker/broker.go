@@ -13,11 +13,13 @@
 //
 // Like the match store, the broker compares only OPE order sums: a probe
 // is a bucket (key hash) plus an order sum and a distance threshold, so
-// evaluation is one big.Int subtract per subscriber in the entry's
-// bucket. What the server learns from a subscription is exactly what a
-// standing MAX-distance query would leak: the bucket, the probe's
-// ciphertext position, the threshold width, and when matches occur (see
-// DESIGN §13 for the leakage note).
+// evaluation is one fixed-width limb subtract per subscriber in the
+// entry's bucket (match.Sum — the same allocation-free representation the
+// store's ordered index compares; big.Int survives only at the wire
+// boundary where thresholds are decoded). What the server learns from a
+// subscription is exactly what a standing MAX-distance query would leak:
+// the bucket, the probe's ciphertext position, the threshold width, and
+// when matches occur (see DESIGN §13 for the leakage note).
 package broker
 
 import (
@@ -89,6 +91,10 @@ type Broker struct {
 	mu       sync.Mutex
 	nextKey  uint64
 	byBucket map[string]map[uint64]*Sub
+	// distScratch is the reusable limb buffer for threshold evaluation;
+	// guarded by mu like everything else, so steady-state PublishUpsert
+	// allocates nothing per subscriber.
+	distScratch []uint64
 	// notifiedBy indexes, per profile ID, the subscriptions currently
 	// holding that ID as "notified": the set a remove (or a re-key away)
 	// must tell. It keeps remove cost proportional to interested
@@ -103,14 +109,14 @@ type Sub struct {
 	b      *Broker
 	key    uint64
 	bucket string
-	probe  *big.Int
-	dist   *big.Int
+	probe  match.Sum
+	dist   match.Sum
 	wake   func()
 
 	queue    []Notification
 	seq      uint64
 	dropped  uint64
-	notified map[profile.ID]*big.Int // ID -> order sum last notified as EventMatch
+	notified map[profile.ID]match.Sum // ID -> order sum last notified as EventMatch
 	closed   bool
 }
 
@@ -150,10 +156,10 @@ func (b *Broker) Subscribe(p Probe, wake func()) (*Sub, error) {
 	s := &Sub{
 		b:        b,
 		bucket:   string(p.KeyHash),
-		probe:    new(big.Int).Set(p.OrderSum),
-		dist:     new(big.Int).Set(p.MaxDist),
+		probe:    match.SumFromBig(p.OrderSum),
+		dist:     match.SumFromBig(p.MaxDist),
 		wake:     wake,
-		notified: make(map[profile.ID]*big.Int),
+		notified: make(map[profile.ID]match.Sum),
 	}
 	b.mu.Lock()
 	b.nextKey++
@@ -302,11 +308,11 @@ func (b *Broker) PublishUpsert(e match.Entry) {
 	if len(bucket) == 0 && len(interested) == 0 {
 		return
 	}
-	sum := e.Chain.OrderSum()
-	var d big.Int
+	sum := match.SumOfChain(e.Chain)
 	for key, s := range bucket {
-		d.Sub(sum, s.probe)
-		if d.CmpAbs(s.dist) <= 0 {
+		var within bool
+		within, b.distScratch = s.probe.WithinDist(sum, s.dist, b.distScratch)
+		if within {
 			if prev, ok := s.notified[e.ID]; ok && prev.Cmp(sum) == 0 {
 				continue // already notified at this exact position
 			}

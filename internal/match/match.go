@@ -24,6 +24,20 @@
 // needs several bucket shards (a re-keying Upload, or a multi-bucket
 // MatchProbe), it acquires them in ascending shard index. Snapshot, which
 // walks every stripe, likewise locks stripes in ascending index.
+//
+// # Ordered index
+//
+// Each bucket in the sharded Server is an ordered skiplist keyed on
+// (order sum, user ID) — see ordindex.go — so the OPE order-preserving
+// property is exploited directly: Upload and Remove are O(log n) with no
+// memmove, Match seeks the querier and expands bidirectionally,
+// MatchMaxDistance seeks [sum-d, sum+d] and walks, and MatchProbe merges
+// per-bucket bounded kNN walks through a k-way heap. Order sums live as
+// flat uint64 limbs (ordsum.go); no big.Int is touched past the chain
+// boundary. The slice-based Unsharded store remains the reference
+// implementation the equivalence suites pin the index against; both order
+// ties by ascending user ID, so identical queries return identical
+// orderings on either store.
 package match
 
 import (
@@ -34,6 +48,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"smatch/internal/chain"
 	"smatch/internal/profile"
@@ -43,7 +58,22 @@ import (
 var (
 	ErrUnknownUser = errors.New("match: unknown user")
 	ErrNoBucket    = errors.New("match: no profiles under this key hash")
+	// ErrInconsistent reports internal index corruption: a stored record
+	// that its own bucket index cannot locate. The store surfaces it
+	// instead of silently degrading (the seed code's nearest() quietly
+	// excluded whichever innocent record sat at the querier's expected
+	// position); every occurrence also increments IndexInconsistencies.
+	ErrInconsistent = errors.New("match: store index inconsistent")
 )
+
+// inconsistencies counts detected index corruptions (see ErrInconsistent).
+var inconsistencies atomic.Uint64
+
+// IndexInconsistencies reports how many internal index inconsistencies the
+// store has detected since process start. Nonzero means a bug: a record
+// reachable through the ID directory was missing from (or misplaced in)
+// its bucket index. Exported for the metrics endpoint.
+func IndexInconsistencies() uint64 { return inconsistencies.Load() }
 
 // Field-size limits enforced on upload and on snapshot restore. A real
 // key hash is a digest (tens of bytes) and a real auth blob is one fuzzy
@@ -91,10 +121,17 @@ func (e Entry) Validate() error {
 	return nil
 }
 
-// stored is an Entry with its cached order sum.
+// stored is an Entry with its cached order sum: limb form for the ordered
+// index's comparisons, big.Int form for the slice-based reference store.
 type stored struct {
 	Entry
 	orderSum *big.Int
+	sumLimbs ordSum
+}
+
+func newStored(e Entry) *stored {
+	sum := e.Chain.OrderSum()
+	return &stored{Entry: e, orderSum: sum, sumLimbs: limbsFromBig(sum)}
 }
 
 // Result is one matched user as returned to the querier: ID plus the auth
@@ -121,7 +158,7 @@ type Store interface {
 // bucketShard owns a disjoint subset of the key-hash buckets.
 type bucketShard struct {
 	mu      sync.RWMutex
-	buckets map[string][]*stored // key hash (raw bytes as string) -> entries sorted by order sum
+	buckets map[string]*ordIndex // key hash (raw bytes as string) -> ordered index
 }
 
 // idStripe owns a disjoint subset of the ID -> record directory.
@@ -165,7 +202,7 @@ func NewServerShards(n int) *Server {
 		s.ids[i].m = make(map[profile.ID]*stored)
 	}
 	for i := range s.shards {
-		s.shards[i].buckets = make(map[string][]*stored)
+		s.shards[i].buckets = make(map[string]*ordIndex)
 	}
 	return s
 }
@@ -185,13 +222,42 @@ func (s *Server) stripe(id profile.ID) *idStripe {
 	return &s.ids[uint64(id)&s.mask]
 }
 
+// bucketInsert files rec into its bucket's ordered index, creating the
+// index on first use. Caller holds the shard write lock.
+func bucketInsert(buckets map[string]*ordIndex, rec *stored) {
+	key := string(rec.KeyHash)
+	ix := buckets[key]
+	if ix == nil {
+		ix = newOrdIndex()
+		buckets[key] = ix
+	}
+	ix.insert(rec)
+}
+
+// bucketRemove unfiles rec from its bucket's ordered index, reaping the
+// bucket when it empties. A false return means the record the ID
+// directory pointed at was not in its index — corruption, counted by the
+// caller. Caller holds the shard write lock.
+func bucketRemove(buckets map[string]*ordIndex, rec *stored) bool {
+	key := string(rec.KeyHash)
+	ix := buckets[key]
+	if ix == nil {
+		return false
+	}
+	ok := ix.remove(rec)
+	if ix.length == 0 {
+		delete(buckets, key)
+	}
+	return ok
+}
+
 // Upload stores or replaces a user's encrypted profile (users "update
 // encrypted social profiles on the untrusted server periodically").
 func (s *Server) Upload(e Entry) error {
 	if err := e.Validate(); err != nil {
 		return err
 	}
-	rec := &stored{Entry: e, orderSum: e.Chain.OrderSum()}
+	rec := newStored(e)
 	newIdx := s.shardIndex(e.KeyHash)
 
 	st := s.stripe(e.ID)
@@ -203,7 +269,7 @@ func (s *Server) Upload(e Entry) error {
 	if old == nil {
 		sh := &s.shards[newIdx]
 		sh.mu.Lock()
-		insertSorted(sh.buckets, rec)
+		bucketInsert(sh.buckets, rec)
 		sh.mu.Unlock()
 		return nil
 	}
@@ -218,49 +284,15 @@ func (s *Server) Upload(e Entry) error {
 	if hi != lo {
 		s.shards[hi].mu.Lock()
 	}
-	removeSorted(s.shards[oldIdx].buckets, old)
-	insertSorted(s.shards[newIdx].buckets, rec)
+	if !bucketRemove(s.shards[oldIdx].buckets, old) {
+		inconsistencies.Add(1)
+	}
+	bucketInsert(s.shards[newIdx].buckets, rec)
 	if hi != lo {
 		s.shards[hi].mu.Unlock()
 	}
 	s.shards[lo].mu.Unlock()
 	return nil
-}
-
-// insertSorted files rec into its bucket, keeping the bucket sorted by
-// order sum (ties keep insertion position, matching the historical
-// single-lock behavior).
-func insertSorted(buckets map[string][]*stored, rec *stored) {
-	key := string(rec.KeyHash)
-	bucket := buckets[key]
-	pos := sort.Search(len(bucket), func(i int) bool {
-		return bucket[i].orderSum.Cmp(rec.orderSum) >= 0
-	})
-	bucket = append(bucket, nil)
-	copy(bucket[pos+1:], bucket[pos:])
-	bucket[pos] = rec
-	buckets[key] = bucket
-}
-
-// removeSorted unfiles rec from its bucket. The bucket is sorted by order
-// sum and sums never mutate after insertion, so rec can only live inside
-// the run of entries whose sum equals its own: binary-search to the start
-// of that run, then scan just the run instead of the whole bucket.
-func removeSorted(buckets map[string][]*stored, rec *stored) {
-	key := string(rec.KeyHash)
-	bucket := buckets[key]
-	i := sort.Search(len(bucket), func(i int) bool {
-		return bucket[i].orderSum.Cmp(rec.orderSum) >= 0
-	})
-	for ; i < len(bucket) && bucket[i].orderSum.Cmp(rec.orderSum) == 0; i++ {
-		if bucket[i] == rec {
-			buckets[key] = append(bucket[:i], bucket[i+1:]...)
-			break
-		}
-	}
-	if len(buckets[key]) == 0 {
-		delete(buckets, key)
-	}
 }
 
 // Remove deletes a user's record.
@@ -274,7 +306,9 @@ func (s *Server) Remove(id profile.ID) error {
 	}
 	sh := &s.shards[s.shardIndex(rec.KeyHash)]
 	sh.mu.Lock()
-	removeSorted(sh.buckets, rec)
+	if !bucketRemove(sh.buckets, rec) {
+		inconsistencies.Add(1)
+	}
 	sh.mu.Unlock()
 	delete(st.m, id)
 	return nil
@@ -323,29 +357,75 @@ func (s *Server) Match(id profile.ID, k int) ([]Result, error) {
 	sh := &s.shards[s.shardIndex(me.KeyHash)]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return nearest(sh.buckets[string(me.KeyHash)], me, k), nil
+	return indexNearest(sh.buckets[string(me.KeyHash)], me, k)
 }
 
-// nearest expands outward from the querier's sorted position, picking the
-// k entries with the smallest |order-sum difference|.
-func nearest(bucket []*stored, me *stored, k int) []Result {
-	// Locate me (first entry with the same pointer at equal sums).
-	pos := sort.Search(len(bucket), func(i int) bool {
-		return bucket[i].orderSum.Cmp(me.orderSum) >= 0
-	})
-	idx := -1
-	for i := pos; i < len(bucket) && bucket[i].orderSum.Cmp(me.orderSum) == 0; i++ {
-		if bucket[i] == me {
-			idx = i
-			break
-		}
+// indexNearest seeks the querier's node in its bucket index and expands
+// outward along the level-0 links, picking the k entries with the smallest
+// |order-sum difference| (ties between the two directions prefer the lower
+// side, matching the slice reference). Self-exclusion is by node identity:
+// the walk starts on either side of the querier's own node, found by exact
+// (sum, ID) seek and verified by pointer — a miss is surfaced as
+// ErrInconsistent instead of silently excluding whichever record sits at
+// the expected position.
+func indexNearest(ix *ordIndex, me *stored, k int) ([]Result, error) {
+	if ix == nil {
+		inconsistencies.Add(1)
+		return nil, fmt.Errorf("%w: user %d has no bucket index", ErrInconsistent, me.ID)
 	}
-	if idx == -1 {
-		// Shouldn't happen (me is stored), but degrade gracefully.
-		idx = pos
+	node, _ := ix.seek(me.sumLimbs, me.ID)
+	if node == nil || node.rec != me {
+		inconsistencies.Add(1)
+		return nil, fmt.Errorf("%w: user %d missing from its bucket index", ErrInconsistent, me.ID)
+	}
+	if k > ix.length-1 {
+		k = ix.length - 1
 	}
 	results := make([]Result, 0, k)
-	lo, hi := idx-1, idx+1
+	lo, hi := node.prev, node.next[0]
+	// Two scratch buffers, reused across every expansion step: the hot
+	// path allocates nothing per candidate.
+	dLo := make(ordSum, 0, len(me.sumLimbs)+1)
+	dHi := make(ordSum, 0, len(me.sumLimbs)+1)
+	for len(results) < k {
+		loOK, hiOK := lo.rec != nil, hi != nil
+		var pick *stored
+		switch {
+		case !loOK && !hiOK:
+			return results, nil
+		case !loOK:
+			pick, hi = hi.rec, hi.next[0]
+		case !hiOK:
+			pick, lo = lo.rec, lo.prev
+		default:
+			dLo = subLimbs(dLo, me.sumLimbs, lo.rec.sumLimbs)
+			dHi = subLimbs(dHi, hi.rec.sumLimbs, me.sumLimbs)
+			if cmpLimbs(dLo, dHi) <= 0 {
+				pick, lo = lo.rec, lo.prev
+			} else {
+				pick, hi = hi.rec, hi.next[0]
+			}
+		}
+		results = append(results, Result{ID: pick.ID, Auth: pick.Auth})
+	}
+	return results, nil
+}
+
+// nearest is the slice-based reference expansion (Unsharded, MatchFresh):
+// same contract as indexNearest over a (sum, ID)-sorted bucket slice. The
+// querier is located by exact binary search and verified by pointer; a
+// mismatch is surfaced as ErrInconsistent.
+func nearest(bucket []*stored, me *stored, k int) ([]Result, error) {
+	pos := sort.Search(len(bucket), func(i int) bool {
+		c := bucket[i].orderSum.Cmp(me.orderSum)
+		return c > 0 || (c == 0 && bucket[i].ID >= me.ID)
+	})
+	if pos >= len(bucket) || bucket[pos] != me {
+		inconsistencies.Add(1)
+		return nil, fmt.Errorf("%w: user %d missing from its bucket slot", ErrInconsistent, me.ID)
+	}
+	results := make([]Result, 0, k)
+	lo, hi := pos-1, pos+1
 	var dLo, dHi big.Int // scratch: reused across every expansion step
 	for len(results) < k && (lo >= 0 || hi < len(bucket)) {
 		var pick *stored
@@ -365,14 +445,14 @@ func nearest(bucket []*stored, me *stored, k int) []Result {
 		}
 		results = append(results, Result{ID: pick.ID, Auth: pick.Auth})
 	}
-	return results
+	return results, nil
 }
 
 // MatchFresh answers a query with the paper's literal Figure 3 Match
 // algorithm — EXTRA the bucket, SORT it, FIND the querier, return the k
-// nearest — re-sorting on every query instead of relying on the
-// amortized sorted buckets Match uses. It exists for the cost ablation;
-// production callers want Match.
+// nearest — re-sorting on every query instead of relying on the amortized
+// ordered index Match uses. It exists for the cost ablation; production
+// callers want Match.
 func (s *Server) MatchFresh(id profile.ID, k int) ([]Result, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("match: non-positive k=%d", k)
@@ -384,15 +464,19 @@ func (s *Server) MatchFresh(id profile.ID, k int) ([]Result, error) {
 	defer release()
 	sh := &s.shards[s.shardIndex(me.KeyHash)]
 	sh.mu.RLock()
-	// EXTRA: copy the bucket (the stored list is shared state).
-	bucket := append([]*stored(nil), sh.buckets[string(me.KeyHash)]...)
+	// EXTRA: copy the bucket out of the index (the nodes are shared state).
+	var bucket []*stored
+	if ix := sh.buckets[string(me.KeyHash)]; ix != nil {
+		bucket = make([]*stored, 0, ix.length)
+		for n := ix.head.next[0]; n != nil; n = n.next[0] {
+			bucket = append(bucket, n.rec)
+		}
+	}
 	sh.mu.RUnlock()
-	// SORT by order sum.
-	sort.Slice(bucket, func(i, j int) bool {
-		return bucket[i].orderSum.Cmp(bucket[j].orderSum) < 0
-	})
+	// SORT by (order sum, ID) — the ablation pays the full re-sort.
+	sort.Slice(bucket, func(i, j int) bool { return keyLess(bucket[i], bucket[j]) })
 	// FIND + nearest-k expansion.
-	return nearest(bucket, me, k), nil
+	return nearest(bucket, me, k)
 }
 
 // MatchProbe answers a multi-probe query: the k users nearest to the
@@ -402,6 +486,11 @@ func (s *Server) MatchFresh(id profile.ID, k int) ([]Result, error) {
 // ProfileKeyCandidates). Results are globally ranked by order-sum
 // distance, ties broken by ascending user ID so identical queries return
 // identical orderings; the querier is excluded.
+//
+// Each probed bucket contributes only its k nearest candidates (a bounded
+// bidirectional walk from the querier's seek position), and the per-bucket
+// streams are merged through a k-way heap — O(log n + k) per bucket
+// instead of scoring every entry of every probed bucket.
 //
 // Order sums from different buckets are encrypted under different profile
 // keys; cross-bucket comparisons are exact in the paper's N = M
@@ -444,15 +533,154 @@ func (s *Server) MatchProbe(id profile.ID, altKeyHashes [][]byte, k int) ([]Resu
 		}
 	}()
 
-	pool := make([]scored, 0)
+	streams := make([][]probeCand, 0, len(keys))
 	for key := range keys {
-		bucket := s.shards[s.shardIndex([]byte(key))].buckets[key]
-		pool = appendScored(pool, bucket, me)
+		ix := s.shards[s.shardIndex([]byte(key))].buckets[key]
+		if cands := boundedNearest(ix, me, k); len(cands) > 0 {
+			streams = append(streams, cands)
+		}
 	}
-	return rankScored(pool, k), nil
+	return mergeProbeStreams(streams, k), nil
 }
 
-// scored is a candidate with its absolute order-sum distance.
+// probeCand is one bounded-walk candidate with its materialized distance.
+type probeCand struct {
+	rec  *stored
+	dist ordSum
+}
+
+// boundedNearest walks outward from the querier's seek position in one
+// bucket index and returns that bucket's k nearest candidates sorted by
+// (distance, ID). The walk visits O(k) entries plus any run tied with the
+// k-th distance (a tie can still displace a larger ID); the querier's own
+// node is excluded by pointer.
+func boundedNearest(ix *ordIndex, me *stored, k int) []probeCand {
+	if ix == nil {
+		return nil
+	}
+	ge, pred := ix.seek(me.sumLimbs, me.ID)
+	lo, hi := pred, ge
+	if ge != nil && ge.rec == me {
+		hi = ge.next[0]
+	}
+	dLo := make(ordSum, 0, len(me.sumLimbs)+1)
+	dHi := make(ordSum, 0, len(me.sumLimbs)+1)
+	var cands []probeCand
+	for {
+		// Defensive pointer-based self-exclusion; the cursors start on
+		// either side of me's node, so this should never fire.
+		for lo.rec == me {
+			lo = lo.prev
+		}
+		for hi != nil && hi.rec == me {
+			hi = hi.next[0]
+		}
+		loOK, hiOK := lo.rec != nil, hi != nil
+		if !loOK && !hiOK {
+			break
+		}
+		var pick *stored
+		var d ordSum
+		switch {
+		case !loOK:
+			d = subLimbs(dHi, hi.rec.sumLimbs, me.sumLimbs)
+			pick, hi = hi.rec, hi.next[0]
+		case !hiOK:
+			d = subLimbs(dLo, me.sumLimbs, lo.rec.sumLimbs)
+			pick, lo = lo.rec, lo.prev
+		default:
+			dLo = subLimbs(dLo, me.sumLimbs, lo.rec.sumLimbs)
+			dHi = subLimbs(dHi, hi.rec.sumLimbs, me.sumLimbs)
+			if cmpLimbs(dLo, dHi) <= 0 {
+				d, pick, lo = dLo, lo.rec, lo.prev
+			} else {
+				d, pick, hi = dHi, hi.rec, hi.next[0]
+			}
+		}
+		// Candidates arrive in nondecreasing distance, so once k are held
+		// the k-th's distance bounds what can still matter; only an exact
+		// tie can displace (by smaller ID), so the walk continues through
+		// the tied run and stops at the first strictly farther candidate.
+		if len(cands) >= k && cmpLimbs(d, cands[k-1].dist) > 0 {
+			break
+		}
+		cands = append(cands, probeCand{rec: pick, dist: append(ordSum(nil), d...)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if c := cmpLimbs(cands[i].dist, cands[j].dist); c != 0 {
+			return c < 0
+		}
+		return cands[i].rec.ID < cands[j].rec.ID
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+// probeHeap is a binary min-heap of per-bucket candidate streams, keyed by
+// each stream's current head (distance, ID).
+type probeHeap struct {
+	streams [][]probeCand // each sorted by (distance, ID)
+	pos     []int
+}
+
+func (h *probeHeap) less(i, j int) bool {
+	a, b := h.streams[i][h.pos[i]], h.streams[j][h.pos[j]]
+	if c := cmpLimbs(a.dist, b.dist); c != 0 {
+		return c < 0
+	}
+	return a.rec.ID < b.rec.ID
+}
+
+func (h *probeHeap) swap(i, j int) {
+	h.streams[i], h.streams[j] = h.streams[j], h.streams[i]
+	h.pos[i], h.pos[j] = h.pos[j], h.pos[i]
+}
+
+func (h *probeHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.pos) && h.less(l, small) {
+			small = l
+		}
+		if r < len(h.pos) && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
+// mergeProbeStreams k-way-merges the per-bucket (distance, ID)-sorted
+// candidate streams and returns the global top k.
+func mergeProbeStreams(streams [][]probeCand, k int) []Result {
+	h := &probeHeap{streams: streams, pos: make([]int, len(streams))}
+	for i := len(streams)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+	results := make([]Result, 0, k)
+	for len(h.streams) > 0 && len(results) < k {
+		top := h.streams[0][h.pos[0]]
+		results = append(results, Result{ID: top.rec.ID, Auth: top.rec.Auth})
+		h.pos[0]++
+		if h.pos[0] == len(h.streams[0]) {
+			last := len(h.streams) - 1
+			h.swap(0, last)
+			h.streams = h.streams[:last]
+			h.pos = h.pos[:last]
+		}
+		h.down(0)
+	}
+	return results
+}
+
+// scored is a candidate with its absolute order-sum distance (the
+// slice-based reference store's full-scan ranking).
 type scored struct {
 	rec  *stored
 	dist *big.Int
@@ -499,7 +727,9 @@ func rankScored(pool []scored, k int) []Result {
 
 // MatchMaxDistance returns every same-bucket user whose Definition-4
 // order-sum distance from the querier is at most maxDist (MAX-distance
-// matching, the paper's other matching algorithm).
+// matching, the paper's other matching algorithm) — a range seek over
+// [sum-d, sum+d] plus a walk, instead of a full bucket scan. Results come
+// back in ascending (order sum, ID) order.
 func (s *Server) MatchMaxDistance(id profile.ID, maxDist *big.Int) ([]Result, error) {
 	if maxDist == nil || maxDist.Sign() < 0 {
 		return nil, errors.New("match: negative or nil distance bound")
@@ -512,15 +742,27 @@ func (s *Server) MatchMaxDistance(id profile.ID, maxDist *big.Int) ([]Result, er
 	sh := &s.shards[s.shardIndex(me.KeyHash)]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
+	ix := sh.buckets[string(me.KeyHash)]
+	if ix == nil {
+		inconsistencies.Add(1)
+		return nil, fmt.Errorf("%w: user %d has no bucket index", ErrInconsistent, me.ID)
+	}
+	d := limbsFromBig(maxDist)
+	var lower ordSum // sum-d floored at zero
+	if cmpLimbs(me.sumLimbs, d) > 0 {
+		lower = subLimbs(make(ordSum, 0, len(me.sumLimbs)), me.sumLimbs, d)
+	}
+	upper := addLimbs(make(ordSum, 0, len(me.sumLimbs)+1), me.sumLimbs, d)
 	var results []Result
-	for _, rec := range sh.buckets[string(me.KeyHash)] {
-		if rec == me {
+	node, _ := ix.seek(lower, 0)
+	for ; node != nil; node = node.next[0] {
+		if cmpLimbs(node.rec.sumLimbs, upper) > 0 {
+			break
+		}
+		if node.rec == me {
 			continue
 		}
-		d := new(big.Int).Sub(rec.orderSum, me.orderSum)
-		if d.CmpAbs(maxDist) <= 0 {
-			results = append(results, Result{ID: rec.ID, Auth: rec.Auth})
-		}
+		results = append(results, Result{ID: node.rec.ID, Auth: node.rec.Auth})
 	}
 	return results, nil
 }
@@ -531,7 +773,10 @@ func (s *Server) BucketSize(keyHash []byte) int {
 	sh := &s.shards[s.shardIndex(keyHash)]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return len(sh.buckets[string(keyHash)])
+	if ix := sh.buckets[string(keyHash)]; ix != nil {
+		return ix.length
+	}
+	return 0
 }
 
 // NumBuckets reports the number of distinct profile-key hashes stored.
@@ -565,7 +810,7 @@ func (s *Server) BucketStats() BucketStats {
 	for i := range s.shards {
 		s.shards[i].mu.RLock()
 		for _, b := range s.shards[i].buckets {
-			sizes = append(sizes, len(b))
+			sizes = append(sizes, b.length)
 		}
 		s.shards[i].mu.RUnlock()
 	}

@@ -1,0 +1,136 @@
+// Differential fuzzing of the per-bucket skiplist index against a plain
+// sorted slice. The fuzzer drives both structures through an arbitrary
+// byte-encoded op stream — insert, remove (live, stale and impostor
+// pointers), seek — and after every mutation checks the skiplist's full
+// structural invariants: level-0 order, prev links, length, upper-level
+// links landing on live level-0 nodes. Run with
+// `go test -fuzz=FuzzOrdIndex ./internal/match`.
+package match
+
+import (
+	"sort"
+	"testing"
+
+	"smatch/internal/profile"
+)
+
+func FuzzOrdIndex(f *testing.F) {
+	// Seeds: an insert-heavy run, insert/remove churn with key collisions,
+	// a remove-only stream (all misses), seeks over an empty index, and a
+	// stale-pointer replay.
+	f.Add([]byte{0x00, 0x11, 0x02, 0x23, 0x04, 0x45})
+	f.Add([]byte{0x00, 0x10, 0x01, 0x10, 0x02, 0x10, 0x00, 0x10, 0x01, 0x10})
+	f.Add([]byte{0x01, 0x10, 0x01, 0x20, 0x01, 0x30})
+	f.Add([]byte{0x02, 0x00, 0x02, 0xFF})
+	f.Add([]byte{0x00, 0x33, 0x01, 0x33, 0x03, 0x33, 0x00, 0x33, 0x03, 0x33})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix := newOrdIndex()
+		live := map[profile.ID]*stored{} // what both structures hold
+		var graveyard []*stored          // removed records: stale-remove probes
+		var ref []*stored                // reference: slice sorted by (sum, ID)
+
+		refInsert := func(r *stored) {
+			pos := sort.Search(len(ref), func(i int) bool { return !keyLess(ref[i], r) })
+			ref = append(ref, nil)
+			copy(ref[pos+1:], ref[pos:])
+			ref[pos] = r
+		}
+		refRemove := func(r *stored) {
+			pos := sort.Search(len(ref), func(i int) bool { return !keyLess(ref[i], r) })
+			if pos >= len(ref) || ref[pos] != r {
+				t.Fatalf("reference lost record id=%d", r.ID)
+			}
+			copy(ref[pos:], ref[pos+1:])
+			ref = ref[:len(ref)-1]
+		}
+		verify := func() {
+			if ix.length != len(ref) {
+				t.Fatalf("length %d, reference %d", ix.length, len(ref))
+			}
+			i, prev := 0, ix.head
+			seen := map[*ordNode]bool{ix.head: true}
+			for n := ix.head.next[0]; n != nil; n = n.next[0] {
+				if i >= len(ref) || n.rec != ref[i] {
+					t.Fatalf("walk position %d disagrees with reference", i)
+				}
+				if n.prev != prev {
+					t.Fatalf("prev link broken at position %d", i)
+				}
+				seen[n] = true
+				prev, i = n, i+1
+			}
+			if i != len(ref) {
+				t.Fatalf("walk found %d entries, reference has %d", i, len(ref))
+			}
+			for lvl := 1; lvl < ix.height; lvl++ {
+				for n := ix.head.next[lvl]; n != nil; n = n.next[lvl] {
+					if !seen[n] {
+						t.Fatalf("level %d links to a node absent from level 0", lvl)
+					}
+				}
+			}
+		}
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			id := profile.ID(arg&0x0F) + 1 // 16 IDs
+			sum := int64(arg >> 4)         // 16 sums: heavy (sum, ID) collisions
+			switch op % 4 {
+			case 0: // upload semantics: replace any live record, insert new
+				if old := live[id]; old != nil {
+					if !ix.remove(old) {
+						t.Fatalf("remove of live id=%d failed", id)
+					}
+					refRemove(old)
+					graveyard = append(graveyard, old)
+				}
+				r := rec(id, sum)
+				live[id] = r
+				ix.insert(r)
+				refInsert(r)
+			case 1: // remove a live record (miss is fine)
+				if old := live[id]; old != nil {
+					if !ix.remove(old) {
+						t.Fatalf("remove of live id=%d failed", id)
+					}
+					refRemove(old)
+					graveyard = append(graveyard, old)
+					delete(live, id)
+				}
+			case 2: // seekGE: compare against the reference slice
+				ge, pred := ix.seek(ordSum(rec(0, sum).sumLimbs), id)
+				probe := rec(id, sum)
+				pos := sort.Search(len(ref), func(i int) bool { return !keyLess(ref[i], probe) })
+				if pos < len(ref) {
+					if ge == nil || ge.rec != ref[pos] {
+						t.Fatalf("seek(sum=%d,id=%d): wrong ge", sum, id)
+					}
+				} else if ge != nil {
+					t.Fatalf("seek past the end returned a node")
+				}
+				if pos > 0 {
+					if pred.rec != ref[pos-1] {
+						t.Fatalf("seek(sum=%d,id=%d): wrong pred", sum, id)
+					}
+				} else if pred != ix.head {
+					t.Fatalf("seek before the start: pred is not the head sentinel")
+				}
+			case 3: // stale/impostor remove: must refuse and leave the index intact
+				if len(graveyard) > 0 {
+					stale := graveyard[int(arg)%len(graveyard)]
+					if ix.remove(stale) {
+						t.Fatalf("remove accepted a stale pointer (id=%d)", stale.ID)
+					}
+				}
+				impostor := rec(id, sum)
+				if r := live[id]; r != nil && cmpLimbs(r.sumLimbs, impostor.sumLimbs) == 0 {
+					if ix.remove(impostor) {
+						t.Fatal("remove accepted an impostor with a live record's key")
+					}
+				}
+			}
+			verify()
+		}
+	})
+}

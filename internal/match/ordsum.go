@@ -1,0 +1,140 @@
+// Fixed-width order-sum arithmetic. The OPE order sum every matching
+// decision compares is a bounded nonnegative integer (at most
+// NumAttrs·2^CtBits), but the seed implementation kept it as a heap
+// *big.Int and allocated a fresh big.Int per candidate on the scan paths.
+// This file gives the store a flat representation — little-endian uint64
+// limbs, normalized (no high zero limbs) — with allocation-free compare,
+// add and subtract, so the hot paths touch no big.Int at all. big.Int
+// survives only at the wire/chain boundary, where ciphertexts arrive.
+package match
+
+import (
+	"math/big"
+	"math/bits"
+
+	"smatch/internal/chain"
+)
+
+// ordSum is a nonnegative integer as normalized little-endian uint64
+// limbs; the empty slice is zero. Two normalized ordSums compare first by
+// limb count, then limbwise from the most significant end.
+type ordSum []uint64
+
+// limbsFromBig converts a big.Int magnitude (the sign is ignored; callers
+// validate nonnegativity at the boundary) into normalized limbs.
+func limbsFromBig(x *big.Int) ordSum {
+	words := x.Bits()
+	if bits.UintSize == 64 {
+		out := make(ordSum, len(words))
+		for i, w := range words {
+			out[i] = uint64(w)
+		}
+		return out // big.Int words are already normalized
+	}
+	// 32-bit platforms: pack word pairs into uint64 limbs.
+	out := make(ordSum, (len(words)+1)/2)
+	for i, w := range words {
+		out[i/2] |= uint64(w) << (32 * uint(i%2))
+	}
+	return trimLimbs(out)
+}
+
+// trimLimbs drops high zero limbs, returning the normalized slice.
+func trimLimbs(a ordSum) ordSum {
+	for len(a) > 0 && a[len(a)-1] == 0 {
+		a = a[:len(a)-1]
+	}
+	return a
+}
+
+// cmpLimbs compares two normalized ordSums: -1, 0 or +1.
+func cmpLimbs(a, b ordSum) int {
+	if len(a) != len(b) {
+		if len(a) < len(b) {
+			return -1
+		}
+		return 1
+	}
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// subLimbs writes a-b (a >= b required) into dst's backing array and
+// returns the normalized result. dst only ever grows; passing the previous
+// return value back in makes steady-state subtraction allocation-free.
+func subLimbs(dst ordSum, a, b ordSum) ordSum {
+	dst = dst[:0]
+	var borrow uint64
+	for i := 0; i < len(a); i++ {
+		var bi uint64
+		if i < len(b) {
+			bi = b[i]
+		}
+		d, br := bits.Sub64(a[i], bi, borrow)
+		borrow = br
+		dst = append(dst, d)
+	}
+	return trimLimbs(dst)
+}
+
+// addLimbs writes a+b into dst's backing array and returns the normalized
+// result, growing dst by at most one limb beyond the longer operand.
+func addLimbs(dst ordSum, a, b ordSum) ordSum {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	dst = dst[:0]
+	var carry uint64
+	for i := 0; i < len(a); i++ {
+		var bi uint64
+		if i < len(b) {
+			bi = b[i]
+		}
+		s, c := bits.Add64(a[i], bi, carry)
+		carry = c
+		dst = append(dst, s)
+	}
+	if carry != 0 {
+		dst = append(dst, carry)
+	}
+	return dst
+}
+
+// Sum is the exported order-sum handle for callers outside the store that
+// evaluate order-sum distances on their own hot paths (the notification
+// broker's store-event feed). It wraps the limb representation so those
+// callers inherit the same allocation-free comparisons without reaching
+// into big.Int.
+type Sum struct{ w ordSum }
+
+// SumOfChain computes a chain's order sum in limb form. The chain is the
+// wire boundary, so the one big.Int summation happens here and nowhere
+// downstream.
+func SumOfChain(ch *chain.Chain) Sum { return Sum{w: limbsFromBig(ch.OrderSum())} }
+
+// SumFromBig converts a nonnegative big.Int (e.g. a decoded wire
+// threshold) into limb form. The magnitude is taken; callers validate the
+// sign at the decode boundary.
+func SumFromBig(x *big.Int) Sum { return Sum{w: limbsFromBig(x)} }
+
+// Cmp compares two sums: -1, 0 or +1.
+func (a Sum) Cmp(b Sum) int { return cmpLimbs(a.w, b.w) }
+
+// WithinDist reports whether |a-b| <= d. scratch is an optional reusable
+// buffer; passing the returned slice back in keeps steady-state evaluation
+// allocation-free.
+func (a Sum) WithinDist(b, d Sum, scratch []uint64) (bool, []uint64) {
+	hi, lo := a.w, b.w
+	if cmpLimbs(hi, lo) < 0 {
+		hi, lo = lo, hi
+	}
+	diff := subLimbs(scratch, hi, lo)
+	return cmpLimbs(diff, d.w) <= 0, diff[:0]
+}

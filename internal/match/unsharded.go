@@ -4,20 +4,22 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sort"
 	"sync"
 
 	"smatch/internal/profile"
 )
 
 // Unsharded is the historical single-RWMutex store: one global lock, one
-// byID map, one bucket map. It is kept as the reference implementation —
-// equivalence tests assert the sharded Server returns identical results,
-// and the parallel benchmarks use it as the pre-sharding contention
-// baseline. Production callers want Server.
+// byID map, one bucket map of sorted slices. It is kept as the reference
+// implementation — equivalence tests assert the sharded, skiplist-indexed
+// Server returns identical results, and the benchmarks use it as both the
+// pre-sharding contention baseline and the linear-scan baseline the
+// ordered index is measured against. Production callers want Server.
 type Unsharded struct {
 	mu      sync.RWMutex
 	byID    map[profile.ID]*stored
-	buckets map[string][]*stored // key hash -> entries sorted by order sum
+	buckets map[string][]*stored // key hash -> entries sorted by (order sum, ID)
 }
 
 // NewUnsharded returns an empty single-lock matching store.
@@ -28,12 +30,60 @@ func NewUnsharded() *Unsharded {
 	}
 }
 
+// sliceSearch returns the position of the first entry whose (order sum,
+// ID) key is >= rec's. Keys are unique per bucket (IDs are unique), so
+// this is rec's exact slot when rec is filed.
+func sliceSearch(bucket []*stored, rec *stored) int {
+	return sort.Search(len(bucket), func(i int) bool {
+		c := bucket[i].orderSum.Cmp(rec.orderSum)
+		return c > 0 || (c == 0 && bucket[i].ID >= rec.ID)
+	})
+}
+
+// insertSorted files rec into its bucket, keeping the bucket sorted by
+// (order sum, ID) — the same total order the Server's skiplist index uses,
+// so the two implementations return identical result orderings.
+func insertSorted(buckets map[string][]*stored, rec *stored) {
+	key := string(rec.KeyHash)
+	bucket := buckets[key]
+	pos := sliceSearch(bucket, rec)
+	bucket = append(bucket, nil)
+	copy(bucket[pos+1:], bucket[pos:])
+	bucket[pos] = rec
+	buckets[key] = bucket
+}
+
+// removeSorted unfiles rec from its bucket: an exact (order sum, ID)
+// binary search, verified by pointer. The vacated tail slot is nilled —
+// the left-shifting removal otherwise leaves a stale duplicate of the last
+// element in the backing array past len, pinning the removed record's
+// Chain and Auth against GC under re-upload/remove churn. A pointer
+// mismatch at the computed slot means the directory and the bucket
+// disagree; it is counted rather than silently ignored.
+func removeSorted(buckets map[string][]*stored, rec *stored) {
+	key := string(rec.KeyHash)
+	bucket := buckets[key]
+	i := sliceSearch(bucket, rec)
+	if i >= len(bucket) || bucket[i] != rec {
+		inconsistencies.Add(1)
+		return
+	}
+	copy(bucket[i:], bucket[i+1:])
+	bucket[len(bucket)-1] = nil
+	bucket = bucket[:len(bucket)-1]
+	if len(bucket) == 0 {
+		delete(buckets, key)
+	} else {
+		buckets[key] = bucket
+	}
+}
+
 // Upload stores or replaces a user's encrypted profile.
 func (s *Unsharded) Upload(e Entry) error {
 	if err := e.Validate(); err != nil {
 		return err
 	}
-	rec := &stored{Entry: e, orderSum: e.Chain.OrderSum()}
+	rec := newStored(e)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if old, ok := s.byID[e.ID]; ok {
@@ -76,7 +126,7 @@ func (s *Unsharded) Match(id profile.ID, k int) ([]Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, id)
 	}
-	return nearest(s.buckets[string(me.KeyHash)], me, k), nil
+	return nearest(s.buckets[string(me.KeyHash)], me, k)
 }
 
 // MatchProbe unions the querier's bucket with the alternate buckets and
@@ -103,7 +153,9 @@ func (s *Unsharded) MatchProbe(id profile.ID, altKeyHashes [][]byte, k int) ([]R
 	return rankScored(pool, k), nil
 }
 
-// MatchMaxDistance returns every same-bucket user within maxDist.
+// MatchMaxDistance returns every same-bucket user within maxDist, in
+// ascending (order sum, ID) order — the full linear scan the Server's
+// range seek is pinned against.
 func (s *Unsharded) MatchMaxDistance(id profile.ID, maxDist *big.Int) ([]Result, error) {
 	if maxDist == nil || maxDist.Sign() < 0 {
 		return nil, errors.New("match: negative or nil distance bound")

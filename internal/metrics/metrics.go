@@ -115,7 +115,10 @@ func quantile(counts []uint64, total uint64, q float64) float64 {
 			return math.Exp2(float64(i)) - 1
 		}
 	}
-	return math.Exp2(float64(len(counts) - 1))
+	// Tail fallback (rounding can push target to the full count): the
+	// quantile lives in the last bucket, whose upper bound follows the
+	// same Exp2(i)-1 convention as every other bucket.
+	return math.Exp2(float64(len(counts)-1)) - 1
 }
 
 // OPECacheCounters aggregates the client-side OPE encryption engine's

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"math"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -30,6 +31,29 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 	if s.MeanUS <= 0 {
 		t.Errorf("mean = %f, want > 0", s.MeanUS)
+	}
+}
+
+// TestQuantileTailConvention pins the bucket upper-bound convention: every
+// bucket i reports Exp2(i)-1, INCLUDING the tail fallback taken when
+// rounding pushes the target to the full count. The fallback used to
+// report Exp2(len-1) — one above the convention — so a P99 landing in the
+// last bucket read differently depending on which return path fired.
+func TestQuantileTailConvention(t *testing.T) {
+	var counts [histBuckets]uint64
+	counts[histBuckets-1] = 1 // every observation in the last bucket
+	want := math.Exp2(float64(histBuckets-1)) - 1
+	// Loop path: cum(1) > target(0).
+	if got := quantile(counts[:], 1, 0.5); got != want {
+		t.Errorf("loop path: quantile = %v, want %v", got, want)
+	}
+	// Fallback path: target == total, so cum > target never fires.
+	if got := quantile(counts[:], 1, 1.0); got != want {
+		t.Errorf("tail fallback: quantile = %v, want %v", got, want)
+	}
+	// The two paths must agree — that is the off-by-one being pinned.
+	if quantile(counts[:], 1, 0.5) != quantile(counts[:], 1, 1.0) {
+		t.Error("loop and fallback paths disagree on the last bucket's upper bound")
 	}
 }
 

@@ -180,6 +180,10 @@ func New(cfg Config) (*Server, error) {
 	// is a gauge: computed on scrape, not on the hot path.
 	reg.RegisterGauge("bucket_stats", func() any { return store.BucketStats() })
 	reg.RegisterGauge("shards", func() any { return store.NumShards() })
+	// Nonzero means the ID directory and a bucket index disagreed — a
+	// store bug surfaced instead of silently degrading (see
+	// match.ErrInconsistent).
+	reg.RegisterGauge("match_index_inconsistencies", func() any { return match.IndexInconsistencies() })
 	bk := broker.New(broker.Config{QueueCap: cfg.NotifyQueueCap, Metrics: reg})
 	reg.RegisterGauge("broker", func() any { return bk.Stats() })
 	deps := service.Deps{Store: store, OPRF: cfg.OPRF, Metrics: reg, MaxTopK: cfg.MaxTopK, Publisher: bk}

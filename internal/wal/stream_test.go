@@ -232,8 +232,8 @@ func TestTailFollowExactlyOnce(t *testing.T) {
 		}
 	}()
 
-	next := uint64(1)       // LSN the reader expects next
-	var viaCheckpoint int   // LSNs obtained via checkpoint fallback
+	next := uint64(1)     // LSN the reader expects next
+	var viaCheckpoint int // LSNs obtained via checkpoint fallback
 	var fallbacks, polls int
 	for next <= n {
 		recs, err := w.ReadFrom(next, 64)
