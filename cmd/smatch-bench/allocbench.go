@@ -1,0 +1,391 @@
+// Allocation bench: measures the server's per-request allocation cost on
+// the two highest-volume pipelined paths (query, upload-batch), comparing
+// the legacy frame lifecycle (allocate a payload per read, encode a fresh
+// response, write header and payload separately) against the pooled
+// append-style lifecycle the server now runs (reusable read buffers,
+// responses encoded directly into a pooled frame buffer, one write per
+// frame). A third "handler" cell runs only the service handler with a
+// reused response buffer — request decode, store/crypto work, response
+// encode — so the report can separate the transport overhead (what this
+// change eliminates) from the handler core (allocations the store must
+// make because it retains the decoded entries: parsed ciphertext
+// big.Ints, cloned key hashes, index nodes). All cells execute the same
+// handlers over the same store. The numbers are written as JSON
+// (BENCH_alloc.json in this repo).
+//
+//	smatch-bench -alloc-bench -alloc-out BENCH_alloc.json
+//	smatch-bench -alloc-smoke -alloc-baseline BENCH_alloc.json   # CI gate
+package main
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/rsa"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/big"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"smatch/internal/chain"
+	"smatch/internal/match"
+	"smatch/internal/metrics"
+	"smatch/internal/oprf"
+	"smatch/internal/profile"
+	"smatch/internal/service"
+	"smatch/internal/wire"
+)
+
+// Committed allocs/op ceilings for the pooled cells — the CI gate. They
+// sit above the measured steady state (residual allocations are
+// decode-side structs and store results, not buffers) and far below the
+// legacy numbers, so reintroduced per-frame buffer churn fails fast.
+const (
+	allocQueryCeiling       = 12
+	allocUploadBatchCeiling = 320
+	// allocMinReduction is the minimum relative reduction in *transport*
+	// allocs/op (full lifecycle minus the handler core, which both
+	// lifecycles share unchanged) the pooled path must hold over the
+	// legacy one on every gated path.
+	allocMinReduction = 0.50
+)
+
+// allocBenchCell is one (path, mode) measurement.
+type allocBenchCell struct {
+	Path        string  `json:"path"`
+	Mode        string  `json:"mode"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+}
+
+// allocTransport is the per-path transport-overhead breakdown: the
+// full-lifecycle allocs/op minus the handler-core allocs/op. The handler
+// core (request decode + store/crypto + response encode into a reused
+// buffer) is identical under both lifecycles; the transport component is
+// what the pooled path eliminates.
+type allocTransport struct {
+	HandlerAllocsPerOp float64 `json:"handler_allocs_per_op"`
+	LegacyAllocsPerOp  float64 `json:"legacy_transport_allocs_per_op"`
+	PooledAllocsPerOp  float64 `json:"pooled_transport_allocs_per_op"`
+	Reduction          float64 `json:"transport_alloc_reduction"`
+}
+
+// allocBenchReport is the BENCH_alloc.json document.
+type allocBenchReport struct {
+	GOMAXPROCS       int                       `json:"gomaxprocs"`
+	NumCPU           int                       `json:"num_cpu"`
+	StoredUsers      int                       `json:"stored_users"`
+	BatchEntries     int                       `json:"batch_entries"`
+	Results          []allocBenchCell          `json:"results"`
+	AllocReduction   map[string]float64        `json:"total_alloc_reduction_by_path"`
+	Transport        map[string]allocTransport `json:"transport_by_path"`
+	CommittedCeiling map[string]float64        `json:"committed_ceiling_allocs_per_op"`
+}
+
+const (
+	allocBenchUsers   = 64
+	allocBatchEntries = 16
+)
+
+// allocBenchEnv is the shared fixture: a service registry over a
+// populated store, plus pre-encoded v2 request frames (and their bare
+// payloads, for the handler-core cells) for each path.
+type allocBenchEnv struct {
+	svc          *service.Registry
+	queryFrame   []byte
+	queryPayload []byte
+	batchFrame   []byte
+	batchPayload []byte
+}
+
+func newAllocBenchEnv() (*allocBenchEnv, error) {
+	key, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		return nil, err
+	}
+	oprfSrv, err := oprf.NewServerFromKey(key)
+	if err != nil {
+		return nil, err
+	}
+	store := match.NewServer()
+	for i := 1; i <= allocBenchUsers; i++ {
+		e := match.Entry{
+			ID:      profile.ID(i),
+			KeyHash: []byte("alloc-bucket"),
+			Chain:   &chain.Chain{Cts: []*big.Int{big.NewInt(int64(i))}, CtBits: 48},
+			Auth:    []byte{1},
+		}
+		if err := store.Upload(e); err != nil {
+			return nil, err
+		}
+	}
+	svc, err := service.New(service.Deps{Store: store, OPRF: oprfSrv, Metrics: metrics.New()})
+	if err != nil {
+		return nil, err
+	}
+	q := wire.QueryReq{QueryID: 1, ID: 1, TopK: 5}
+	var queryFrame bytes.Buffer
+	if err := wire.WriteFrameV2(&queryFrame, 1, wire.TypeQueryReq, q.Encode()); err != nil {
+		return nil, err
+	}
+	var batch wire.UploadBatchReq
+	for i := 1; i <= allocBatchEntries; i++ {
+		ch := &chain.Chain{Cts: []*big.Int{big.NewInt(int64(i))}, CtBits: 48}
+		batch.Entries = append(batch.Entries, wire.UploadReq{
+			ID:       profile.ID(i),
+			KeyHash:  []byte("alloc-bucket"),
+			CtBits:   uint32(ch.CtBits),
+			NumAttrs: uint16(ch.NumAttrs()),
+			Chain:    ch.Bytes(),
+			Auth:     []byte{1},
+		})
+	}
+	var batchFrame bytes.Buffer
+	if err := wire.WriteFrameV2(&batchFrame, 1, wire.TypeUploadBatchReq, batch.Encode()); err != nil {
+		return nil, err
+	}
+	return &allocBenchEnv{
+		svc:          svc,
+		queryFrame:   queryFrame.Bytes(),
+		queryPayload: q.Encode(),
+		batchFrame:   batchFrame.Bytes(),
+		batchPayload: batch.Encode(),
+	}, nil
+}
+
+// runHandler is the handler core alone: decode an already-read payload,
+// do the store/crypto work, and encode the response into a reused
+// buffer. No frame read, no frame write, no pooling — this is the work
+// both lifecycles share, so full-cell minus handler-cell isolates the
+// transport overhead.
+func (env *allocBenchEnv) runHandler(t wire.MsgType, payload []byte, buf *[]byte) error {
+	_, body, err := env.svc.Handle(t, payload, (*buf)[:0])
+	if err != nil {
+		return err
+	}
+	*buf = body
+	return nil
+}
+
+// runLegacy is one request through the pre-pooling lifecycle: an
+// allocating frame read, a handler encoding into a fresh buffer, and a
+// header+payload frame write.
+func (env *allocBenchEnv) runLegacy(frame []byte) error {
+	rd := bytes.NewReader(frame)
+	id, t, payload, err := wire.ReadFrameV2(rd)
+	if err != nil {
+		return err
+	}
+	rt, rp, err := env.svc.Handle(t, payload, nil)
+	if err != nil {
+		return err
+	}
+	return wire.WriteFrameV2(io.Discard, id, rt, rp)
+}
+
+// allocBenchPool mirrors the server's response-buffer pool.
+var allocBenchPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// runPooled is one request through the zero-allocation lifecycle the
+// server's pipelined path runs: reusable read buffer, response encoded
+// straight into a pooled frame buffer, one write of the finished frame.
+func (env *allocBenchEnv) runPooled(frame []byte, rbuf *[]byte) error {
+	rd := bytes.NewReader(frame)
+	id, t, payload, err := wire.ReadFrameV2Buf(rd, rbuf)
+	if err != nil {
+		return err
+	}
+	out := allocBenchPool.Get().(*[]byte)
+	fb := wire.BeginFrameV2((*out)[:0])
+	rt, body, err := env.svc.Handle(t, payload, fb)
+	if err != nil {
+		allocBenchPool.Put(out)
+		return err
+	}
+	fb = body
+	if err := wire.FinishFrameV2(fb, 0, id, rt); err != nil {
+		allocBenchPool.Put(out)
+		return err
+	}
+	_, werr := io.Discard.Write(fb)
+	*out = fb
+	allocBenchPool.Put(out)
+	return werr
+}
+
+// allocBenchCellRun measures one (path, mode) cell with the testing
+// package's benchmark driver, which reports memstats-backed allocs/op.
+func allocBenchCellRun(env *allocBenchEnv, path, mode string) (allocBenchCell, error) {
+	frame, payload, t := env.queryFrame, env.queryPayload, wire.TypeQueryReq
+	if path == "upload_batch" {
+		frame, payload, t = env.batchFrame, env.batchPayload, wire.TypeUploadBatchReq
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var rbuf, hbuf []byte
+		for i := 0; i < b.N; i++ {
+			var err error
+			switch mode {
+			case "handler":
+				err = env.runHandler(t, payload, &hbuf)
+			case "legacy":
+				err = env.runLegacy(frame)
+			default:
+				err = env.runPooled(frame, &rbuf)
+			}
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if benchErr != nil {
+		return allocBenchCell{}, fmt.Errorf("%s/%s: %w", path, mode, benchErr)
+	}
+	return allocBenchCell{
+		Path:        path,
+		Mode:        mode,
+		AllocsPerOp: float64(res.AllocsPerOp()),
+		BytesPerOp:  float64(res.AllocedBytesPerOp()),
+		NsPerOp:     float64(res.NsPerOp()),
+	}, nil
+}
+
+func buildAllocReport() (*allocBenchReport, error) {
+	env, err := newAllocBenchEnv()
+	if err != nil {
+		return nil, err
+	}
+	report := &allocBenchReport{
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		StoredUsers:    allocBenchUsers,
+		BatchEntries:   allocBatchEntries,
+		AllocReduction: map[string]float64{},
+		Transport:      map[string]allocTransport{},
+		CommittedCeiling: map[string]float64{
+			"query":        allocQueryCeiling,
+			"upload_batch": allocUploadBatchCeiling,
+		},
+	}
+	for _, path := range []string{"query", "upload_batch"} {
+		cells := map[string]allocBenchCell{}
+		for _, mode := range []string{"handler", "legacy", "pooled"} {
+			cell, err := allocBenchCellRun(env, path, mode)
+			if err != nil {
+				return nil, err
+			}
+			report.Results = append(report.Results, cell)
+			cells[mode] = cell
+		}
+		handler, legacy, pooled := cells["handler"], cells["legacy"], cells["pooled"]
+		if legacy.AllocsPerOp > 0 {
+			report.AllocReduction[path] = 1 - pooled.AllocsPerOp/legacy.AllocsPerOp
+		}
+		tr := allocTransport{
+			HandlerAllocsPerOp: handler.AllocsPerOp,
+			LegacyAllocsPerOp:  math.Max(0, legacy.AllocsPerOp-handler.AllocsPerOp),
+			PooledAllocsPerOp:  math.Max(0, pooled.AllocsPerOp-handler.AllocsPerOp),
+		}
+		if tr.LegacyAllocsPerOp > 0 {
+			tr.Reduction = 1 - tr.PooledAllocsPerOp/tr.LegacyAllocsPerOp
+		}
+		report.Transport[path] = tr
+	}
+	return report, nil
+}
+
+func printAllocReport(w io.Writer, report *allocBenchReport) {
+	fmt.Fprintf(w, "alloc-bench (GOMAXPROCS=%d, %d stored users, %d-entry batches)\n",
+		report.GOMAXPROCS, report.StoredUsers, report.BatchEntries)
+	fmt.Fprintf(w, "%-14s %-8s %14s %14s %14s\n", "path", "mode", "allocs/op", "B/op", "ns/op")
+	for _, c := range report.Results {
+		fmt.Fprintf(w, "%-14s %-8s %14.1f %14.1f %14.1f\n", c.Path, c.Mode, c.AllocsPerOp, c.BytesPerOp, c.NsPerOp)
+	}
+	for _, path := range []string{"query", "upload_batch"} {
+		tr, ok := report.Transport[path]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%-14s total reduction %5.1f%%; transport overhead %.1f -> %.1f allocs/op (handler core %.1f), reduction %.1f%%\n",
+			path, 100*report.AllocReduction[path], tr.LegacyAllocsPerOp, tr.PooledAllocsPerOp, tr.HandlerAllocsPerOp, 100*tr.Reduction)
+	}
+}
+
+func runAllocBench(w io.Writer, out string) error {
+	report, err := buildAllocReport()
+	if err != nil {
+		return err
+	}
+	printAllocReport(w, report)
+	if out != "" {
+		doc, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", out)
+	}
+	return nil
+}
+
+// runAllocSmoke is the CI gate: re-measure both paths and fail when a
+// pooled cell exceeds its committed ceiling or loses the minimum
+// reduction over the legacy lifecycle; optionally validate the committed
+// report's structure so the JSON cannot silently rot.
+func runAllocSmoke(w io.Writer, baseline string) error {
+	start := time.Now()
+	report, err := buildAllocReport()
+	if err != nil {
+		return err
+	}
+	printAllocReport(w, report)
+	for _, c := range report.Results {
+		if c.Mode != "pooled" {
+			continue
+		}
+		ceiling := report.CommittedCeiling[c.Path]
+		if c.AllocsPerOp > ceiling {
+			return fmt.Errorf("alloc-smoke: %s pooled path allocates %.1f/op, committed ceiling is %.0f", c.Path, c.AllocsPerOp, ceiling)
+		}
+	}
+	for path, tr := range report.Transport {
+		if tr.Reduction < allocMinReduction {
+			return fmt.Errorf("alloc-smoke: %s transport allocs/op reduction %.1f%% (%.1f -> %.1f) below the required %.0f%%",
+				path, 100*tr.Reduction, tr.LegacyAllocsPerOp, tr.PooledAllocsPerOp, 100*allocMinReduction)
+		}
+	}
+	if baseline != "" {
+		doc, err := os.ReadFile(baseline)
+		if err != nil {
+			return fmt.Errorf("alloc-smoke: reading committed report: %w", err)
+		}
+		var committed allocBenchReport
+		if err := json.Unmarshal(doc, &committed); err != nil {
+			return fmt.Errorf("alloc-smoke: committed report %s is not valid JSON: %w", baseline, err)
+		}
+		want := map[string]bool{}
+		for _, path := range []string{"query", "upload_batch"} {
+			for _, mode := range []string{"handler", "legacy", "pooled"} {
+				want[path+"/"+mode] = true
+			}
+		}
+		for _, c := range committed.Results {
+			delete(want, c.Path+"/"+c.Mode)
+		}
+		if len(want) != 0 {
+			return fmt.Errorf("alloc-smoke: committed report %s is missing cells: %v", baseline, want)
+		}
+	}
+	fmt.Fprintf(w, "alloc-smoke passed in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

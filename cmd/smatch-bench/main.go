@@ -45,6 +45,19 @@
 // query throughput through the fan-out router fronting 1, 2 and 4
 // in-process partition nodes); -cluster-out writes the JSON report that
 // is committed as BENCH_cluster.json.
+//
+// -alloc-bench switches to the per-request allocation benchmark (the
+// legacy encode/write lifecycle vs the pooled append-style one on the
+// pipelined query and upload-batch paths); -alloc-out writes the JSON
+// report that is committed as BENCH_alloc.json. -alloc-smoke instead
+// runs the CI gate, failing when a pooled path exceeds its committed
+// allocs/op ceiling or loses the required reduction over the legacy
+// lifecycle; -alloc-baseline names the committed report to structurally
+// validate.
+//
+// -cpuprofile and -memprofile write pprof profiles for whichever mode
+// runs (CPU profiling covers the whole run; the heap profile is taken
+// at exit).
 package main
 
 import (
@@ -52,6 +65,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -84,8 +99,44 @@ func main() {
 		clBench    = flag.Bool("cluster-bench", false, "run the cluster routing benchmark (upload/query throughput through the fan-out router at 1, 2 and 4 partitions) instead of the paper experiments")
 		clDur      = flag.Duration("cluster-dur", time.Second, "measurement window per cluster-bench cell")
 		clOut      = flag.String("cluster-out", "", "write the cluster-bench JSON report to this file (e.g. BENCH_cluster.json)")
+		allocBench = flag.Bool("alloc-bench", false, "run the per-request allocation benchmark (legacy vs pooled frame lifecycle on the pipelined query and upload-batch paths) instead of the paper experiments")
+		allocOut   = flag.String("alloc-out", "", "write the alloc-bench JSON report to this file (e.g. BENCH_alloc.json)")
+		allocSmoke = flag.Bool("alloc-smoke", false, "run the allocation regression gate: fail when a pooled hot path exceeds its committed allocs/op ceiling or loses the required reduction over the legacy lifecycle")
+		allocBase  = flag.String("alloc-baseline", "", "committed alloc-bench report to structurally validate during -alloc-smoke (e.g. BENCH_alloc.json)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile for the selected mode to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smatch-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "smatch-bench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "smatch-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "smatch-bench:", err)
+			}
+		}()
+	}
 
 	if *matchSmoke {
 		if err := runMatchSmoke(os.Stdout, *matchDur, *matchBase); err != nil {
@@ -124,6 +175,20 @@ func main() {
 	}
 	if *clBench {
 		if err := runClusterBench(os.Stdout, *clDur, *clOut, []int{1, 2, 4}); err != nil {
+			fmt.Fprintln(os.Stderr, "smatch-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *allocSmoke {
+		if err := runAllocSmoke(os.Stdout, *allocBase); err != nil {
+			fmt.Fprintln(os.Stderr, "smatch-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *allocBench {
+		if err := runAllocBench(os.Stdout, *allocOut); err != nil {
 			fmt.Fprintln(os.Stderr, "smatch-bench:", err)
 			os.Exit(1)
 		}

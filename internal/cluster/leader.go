@@ -217,7 +217,7 @@ func (l *Leader) lagStats() map[string]any {
 // handlePull answers one follower pull: ack bookkeeping, then records
 // from the WAL — long-polling via WaitFor when caught up — or the
 // newest checkpoint when the requested range was compacted away.
-func (l *Leader) handlePull(payload []byte) (wire.MsgType, []byte, error) {
+func (l *Leader) handlePull(payload, respBuf []byte) (wire.MsgType, []byte, error) {
 	req, err := wire.DecodeReplicatePullReq(payload)
 	if err != nil {
 		return 0, nil, err
@@ -248,7 +248,7 @@ func (l *Leader) handlePull(payload []byte) (wire.MsgType, []byte, error) {
 		}
 	}
 	if err == wal.ErrCompacted {
-		return l.pullSnapshot(w)
+		return l.pullSnapshot(w, respBuf)
 	}
 	if err != nil {
 		return 0, nil, err
@@ -262,7 +262,7 @@ func (l *Leader) handlePull(payload []byte) (wire.MsgType, []byte, error) {
 		}
 		m.ReplicationBytesShipped.Add(bytes)
 	}
-	return wire.TypeReplicatePullResp, resp.Encode(), nil
+	return wire.TypeReplicatePullResp, resp.AppendEncode(respBuf), nil
 }
 
 // pullSnapshot answers a pull whose range was compacted: ship the
@@ -271,7 +271,7 @@ func (l *Leader) handlePull(payload []byte) (wire.MsgType, []byte, error) {
 // frame (wire.MaxFrameSize), which bounds snapshot-shipped stores —
 // bigger stores keep followers close enough that they never fall
 // behind a compaction (see DESIGN §14).
-func (l *Leader) pullSnapshot(w *wal.WAL) (wire.MsgType, []byte, error) {
+func (l *Leader) pullSnapshot(w *wal.WAL, respBuf []byte) (wire.MsgType, []byte, error) {
 	rc, lsn, ok, err := w.LatestCheckpoint()
 	if err != nil {
 		return 0, nil, err
@@ -300,14 +300,14 @@ func (l *Leader) pullSnapshot(w *wal.WAL) (wire.MsgType, []byte, error) {
 		m.ReplicationBytesShipped.Add(uint64(buf.Len()))
 	}
 	resp := wire.ReplicatePullResp{Snapshot: true, LeaderLSN: w.LastLSN(), SnapLSN: lsn, Snap: buf.Bytes()}
-	return wire.TypeReplicatePullResp, resp.Encode(), nil
+	return wire.TypeReplicatePullResp, resp.AppendEncode(respBuf), nil
 }
 
 // handleDump pages through this node's entries belonging to one
 // partition, in ascending user-ID order — the router's rebalance pull.
 // Entries are encoded UploadReq payloads, ready to replay into the new
 // owner's ordinary upload path.
-func (l *Leader) handleDump(payload []byte) (wire.MsgType, []byte, error) {
+func (l *Leader) handleDump(payload, respBuf []byte) (wire.MsgType, []byte, error) {
 	req, err := wire.DecodePartitionDumpReq(payload)
 	if err != nil {
 		return 0, nil, err
@@ -337,7 +337,7 @@ func (l *Leader) handleDump(payload []byte) (wire.MsgType, []byte, error) {
 	if err != nil && err != errStopDump {
 		return 0, nil, err
 	}
-	return wire.TypePartitionDumpResp, resp.Encode(), nil
+	return wire.TypePartitionDumpResp, resp.AppendEncode(respBuf), nil
 }
 
 var errStopDump = fmt.Errorf("cluster: dump page full")

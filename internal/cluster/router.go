@@ -198,7 +198,7 @@ func (rt *Router) forward(part uint32, t wire.MsgType, payload []byte, want wire
 // handleUpload forwards an upload to the bucket's owner, then clears
 // any stale copy of the user from the partition that previously owned
 // them (a re-key moves the bucket hash, and with it the partition).
-func (rt *Router) handleUpload(payload []byte) (wire.MsgType, []byte, error) {
+func (rt *Router) handleUpload(payload, resp []byte) (wire.MsgType, []byte, error) {
 	rt.rebalMu.RLock()
 	defer rt.rebalMu.RUnlock()
 	req, err := wire.DecodeUploadReq(payload)
@@ -206,12 +206,12 @@ func (rt *Router) handleUpload(payload []byte) (wire.MsgType, []byte, error) {
 		return 0, nil, err
 	}
 	part := rt.Map().PartitionOf(req.KeyHash)
-	resp, err := rt.forward(part, wire.TypeUploadReq, payload, wire.TypeUploadResp)
+	fwd, err := rt.forward(part, wire.TypeUploadReq, payload, wire.TypeUploadResp)
 	if err != nil {
 		return 0, nil, err
 	}
 	rt.cleanupMovedUser(req.ID, part)
-	return wire.TypeUploadResp, resp, nil
+	return wire.TypeUploadResp, append(resp, fwd...), nil
 }
 
 // cleanupMovedUser removes user id from whichever NODE other than the
@@ -271,7 +271,7 @@ func (rt *Router) removeAt(part uint32, id profile.ID) {
 // sub-batch, and stitches the per-entry statuses back into request
 // order — the client sees exactly the response a single node would have
 // produced.
-func (rt *Router) handleUploadBatch(payload []byte) (wire.MsgType, []byte, error) {
+func (rt *Router) handleUploadBatch(payload, resp []byte) (wire.MsgType, []byte, error) {
 	rt.rebalMu.RLock()
 	defer rt.rebalMu.RUnlock()
 	req, err := wire.DecodeUploadBatchReq(payload)
@@ -297,27 +297,27 @@ func (rt *Router) handleUploadBatch(payload []byte) (wire.MsgType, []byte, error
 			}
 			continue
 		}
-		resp, err := wire.DecodeUploadBatchResp(respPayload)
-		if err != nil || len(resp.Status) != len(idxs) {
+		sr, err := wire.DecodeUploadBatchResp(respPayload)
+		if err != nil || len(sr.Status) != len(idxs) {
 			for _, i := range idxs {
 				out.Status[i] = "cluster: malformed sub-batch response"
 			}
 			continue
 		}
 		for j, i := range idxs {
-			out.Status[i] = resp.Status[j]
-			if resp.Status[j] == "" {
+			out.Status[i] = sr.Status[j]
+			if sr.Status[j] == "" {
 				rt.cleanupMovedUser(req.Entries[i].ID, part)
 			}
 		}
 	}
-	return wire.TypeUploadBatchResp, out.Encode(), nil
+	return wire.TypeUploadBatchResp, out.AppendEncode(resp), nil
 }
 
 // handleRemove routes a remove: to the hinted owner when known,
 // otherwise a scatter across all partitions — the remove request
 // carries only the user ID, and only the owning partition can succeed.
-func (rt *Router) handleRemove(payload []byte) (wire.MsgType, []byte, error) {
+func (rt *Router) handleRemove(payload, resp []byte) (wire.MsgType, []byte, error) {
 	rt.rebalMu.RLock()
 	defer rt.rebalMu.RUnlock()
 	req, err := wire.DecodeRemoveReq(payload)
@@ -325,10 +325,10 @@ func (rt *Router) handleRemove(payload []byte) (wire.MsgType, []byte, error) {
 		return 0, nil, err
 	}
 	if prev, ok := rt.ownerHint.Load(req.ID); ok {
-		resp, err := rt.forward(prev.(uint32), wire.TypeRemoveReq, payload, wire.TypeRemoveResp)
+		fwd, err := rt.forward(prev.(uint32), wire.TypeRemoveReq, payload, wire.TypeRemoveResp)
 		if err == nil {
 			rt.ownerHint.Delete(req.ID)
-			return wire.TypeRemoveResp, resp, nil
+			return wire.TypeRemoveResp, append(resp, fwd...), nil
 		}
 		if !errors.Is(err, client.ErrServer) {
 			return 0, nil, err
@@ -337,10 +337,10 @@ func (rt *Router) handleRemove(payload []byte) (wire.MsgType, []byte, error) {
 		// through to the scatter.
 	}
 	resps, errs := rt.scatter(wire.TypeRemoveReq, payload, wire.TypeRemoveResp)
-	for _, resp := range resps {
-		if resp != nil {
+	for _, fwd := range resps {
+		if fwd != nil {
 			rt.ownerHint.Delete(req.ID)
-			return wire.TypeRemoveResp, resp, nil
+			return wire.TypeRemoveResp, append(resp, fwd...), nil
 		}
 	}
 	return 0, nil, firstErr(errs)
@@ -353,7 +353,7 @@ func (rt *Router) handleRemove(payload []byte) (wire.MsgType, []byte, error) {
 // results concatenated in partition order, deduplicated by user ID (the
 // store's own tie-break key), covering the transient mid-rebalance
 // window where an entry exists on two nodes.
-func (rt *Router) handleQuery(payload []byte) (wire.MsgType, []byte, error) {
+func (rt *Router) handleQuery(payload, resp []byte) (wire.MsgType, []byte, error) {
 	start := time.Now()
 	defer func() {
 		if m := rt.cfg.Metrics; m != nil {
@@ -365,9 +365,9 @@ func (rt *Router) handleQuery(payload []byte) (wire.MsgType, []byte, error) {
 		return 0, nil, err
 	}
 	if prev, ok := rt.ownerHint.Load(req.ID); ok {
-		resp, err := rt.forward(prev.(uint32), wire.TypeQueryReq, payload, wire.TypeQueryResp)
+		fwd, err := rt.forward(prev.(uint32), wire.TypeQueryReq, payload, wire.TypeQueryResp)
 		if err == nil {
-			return wire.TypeQueryResp, resp, nil
+			return wire.TypeQueryResp, append(resp, fwd...), nil
 		}
 		if !errors.Is(err, client.ErrServer) {
 			return 0, nil, err
@@ -381,22 +381,22 @@ func (rt *Router) handleQuery(payload []byte) (wire.MsgType, []byte, error) {
 	if merged == nil {
 		return 0, nil, firstErr(errs)
 	}
-	return wire.TypeQueryResp, merged.Encode(), nil
+	return wire.TypeQueryResp, merged.AppendEncode(resp), nil
 }
 
 // handleMapReq serves the current partition map (empty body when the
 // requester's version is already current).
-func (rt *Router) handleMapReq(payload []byte) (wire.MsgType, []byte, error) {
+func (rt *Router) handleMapReq(payload, resp []byte) (wire.MsgType, []byte, error) {
 	req, err := wire.DecodePartitionMapReq(payload)
 	if err != nil {
 		return 0, nil, err
 	}
 	pm := rt.Map()
-	resp := wire.PartitionMapResp{Version: pm.Version}
+	out := wire.PartitionMapResp{Version: pm.Version}
 	if pm.Version != req.HaveVersion {
-		resp.Map = pm.Encode()
+		out.Map = pm.Encode()
 	}
-	return wire.TypePartitionMapResp, resp.Encode(), nil
+	return wire.TypePartitionMapResp, out.AppendEncode(resp), nil
 }
 
 // scatter sends one request to every distinct owner node concurrently

@@ -1,0 +1,64 @@
+// Runtime/GC observability: gauges computed from runtime.ReadMemStats at
+// scrape time, plus a GC-pause histogram fed incrementally from the
+// runtime's PauseNs ring. Nothing here touches the request hot path — the
+// zero-allocation work this package observes must not be perturbed by its
+// own observer — so all cost is paid by the /metrics scraper.
+package metrics
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gcPauseTracker feeds a Histogram from runtime.MemStats.PauseNs: each
+// scrape observes only the pauses that happened since the previous one,
+// walking the 256-entry ring by the NumGC delta (capped at the ring size
+// — older pauses are gone and simply missed, which the count reflects).
+type gcPauseTracker struct {
+	mu        sync.Mutex
+	lastNumGC uint32
+	hist      *Histogram
+}
+
+func (t *gcPauseTracker) observe(ms *runtime.MemStats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := ms.NumGC - t.lastNumGC
+	if n > uint32(len(ms.PauseNs)) {
+		n = uint32(len(ms.PauseNs))
+	}
+	for i := uint32(0); i < n; i++ {
+		pause := ms.PauseNs[(ms.NumGC-1-i)%uint32(len(ms.PauseNs))]
+		t.hist.ObserveValue(int64(pause / 1000)) // ns -> µs
+	}
+	t.lastNumGC = ms.NumGC
+}
+
+// RegisterRuntimeGauges installs process-level runtime gauges on the
+// registry: heap_alloc_bytes, heap_sys_bytes, num_goroutine, gomaxprocs,
+// gc_cycles, and a gc_pause_us histogram covering every pause since the
+// previous scrape. One ReadMemStats serves the whole scrape (the
+// runtime_memstats gauge reads, the others reuse its snapshot), keeping
+// the stop-the-world cost of ReadMemStats to once per /metrics hit.
+func RegisterRuntimeGauges(r *Registry) {
+	tracker := &gcPauseTracker{hist: &Histogram{}}
+	r.RegisterGauge("runtime", func() any {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		tracker.observe(&ms)
+		return map[string]any{
+			"heap_alloc_bytes":     ms.HeapAlloc,
+			"heap_sys_bytes":       ms.HeapSys,
+			"heap_objects":         ms.HeapObjects,
+			"total_alloc_bytes":    ms.TotalAlloc,
+			"mallocs":              ms.Mallocs,
+			"num_goroutine":        runtime.NumGoroutine(),
+			"gomaxprocs":           runtime.GOMAXPROCS(0),
+			"gc_cycles":            ms.NumGC,
+			"gc_pause_total_us":    ms.PauseTotalNs / 1000,
+			"gc_pause_us":          tracker.hist.ValueSnapshot(),
+			"gc_cpu_fraction_ppm":  int64(ms.GCCPUFraction * 1e6),
+			"next_gc_target_bytes": ms.NextGC,
+		}
+	})
+}

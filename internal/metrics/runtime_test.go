@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+func TestRuntimeGauges(t *testing.T) {
+	r := New()
+	RegisterRuntimeGauges(r)
+	snap := r.Snapshot()
+	rt, ok := snap["runtime"].(map[string]any)
+	if !ok {
+		t.Fatalf("runtime gauge missing from snapshot: %v", snap["runtime"])
+	}
+	if rt["heap_alloc_bytes"].(uint64) == 0 {
+		t.Error("heap_alloc_bytes = 0")
+	}
+	if rt["num_goroutine"].(int) < 1 {
+		t.Errorf("num_goroutine = %v", rt["num_goroutine"])
+	}
+	if rt["gomaxprocs"].(int) < 1 {
+		t.Errorf("gomaxprocs = %v", rt["gomaxprocs"])
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-serializable: %v", err)
+	}
+}
+
+func TestGCPauseHistogramAdvances(t *testing.T) {
+	r := New()
+	RegisterRuntimeGauges(r)
+	r.Snapshot() // baseline: consumes any startup pauses
+	runtime.GC()
+	runtime.GC()
+	snap := r.Snapshot()
+	rt := snap["runtime"].(map[string]any)
+	hist := rt["gc_pause_us"].(ValueHistogramSnapshot)
+	if hist.Count < 2 {
+		t.Errorf("gc_pause_us count = %d after two forced GCs, want >= 2", hist.Count)
+	}
+	// Re-scraping without GCs must not re-observe old pauses.
+	again := r.Snapshot()["runtime"].(map[string]any)["gc_pause_us"].(ValueHistogramSnapshot)
+	if again.Count != hist.Count {
+		t.Errorf("pause count moved %d -> %d without a GC", hist.Count, again.Count)
+	}
+}

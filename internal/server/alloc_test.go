@@ -1,0 +1,99 @@
+//go:build !race
+
+// Allocation regression gates for the pipelined hot path: processJob —
+// pooled buffer in, complete frame out — must stay within a committed
+// allocs/op ceiling for the two highest-volume operations. These
+// ceilings are deliberately above the measured steady state (residual
+// allocations are decode-side: request structs, big.Ints, store result
+// slices) but far below the pre-pooling numbers; a regression that
+// reintroduces per-frame buffer churn blows through them immediately.
+// Excluded under -race (instrumentation allocates) and coverage.
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"smatch/internal/profile"
+	"smatch/internal/wire"
+)
+
+const (
+	// queryAllocCeiling bounds allocs/op for a pipelined TopK=5 query over
+	// an 8-entry bucket, measured end-to-end through processJob.
+	queryAllocCeiling = 12
+	// uploadBatchAllocCeiling bounds allocs/op for a 16-entry pipelined
+	// upload batch (steady-state re-upload of existing IDs).
+	uploadBatchAllocCeiling = 320
+)
+
+func skipIfCover(t *testing.T) {
+	t.Helper()
+	if testing.CoverMode() != "" {
+		t.Skip("allocation counts are perturbed by coverage instrumentation")
+	}
+}
+
+// allocServer builds a serving-free server with n profiles in one bucket.
+func allocServer(t *testing.T, n int) *Server {
+	t.Helper()
+	srv, err := New(Config{OPRF: testOPRF(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if err := srv.Store().Upload(matchEntryForTest(uint32(i), "alloc-bucket", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return srv
+}
+
+func measureJob(t *testing.T, srv *Server, jt wire.MsgType, payload []byte, wantType wire.MsgType) float64 {
+	t.Helper()
+	job := pipelineJob{id: 1, t: jt, payload: payload}
+	run := func() {
+		resp := srv.processJob(job)
+		if wire.MsgType(resp.frame[4]) != wantType {
+			panic(fmt.Sprintf("response type %d, want %d", resp.frame[4], wantType))
+		}
+		putBuf(resp.buf) // the writer's release, after the frame is done with
+	}
+	for i := 0; i < 16; i++ {
+		run() // reach buffer-growth steady state before counting
+	}
+	return testing.AllocsPerRun(200, run)
+}
+
+func TestPipelinedQueryAllocCeiling(t *testing.T) {
+	skipIfCover(t)
+	srv := allocServer(t, 8)
+	q := wire.QueryReq{QueryID: 1, ID: 1, TopK: 5}
+	allocs := measureJob(t, srv, wire.TypeQueryReq, q.Encode(), wire.TypeQueryResp)
+	t.Logf("pipelined query: %.1f allocs/op (ceiling %d)", allocs, queryAllocCeiling)
+	if allocs > queryAllocCeiling {
+		t.Errorf("pipelined query allocates %.1f/op, ceiling is %d", allocs, queryAllocCeiling)
+	}
+}
+
+func TestPipelinedUploadBatchAllocCeiling(t *testing.T) {
+	skipIfCover(t)
+	srv := allocServer(t, 0)
+	batch := wire.UploadBatchReq{}
+	for i := 1; i <= 16; i++ {
+		e := matchEntryForTest(uint32(i), "alloc-bucket", int64(i))
+		batch.Entries = append(batch.Entries, wire.UploadReq{
+			ID:       profile.ID(i),
+			KeyHash:  e.KeyHash,
+			CtBits:   uint32(e.Chain.CtBits),
+			NumAttrs: uint16(e.Chain.NumAttrs()),
+			Chain:    e.Chain.Bytes(),
+			Auth:     e.Auth,
+		})
+	}
+	allocs := measureJob(t, srv, wire.TypeUploadBatchReq, batch.Encode(), wire.TypeUploadBatchResp)
+	t.Logf("pipelined upload-batch(16): %.1f allocs/op (ceiling %d)", allocs, uploadBatchAllocCeiling)
+	if allocs > uploadBatchAllocCeiling {
+		t.Errorf("pipelined upload-batch allocates %.1f/op, ceiling is %d", allocs, uploadBatchAllocCeiling)
+	}
+}

@@ -14,6 +14,7 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
 	"net"
 	"sync"
@@ -32,6 +33,10 @@ type connPush struct {
 	// writeMu is the connection's single-writer choke point: the response
 	// writer and the push pump both serialize frame writes through it.
 	writeMu sync.Mutex
+	// notifyBuf is the grow-only frame buffer every push on this conn is
+	// built in; guarded by writeMu, so fan-out to a busy subscriber
+	// reuses one allocation across the whole stream of notifications.
+	notifyBuf []byte
 	// writeFailed latches the first torn write; after it, nobody writes
 	// (the conn is closed and both writer and pump only drain).
 	writeFailed atomic.Bool
@@ -183,7 +188,13 @@ func (p *connPush) writeNotify(msg wire.MatchNotify) bool {
 		return false
 	}
 	p.writeMu.Lock()
-	err := p.s.writeFrameV2(p.conn, wire.PushID(msg.SubID), wire.TypeMatchNotify, msg.Encode())
+	frame := wire.BeginFrameV2(p.notifyBuf[:0])
+	frame = msg.AppendEncode(frame)
+	err := wire.FinishFrameV2(frame, 0, wire.PushID(msg.SubID), wire.TypeMatchNotify)
+	if err == nil {
+		p.notifyBuf = frame
+		err = p.s.writeRawFrame(p.conn, frame)
+	}
 	p.writeMu.Unlock()
 	if err != nil {
 		if p.writeFailed.CompareAndSwap(false, true) {
@@ -199,8 +210,10 @@ func (p *connPush) writeNotify(msg wire.MatchNotify) bool {
 // handleSubscribe registers a standing probe for this connection. Runs on
 // the pipelined reader (registration is a map insert — no store access,
 // no I/O), so a subscription is active before any later frame on the same
-// connection is processed.
-func (s *Server) handleSubscribe(p *connPush, payload []byte) (wire.MsgType, []byte, error) {
+// connection is processed. payload aliases the reader's reusable buffer,
+// so anything registered past this call (the broker's probe, a remote
+// subscriber's request) gets copies, per DESIGN §16.
+func (s *Server) handleSubscribe(p *connPush, payload, resp []byte) (wire.MsgType, []byte, error) {
 	req, err := wire.DecodeSubscribeReq(payload)
 	if err != nil {
 		return 0, nil, err
@@ -227,10 +240,10 @@ func (s *Server) handleSubscribe(p *connPush, payload []byte) (wire.MsgType, []b
 	}
 	p.mu.Unlock()
 	if s.cfg.RemoteSubscriber != nil {
-		return s.handleRemoteSubscribe(p, req)
+		return s.handleRemoteSubscribe(p, req, resp)
 	}
 	sub, err := s.broker.Subscribe(broker.Probe{
-		KeyHash:  req.KeyHash,
+		KeyHash:  bytes.Clone(req.KeyHash),
 		OrderSum: ch.OrderSum(),
 		MaxDist:  req.MaxDist,
 	}, p.wakeFn)
@@ -252,8 +265,8 @@ func (s *Server) handleSubscribe(p *connPush, payload []byte) (wire.MsgType, []b
 	}
 	p.subs[req.SubID] = sub
 	p.mu.Unlock()
-	resp := wire.SubscribeResp{SubID: req.SubID}
-	return wire.TypeSubscribeResp, resp.Encode(), nil
+	ack := wire.SubscribeResp{SubID: req.SubID}
+	return wire.TypeSubscribeResp, ack.AppendEncode(resp), nil
 }
 
 // handleRemoteSubscribe registers the probe with the configured remote
@@ -262,8 +275,13 @@ func (s *Server) handleSubscribe(p *connPush, payload []byte) (wire.MsgType, []b
 // connection. The deliver callback rewrites the subscription ID to the
 // client's and funnels through writeNotify, so relayed pushes share the
 // same single-writer choke point as local ones.
-func (s *Server) handleRemoteSubscribe(p *connPush, req *wire.SubscribeReq) (wire.MsgType, []byte, error) {
+func (s *Server) handleRemoteSubscribe(p *connPush, req *wire.SubscribeReq, resp []byte) (wire.MsgType, []byte, error) {
 	subID := req.SubID
+	// The remote subscriber re-sends (and may retain) the request after
+	// this handler returns, but its byte fields alias the reader's
+	// reusable buffer — detach them first.
+	req.KeyHash = bytes.Clone(req.KeyHash)
+	req.Chain = bytes.Clone(req.Chain)
 	deliver := func(msg wire.MatchNotify) bool {
 		msg.SubID = subID
 		return p.writeNotify(msg)
@@ -285,13 +303,13 @@ func (s *Server) handleRemoteSubscribe(p *connPush, req *wire.SubscribeReq) (wir
 	}
 	p.remote[subID] = cancel
 	p.mu.Unlock()
-	resp := wire.SubscribeResp{SubID: subID}
-	return wire.TypeSubscribeResp, resp.Encode(), nil
+	ack := wire.SubscribeResp{SubID: subID}
+	return wire.TypeSubscribeResp, ack.AppendEncode(resp), nil
 }
 
 // handleUnsubscribe cancels a conn-local subscription (local broker
 // registration or remote relay).
-func (s *Server) handleUnsubscribe(p *connPush, payload []byte) (wire.MsgType, []byte, error) {
+func (s *Server) handleUnsubscribe(p *connPush, payload, resp []byte) (wire.MsgType, []byte, error) {
 	req, err := wire.DecodeUnsubscribeReq(payload)
 	if err != nil {
 		return 0, nil, err
@@ -315,6 +333,6 @@ func (s *Server) handleUnsubscribe(p *connPush, payload []byte) (wire.MsgType, [
 	if rok {
 		cancel()
 	}
-	resp := wire.UnsubscribeResp{SubID: req.SubID}
-	return wire.TypeUnsubscribeResp, resp.Encode(), nil
+	ack := wire.UnsubscribeResp{SubID: req.SubID}
+	return wire.TypeUnsubscribeResp, ack.AppendEncode(resp), nil
 }

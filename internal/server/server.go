@@ -176,6 +176,10 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = metrics.New()
 	}
+	// Process-level runtime/GC gauges (heap, goroutines, pause histogram);
+	// idempotent under RegisterGauge's replace semantics when several
+	// servers share a registry.
+	metrics.RegisterRuntimeGauges(reg)
 	// The store's bucket-size distribution (the |V| behind per-query cost)
 	// is a gauge: computed on scrape, not on the hot path.
 	reg.RegisterGauge("bucket_stats", func() any { return store.BucketStats() })
@@ -403,11 +407,16 @@ func (s *Server) handle(conn net.Conn, st *connState) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	// Per-connection grow-only buffers: rbuf holds each inbound frame
+	// (payloads alias it, valid until the next read), wbuf each outbound
+	// frame (header + payload built in place, one Write). Lockstep means
+	// at most one of each in use, so no pooling is needed here.
+	var rbuf, wbuf []byte
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
 			return
 		}
-		t, payload, err := wire.ReadFrame(conn)
+		t, payload, err := wire.ReadFrameBuf(conn, &rbuf)
 		if err != nil {
 			if isTimeout(err) {
 				s.metrics.ReadTimeouts.Add(1)
@@ -447,9 +456,14 @@ func (s *Server) handle(conn net.Conn, st *connState) {
 			// ordinary error path below; the connection stays lockstep.
 			derr = herr
 		} else {
-			rt, rp, herr := s.svc.Handle(t, payload)
+			frame := wire.BeginFrame(wbuf[:0])
+			rt, body, herr := s.svc.Handle(t, payload, frame)
 			if herr == nil {
-				herr = s.writeFrame(conn, rt, rp)
+				frame = body
+				if herr = wire.FinishFrame(frame, 0, rt); herr == nil {
+					wbuf = frame
+					herr = s.writeRawFrame(conn, frame)
+				}
 			}
 			derr = herr
 		}
@@ -509,14 +523,16 @@ func (s *Server) writeFrame(conn net.Conn, t wire.MsgType, payload []byte) error
 	return nil
 }
 
-// writeFrameV2 is writeFrame for the pipelined envelope: same write
-// deadline, same timeout accounting, same connError poisoning — only the
-// single writer goroutine of a pipelined connection calls it.
-func (s *Server) writeFrameV2(conn net.Conn, id uint64, t wire.MsgType, payload []byte) error {
+// writeRawFrame sends one pre-built frame — header already backfilled by
+// FinishFrame/FinishFrameV2 — as a single conn.Write (one syscall, one
+// TLS record), under the same write deadline, timeout accounting, and
+// connError poisoning as writeFrame. Every hot-path response and push
+// goes out through here.
+func (s *Server) writeRawFrame(conn net.Conn, frame []byte) error {
 	if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
 		return &connError{err}
 	}
-	if err := wire.WriteFrameV2(conn, id, t, payload); err != nil {
+	if _, err := conn.Write(frame); err != nil {
 		if isTimeout(err) {
 			s.metrics.WriteTimeouts.Add(1)
 		}
@@ -544,18 +560,73 @@ func (s *Server) acceptHello(conn net.Conn, payload []byte) (int, error) {
 	return depth, nil
 }
 
+// bufPool recycles the pipelined path's frame buffers: request buffers
+// (filled by the reader, released by the worker once its handler
+// returns) and response buffers (filled by a worker with a complete v2
+// frame, released by the writer after the frame is on the wire). Pooled
+// as *[]byte so a Put never allocates a fresh slice header.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+func getBuf() *[]byte  { return bufPool.Get().(*[]byte) }
+func putBuf(b *[]byte) { bufPool.Put(b) }
+
 // pipelineJob is one request travelling from the reader to a worker;
 // pipelineResp is its response travelling from a worker to the writer.
+// A job's payload aliases *buf, which the worker returns to bufPool
+// after its handler is done with it; a resp's frame is complete (header
+// backfilled) and aliases *buf, returned to the pool by the writer after
+// the write — never before, so a frame can't be scribbled on mid-write.
 type pipelineJob struct {
 	id      uint64
 	t       wire.MsgType
+	buf     *[]byte
 	payload []byte
 }
 
 type pipelineResp struct {
-	id      uint64
-	t       wire.MsgType
-	payload []byte
+	frame []byte
+	buf   *[]byte
+}
+
+// sealResp finalizes one pipelined response: frame was produced by
+// BeginFrameV2 at offset 0, body is the handler's returned buffer (frame
+// grown by the encoded payload) or nil on error. Handler errors become
+// error frames carrying the request's ID — never a dropped connection —
+// and an oversized response is downgraded to an error frame the same
+// way, since the header was never written.
+func (s *Server) sealResp(frame []byte, id uint64, rt wire.MsgType, body []byte, herr error) []byte {
+	if herr == nil {
+		frame = body
+	} else {
+		s.metrics.Errors.Add(1)
+		s.cfg.Logf("server: %v", herr)
+		rt = wire.TypeError
+		frame = (&wire.ErrorMsg{Text: herr.Error()}).AppendEncode(frame[:wire.FrameHeaderLenV2])
+	}
+	if ferr := wire.FinishFrameV2(frame, 0, id, rt); ferr != nil {
+		s.metrics.Errors.Add(1)
+		s.cfg.Logf("server: %v", ferr)
+		frame = (&wire.ErrorMsg{Text: ferr.Error()}).AppendEncode(frame[:wire.FrameHeaderLenV2])
+		wire.FinishFrameV2(frame, 0, id, wire.TypeError) // an error text always fits
+	}
+	return frame
+}
+
+// processJob runs one pipelined request through its handler and builds
+// the complete response frame in a pooled buffer. The request buffer is
+// released as soon as the handler returns — the service layer's buffer
+// contract (DESIGN §16) guarantees nothing retains the payload past
+// that point.
+func (s *Server) processJob(job pipelineJob) pipelineResp {
+	out := getBuf()
+	frame := wire.BeginFrameV2((*out)[:0])
+	rt, body, err := s.svc.Handle(job.t, job.payload, frame)
+	if job.buf != nil {
+		putBuf(job.buf)
+	}
+	frame = s.sealResp(frame, job.id, rt, body, err)
+	*out = frame
+	return pipelineResp{frame: frame, buf: out}
 }
 
 // servePipelined runs the v2 protocol on an upgraded connection: a
@@ -594,16 +665,7 @@ func (s *Server) servePipelined(conn net.Conn, st *connState, depth int) {
 			defer workers.Done()
 			for job := range jobs {
 				s.metrics.PipelineQueueDepth.Add(-1)
-				rt, rp, err := s.svc.Handle(job.t, job.payload)
-				if err != nil {
-					// Per-request failure: an error frame carrying the
-					// request's ID, never a dropped connection.
-					s.metrics.Errors.Add(1)
-					s.cfg.Logf("server: %v", err)
-					rt = wire.TypeError
-					rp = (&wire.ErrorMsg{Text: err.Error()}).Encode()
-				}
-				resps <- pipelineResp{id: job.id, t: rt, payload: rp}
+				resps <- s.processJob(job)
 			}
 		}()
 	}
@@ -613,7 +675,7 @@ func (s *Server) servePipelined(conn net.Conn, st *connState, depth int) {
 		for resp := range resps {
 			if !push.writeFailed.Load() {
 				push.writeMu.Lock()
-				err := s.writeFrameV2(conn, resp.id, resp.t, resp.payload)
+				err := s.writeRawFrame(conn, resp.frame)
 				push.writeMu.Unlock()
 				if err != nil {
 					// The stream is torn mid-frame; close the conn so the
@@ -625,6 +687,9 @@ func (s *Server) servePipelined(conn net.Conn, st *connState, depth int) {
 					}
 				}
 			}
+			// The frame is on the wire (or the conn is dead); only now may
+			// its buffer be recycled.
+			putBuf(resp.buf)
 			st.mu.Lock()
 			st.inflight--
 			drained := st.closing && st.inflight == 0
@@ -638,12 +703,16 @@ func (s *Server) servePipelined(conn net.Conn, st *connState, depth int) {
 		}
 	}()
 	reader := &countingReader{r: conn}
+	var rbuf *[]byte // pooled read buffer; handed off with each job
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
 			break
 		}
+		if rbuf == nil {
+			rbuf = getBuf()
+		}
 		frameStart := reader.n
-		id, t, payload, err := wire.ReadFrameV2(reader)
+		id, t, payload, err := wire.ReadFrameV2Buf(reader, rbuf)
 		if err != nil {
 			if isTimeout(err) {
 				// A standing subscriber is legitimately quiet: it registered a
@@ -674,28 +743,32 @@ func (s *Server) servePipelined(conn net.Conn, st *connState, depth int) {
 			// Handled on the reader, not a worker: ordering is the point.
 			// Every frame the reader accepts after this one sees the
 			// registration, so an upload pipelined behind a subscribe on the
-			// same connection is guaranteed to be evaluated against it.
+			// same connection is guaranteed to be evaluated against it. The
+			// read buffer is reused on the next iteration — both handlers
+			// copy anything they retain (see handleSubscribe).
+			out := getBuf()
+			frame := wire.BeginFrameV2((*out)[:0])
 			var (
-				rt  wire.MsgType
-				rp  []byte
-				err error
+				rt   wire.MsgType
+				body []byte
+				herr error
 			)
 			if t == wire.TypeSubscribeReq {
-				rt, rp, err = s.handleSubscribe(push, payload)
+				rt, body, herr = s.handleSubscribe(push, payload, frame)
 			} else {
-				rt, rp, err = s.handleUnsubscribe(push, payload)
+				rt, body, herr = s.handleUnsubscribe(push, payload, frame)
 			}
-			if err != nil {
-				s.metrics.Errors.Add(1)
-				s.cfg.Logf("server: %v", err)
-				rt = wire.TypeError
-				rp = (&wire.ErrorMsg{Text: err.Error()}).Encode()
-			}
-			resps <- pipelineResp{id: id, t: rt, payload: rp}
+			frame = s.sealResp(frame, id, rt, body, herr)
+			*out = frame
+			resps <- pipelineResp{frame: frame, buf: out}
 		default:
 			s.metrics.PipelineQueueDepth.Add(1)
-			jobs <- pipelineJob{id: id, t: t, payload: payload}
+			jobs <- pipelineJob{id: id, t: t, buf: rbuf, payload: payload}
+			rbuf = nil // the worker releases it after handling
 		}
+	}
+	if rbuf != nil {
+		putBuf(rbuf)
 	}
 	close(jobs)
 	workers.Wait()

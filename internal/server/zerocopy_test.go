@@ -1,0 +1,233 @@
+// Tests pinning the coalesced-write and pooled-buffer contracts of the
+// hot path (DESIGN §16): every response and push frame leaves the server
+// in exactly one conn.Write, and a frame handed to the writer is never
+// mutated until the write completes. Both drive Server.handle directly
+// over net.Pipe — no TLS, so a second Write could only come from the
+// server's own framing, not the record layer.
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"math/big"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smatch/internal/profile"
+	"smatch/internal/wire"
+)
+
+// writeCountingConn counts Write calls and can verify that the buffer
+// handed to Write is not mutated while the write is "in flight" (checked
+// by hashing, idling, and re-hashing before forwarding).
+type writeCountingConn struct {
+	net.Conn
+	writes     atomic.Int64
+	checkHolds bool
+}
+
+func (c *writeCountingConn) Write(p []byte) (int, error) {
+	c.writes.Add(1)
+	if c.checkHolds {
+		before := sha256.Sum256(p)
+		time.Sleep(200 * time.Microsecond) // a slow peer; reuse bugs land here
+		if after := sha256.Sum256(p); after != before {
+			return 0, fmt.Errorf("write buffer mutated while the write was in flight")
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+// startPipeServer runs Server.handle over one end of a net.Pipe and
+// returns the client end plus the counting wrapper.
+func startPipeServer(t *testing.T, srv *Server, checkHolds bool) (net.Conn, *writeCountingConn) {
+	t.Helper()
+	cli, raw := net.Pipe()
+	wc := &writeCountingConn{Conn: raw, checkHolds: checkHolds}
+	st := &connState{}
+	srv.mu.Lock()
+	srv.conns[wc] = st
+	srv.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.handle(wc, st)
+	}()
+	t.Cleanup(func() {
+		cli.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("handler did not exit")
+		}
+	})
+	return cli, wc
+}
+
+func uploadReqForTest(id uint32, bucket string, sum int64) wire.UploadReq {
+	e := matchEntryForTest(id, bucket, sum)
+	return wire.UploadReq{
+		ID:       e.ID,
+		KeyHash:  e.KeyHash,
+		CtBits:   uint32(e.Chain.CtBits),
+		NumAttrs: uint16(e.Chain.NumAttrs()),
+		Chain:    e.Chain.Bytes(),
+		Auth:     e.Auth,
+	}
+}
+
+// TestSingleWritePerResponse pins the coalesced-write contract on all
+// three hot paths: lockstep responses, pipelined responses, and push
+// notifications each cost exactly one conn.Write.
+func TestSingleWritePerResponse(t *testing.T) {
+	srv, err := New(Config{OPRF: testOPRF(t), ReadTimeout: 5 * time.Second, WriteTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, wc := startPipeServer(t, srv, false)
+
+	// Lockstep: one upload, one response, one Write.
+	up := uploadReqForTest(1, "wc-bucket", 10)
+	if err := wire.WriteFrame(cli, wire.TypeUploadReq, up.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if rt, _, err := wire.ReadFrame(cli); err != nil || rt != wire.TypeUploadResp {
+		t.Fatalf("lockstep upload: type %d err %v", rt, err)
+	}
+	if got := wc.writes.Load(); got != 1 {
+		t.Fatalf("lockstep response took %d writes, want 1", got)
+	}
+
+	// Upgrade to v2. The hello ack goes through the generic WriteFrame
+	// (vectored, cold path) and is excluded from the count.
+	hello := wire.Hello{Version: wire.ProtocolV2, Depth: 8}
+	if err := wire.WriteFrame(cli, wire.TypeHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if rt, _, err := wire.ReadFrame(cli); err != nil || rt != wire.TypeHelloResp {
+		t.Fatalf("hello: type %d err %v", rt, err)
+	}
+	base := wc.writes.Load()
+
+	// Pipelined: three queries, three responses, three Writes.
+	q := wire.QueryReq{QueryID: 9, ID: 1, TopK: 3}
+	for id := uint64(1); id <= 3; id++ {
+		if err := wire.WriteFrameV2(cli, id, wire.TypeQueryReq, q.Encode()); err != nil {
+			t.Fatal(err)
+		}
+		if _, rt, _, err := wire.ReadFrameV2(cli); err != nil || rt != wire.TypeQueryResp {
+			t.Fatalf("pipelined query %d: type %d err %v", id, rt, err)
+		}
+	}
+	if got := wc.writes.Load() - base; got != 3 {
+		t.Fatalf("3 pipelined responses took %d writes, want 3", got)
+	}
+
+	// Subscribe, then publish a matching upload: the subscribe ack, the
+	// upload response, and the push notification are one Write each.
+	base = wc.writes.Load()
+	sub := wire.SubscribeReq{SubID: 7, KeyHash: []byte("wc-bucket"), CtBits: 48, NumAttrs: 1, Chain: up.Chain, MaxDist: big.NewInt(1 << 40)}
+	if err := wire.WriteFrameV2(cli, 4, wire.TypeSubscribeReq, sub.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if _, rt, _, err := wire.ReadFrameV2(cli); err != nil || rt != wire.TypeSubscribeResp {
+		t.Fatalf("subscribe: type %d err %v", rt, err)
+	}
+	up2 := uploadReqForTest(2, "wc-bucket", 11)
+	if err := wire.WriteFrameV2(cli, 5, wire.TypeUploadReq, up2.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	var sawResp, sawPush bool
+	for !sawResp || !sawPush {
+		id, rt, payload, err := wire.ReadFrameV2(cli)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wire.IsPushID(id) {
+			n, err := wire.DecodeMatchNotify(payload)
+			if err != nil || n.ID != profile.ID(2) {
+				t.Fatalf("push: %+v err %v", n, err)
+			}
+			sawPush = true
+		} else if rt == wire.TypeUploadResp {
+			sawResp = true
+		} else {
+			t.Fatalf("unexpected frame id %d type %d", id, rt)
+		}
+	}
+	if got := wc.writes.Load() - base; got != 3 {
+		t.Fatalf("subscribe ack + upload resp + push took %d writes, want 3", got)
+	}
+}
+
+// TestPooledFrameStableUntilWritten floods a pipelined connection with
+// concurrent queries while the conn asserts, inside every Write, that
+// the frame bytes do not change while the write is in flight — the
+// regression test for releasing a pooled response buffer before its
+// write completed. Responses are also decoded and checked, so a frame
+// scribbled on *between* writes (a too-early pool return reused by
+// another worker) fails the payload checks too.
+func TestPooledFrameStableUntilWritten(t *testing.T) {
+	srv, err := New(Config{OPRF: testOPRF(t), ReadTimeout: 5 * time.Second, WriteTimeout: 5 * time.Second, PipelineDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		if err := srv.Store().Upload(matchEntryForTest(uint32(i), "stable-bucket", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cli, _ := startPipeServer(t, srv, true)
+	hello := wire.Hello{Version: wire.ProtocolV2, Depth: 8}
+	if err := wire.WriteFrame(cli, wire.TypeHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if rt, _, err := wire.ReadFrame(cli); err != nil || rt != wire.TypeHelloResp {
+		t.Fatalf("hello: type %d err %v", rt, err)
+	}
+
+	const requests = 200
+	writeErr := make(chan error, 1)
+	go func() {
+		for id := uint64(1); id <= requests; id++ {
+			q := wire.QueryReq{QueryID: id, ID: profile.ID(1 + id%8), TopK: 5}
+			if err := wire.WriteFrameV2(cli, id, wire.TypeQueryReq, q.Encode()); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- nil
+	}()
+	seen := make(map[uint64]bool, requests)
+	for len(seen) < requests {
+		id, rt, payload, err := wire.ReadFrameV2(cli)
+		if err != nil {
+			t.Fatalf("after %d responses: %v", len(seen), err)
+		}
+		if rt != wire.TypeQueryResp {
+			t.Fatalf("response %d: type %d (%s)", id, rt, payload)
+		}
+		qr, err := wire.DecodeQueryResp(payload)
+		if err != nil {
+			t.Fatalf("response %d undecodable: %v", id, err)
+		}
+		if qr.QueryID != id {
+			t.Fatalf("response %d carries query ID %d — cross-request buffer bleed", id, qr.QueryID)
+		}
+		for _, r := range qr.Results {
+			if !bytes.Equal(r.Auth, []byte{1}) {
+				t.Fatalf("response %d: corrupted auth %x", id, r.Auth)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("duplicate response %d", id)
+		}
+		seen[id] = true
+	}
+	if err := <-writeErr; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -69,7 +69,14 @@ type Deps struct {
 // the response frame. An error means the request failed (the transport
 // reports it as an error frame); the connection itself is never the
 // handler's concern.
-type Handler func(payload []byte) (wire.MsgType, []byte, error)
+//
+// Buffer contract (DESIGN §16): payload is transport-owned and valid only
+// for the duration of the call — a handler that retains decoded bytes
+// past its return must copy them. resp is a transport-owned appendable
+// buffer (it may carry reserved frame-header bytes); the handler appends
+// its encoded response and returns the extended slice — or resp unchanged
+// for an empty response. On error the returned slice is ignored.
+type Handler func(payload, resp []byte) (wire.MsgType, []byte, error)
 
 // Registry maps message types to their handlers.
 type Registry struct {
@@ -121,19 +128,19 @@ func (r *Registry) Handler(t wire.MsgType) Handler {
 
 // Handle routes one request to its handler. Unknown types are an error,
 // exactly like the pre-service dispatch switch's default arm.
-func (r *Registry) Handle(t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+func (r *Registry) Handle(t wire.MsgType, payload, resp []byte) (wire.MsgType, []byte, error) {
 	h, ok := r.handlers[t]
 	if !ok {
 		return 0, nil, fmt.Errorf("%w: %d", wire.ErrBadType, t)
 	}
-	return h(payload)
+	return h(payload, resp)
 }
 
 // instrument wraps a handler with the standard per-op observation:
 // in-flight gauge up for the duration, then count + latency on the way
 // out (errors count too, matching the historical dispatch behavior).
 func instrument(counter *atomic.Uint64, hist *metrics.Histogram, inflight *atomic.Int64, h Handler) Handler {
-	return func(payload []byte) (wire.MsgType, []byte, error) {
+	return func(payload, resp []byte) (wire.MsgType, []byte, error) {
 		inflight.Add(1)
 		start := time.Now()
 		defer func() {
@@ -141,7 +148,7 @@ func instrument(counter *atomic.Uint64, hist *metrics.Histogram, inflight *atomi
 			counter.Add(1)
 			hist.Observe(time.Since(start))
 		}()
-		return h(payload)
+		return h(payload, resp)
 	}
 }
 
@@ -149,15 +156,15 @@ func instrument(counter *atomic.Uint64, hist *metrics.Histogram, inflight *atomi
 // handler records its own counters (per-entry uploads, per-frame batch
 // size) and must not be double-counted.
 func gauge(inflight *atomic.Int64, h Handler) Handler {
-	return func(payload []byte) (wire.MsgType, []byte, error) {
+	return func(payload, resp []byte) (wire.MsgType, []byte, error) {
 		inflight.Add(1)
 		defer inflight.Add(-1)
-		return h(payload)
+		return h(payload, resp)
 	}
 }
 
 // upload: decode → validate → journal → apply → ack.
-func (r *Registry) upload(payload []byte) (wire.MsgType, []byte, error) {
+func (r *Registry) upload(payload, resp []byte) (wire.MsgType, []byte, error) {
 	req, err := wire.DecodeUploadReq(payload)
 	if err != nil {
 		return 0, nil, err
@@ -184,14 +191,14 @@ func (r *Registry) upload(payload []byte) (wire.MsgType, []byte, error) {
 	if p := r.deps.Publisher; p != nil {
 		p.PublishUpsert(entry)
 	}
-	return wire.TypeUploadResp, nil, nil
+	return wire.TypeUploadResp, resp, nil
 }
 
 // uploadBatch: validate every entry up front; invalid ones get a
 // per-entry status while the valid remainder is journaled (one
 // group-committed fsync for the whole batch) and applied, exactly as if
 // uploaded one frame at a time.
-func (r *Registry) uploadBatch(payload []byte) (wire.MsgType, []byte, error) {
+func (r *Registry) uploadBatch(payload, respBuf []byte) (wire.MsgType, []byte, error) {
 	m := r.deps.Metrics
 	start := time.Now()
 	req, err := wire.DecodeUploadBatchReq(payload)
@@ -237,13 +244,13 @@ func (r *Registry) uploadBatch(payload []byte) (wire.MsgType, []byte, error) {
 	m.UploadBatches.Add(1)
 	m.UploadBatchSize.ObserveValue(int64(len(req.Entries)))
 	m.UploadLatency.Observe(time.Since(start))
-	return wire.TypeUploadBatchResp, resp.Encode(), nil
+	return wire.TypeUploadBatchResp, resp.AppendEncode(respBuf), nil
 }
 
 // remove: journal → apply → ack. A remove of an unknown user errors to
 // the client; the journal record it may have left is harmless — replay
 // ignores it.
-func (r *Registry) remove(payload []byte) (wire.MsgType, []byte, error) {
+func (r *Registry) remove(payload, resp []byte) (wire.MsgType, []byte, error) {
 	req, err := wire.DecodeRemoveReq(payload)
 	if err != nil {
 		return 0, nil, err
@@ -261,11 +268,11 @@ func (r *Registry) remove(payload []byte) (wire.MsgType, []byte, error) {
 	if p := r.deps.Publisher; p != nil {
 		p.PublishRemove(req.ID)
 	}
-	return wire.TypeRemoveResp, nil, nil
+	return wire.TypeRemoveResp, resp, nil
 }
 
 // query: kNN or MAX-distance matching, result count capped at MaxTopK.
-func (r *Registry) query(payload []byte) (wire.MsgType, []byte, error) {
+func (r *Registry) query(payload, respBuf []byte) (wire.MsgType, []byte, error) {
 	req, err := wire.DecodeQueryReq(payload)
 	if err != nil {
 		return 0, nil, err
@@ -290,18 +297,18 @@ func (r *Registry) query(payload []byte) (wire.MsgType, []byte, error) {
 		}
 	}
 	resp := wire.QueryResp{QueryID: req.QueryID, Timestamp: time.Now().Unix(), Results: results}
-	return wire.TypeQueryResp, resp.Encode(), nil
+	return wire.TypeQueryResp, resp.AppendEncode(respBuf), nil
 }
 
 // oprfKey serves the evaluator's public key for client bootstrap.
-func (r *Registry) oprfKey([]byte) (wire.MsgType, []byte, error) {
+func (r *Registry) oprfKey(_, respBuf []byte) (wire.MsgType, []byte, error) {
 	pk := r.deps.OPRF.PublicKey()
 	resp := wire.OPRFKeyResp{N: pk.N, E: uint32(pk.E)}
-	return wire.TypeOPRFKeyResp, resp.Encode(), nil
+	return wire.TypeOPRFKeyResp, resp.AppendEncode(respBuf), nil
 }
 
 // oprf evaluates one blinded element.
-func (r *Registry) oprf(payload []byte) (wire.MsgType, []byte, error) {
+func (r *Registry) oprf(payload, respBuf []byte) (wire.MsgType, []byte, error) {
 	req, err := wire.DecodeOPRFReq(payload)
 	if err != nil {
 		return 0, nil, err
@@ -311,11 +318,11 @@ func (r *Registry) oprf(payload []byte) (wire.MsgType, []byte, error) {
 		return 0, nil, err
 	}
 	resp := wire.OPRFResp{Y: y}
-	return wire.TypeOPRFResp, resp.Encode(), nil
+	return wire.TypeOPRFResp, resp.AppendEncode(respBuf), nil
 }
 
 // oprfBatch evaluates a bounded batch of blinded elements in one round.
-func (r *Registry) oprfBatch(payload []byte) (wire.MsgType, []byte, error) {
+func (r *Registry) oprfBatch(payload, respBuf []byte) (wire.MsgType, []byte, error) {
 	req, err := wire.DecodeOPRFBatchReq(payload)
 	if err != nil {
 		return 0, nil, err
@@ -328,5 +335,5 @@ func (r *Registry) oprfBatch(payload []byte) (wire.MsgType, []byte, error) {
 		return 0, nil, err
 	}
 	resp := wire.OPRFBatchResp{Ys: ys}
-	return wire.TypeOPRFBatchResp, resp.Encode(), nil
+	return wire.TypeOPRFBatchResp, resp.AppendEncode(respBuf), nil
 }

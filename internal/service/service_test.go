@@ -78,7 +78,7 @@ func TestUploadThenQuery(t *testing.T) {
 	m := metrics.New()
 	r := testRegistry(t, Deps{Metrics: m})
 	for i, sum := range []int64{10, 12, 400} {
-		rt, rp, err := r.Handle(wire.TypeUploadReq, uploadPayload(profile.ID(i+1), "b", sum))
+		rt, rp, err := r.Handle(wire.TypeUploadReq, uploadPayload(profile.ID(i+1), "b", sum), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +87,7 @@ func TestUploadThenQuery(t *testing.T) {
 		}
 	}
 	q := wire.QueryReq{QueryID: 7, ID: 1, TopK: 1}
-	rt, rp, err := r.Handle(wire.TypeQueryReq, q.Encode())
+	rt, rp, err := r.Handle(wire.TypeQueryReq, q.Encode(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,12 +123,12 @@ func TestUploadThenQuery(t *testing.T) {
 func TestQueryCapsTopK(t *testing.T) {
 	r := testRegistry(t, Deps{MaxTopK: 2})
 	for i := 1; i <= 6; i++ {
-		if _, _, err := r.Handle(wire.TypeUploadReq, uploadPayload(profile.ID(i), "b", int64(i))); err != nil {
+		if _, _, err := r.Handle(wire.TypeUploadReq, uploadPayload(profile.ID(i), "b", int64(i)), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
 	q := wire.QueryReq{QueryID: 1, ID: 1, TopK: 5}
-	_, rp, err := r.Handle(wire.TypeQueryReq, q.Encode())
+	_, rp, err := r.Handle(wire.TypeQueryReq, q.Encode(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestQueryCapsTopK(t *testing.T) {
 
 func TestUnknownTypeRejected(t *testing.T) {
 	r := testRegistry(t, Deps{})
-	if _, _, err := r.Handle(wire.MsgType(200), nil); !errors.Is(err, wire.ErrBadType) {
+	if _, _, err := r.Handle(wire.MsgType(200), nil, nil); !errors.Is(err, wire.ErrBadType) {
 		t.Errorf("unknown type: err = %v, want ErrBadType", err)
 	}
 }
@@ -153,7 +153,7 @@ func TestInvalidUploadRejectedBeforeApply(t *testing.T) {
 	r := testRegistry(t, Deps{Store: store})
 	req := wire.UploadReq{ID: 0, KeyHash: []byte("b"), CtBits: 48, NumAttrs: 1,
 		Chain: (&chain.Chain{Cts: []*big.Int{big.NewInt(1)}, CtBits: 48}).Bytes(), Auth: []byte{1}}
-	if _, _, err := r.Handle(wire.TypeUploadReq, req.Encode()); err == nil {
+	if _, _, err := r.Handle(wire.TypeUploadReq, req.Encode(), nil); err == nil {
 		t.Fatal("zero-ID upload accepted")
 	}
 	if store.NumUsers() != 0 {
@@ -204,11 +204,11 @@ func TestMutationsJournaledBeforeApply(t *testing.T) {
 	j := &recordingJournal{}
 	store := match.NewServer()
 	r := testRegistry(t, Deps{Store: store, Journal: j})
-	if _, _, err := r.Handle(wire.TypeUploadReq, uploadPayload(1, "b", 5)); err != nil {
+	if _, _, err := r.Handle(wire.TypeUploadReq, uploadPayload(1, "b", 5), nil); err != nil {
 		t.Fatal(err)
 	}
 	rm := wire.RemoveReq{ID: 1}
-	if _, _, err := r.Handle(wire.TypeRemoveReq, rm.Encode()); err != nil {
+	if _, _, err := r.Handle(wire.TypeRemoveReq, rm.Encode(), nil); err != nil {
 		t.Fatal(err)
 	}
 	if j.uploads != 1 || j.removes != 1 {
@@ -226,7 +226,7 @@ func TestJournalFailureAbortsApply(t *testing.T) {
 	j := &recordingJournal{fail: true}
 	store := match.NewServer()
 	r := testRegistry(t, Deps{Store: store, Journal: j})
-	if _, _, err := r.Handle(wire.TypeUploadReq, uploadPayload(1, "b", 5)); err == nil {
+	if _, _, err := r.Handle(wire.TypeUploadReq, uploadPayload(1, "b", 5), nil); err == nil {
 		t.Fatal("upload acked despite journal failure")
 	}
 	if store.NumUsers() != 0 {
@@ -245,7 +245,7 @@ func TestUploadBatchMixedValidity(t *testing.T) {
 		{ID: 0, KeyHash: []byte("b"), CtBits: 48, NumAttrs: 1, // invalid: zero ID
 			Chain: (&chain.Chain{Cts: []*big.Int{big.NewInt(4)}, CtBits: 48}).Bytes(), Auth: []byte{1}},
 	}}
-	rt, rp, err := r.Handle(wire.TypeUploadBatchReq, batch.Encode())
+	rt, rp, err := r.Handle(wire.TypeUploadBatchReq, batch.Encode(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,14 +280,14 @@ func TestOPRFBatchCapped(t *testing.T) {
 		xs[i] = big.NewInt(int64(i + 1))
 	}
 	req := wire.OPRFBatchReq{Xs: xs}
-	if _, _, err := r.Handle(wire.TypeOPRFBatchReq, req.Encode()); err == nil {
+	if _, _, err := r.Handle(wire.TypeOPRFBatchReq, req.Encode(), nil); err == nil {
 		t.Error("oversized OPRF batch accepted")
 	}
 }
 
 func TestOPRFKeyAndEvaluate(t *testing.T) {
 	r := testRegistry(t, Deps{})
-	_, rp, err := r.Handle(wire.TypeOPRFKeyReq, nil)
+	_, rp, err := r.Handle(wire.TypeOPRFKeyReq, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +300,7 @@ func TestOPRFKeyAndEvaluate(t *testing.T) {
 	}
 	x := big.NewInt(0xbeef)
 	req := wire.OPRFReq{X: x}
-	_, rp, err = r.Handle(wire.TypeOPRFReq, req.Encode())
+	_, rp, err = r.Handle(wire.TypeOPRFReq, req.Encode(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

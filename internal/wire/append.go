@@ -1,0 +1,171 @@
+// Append-style framing: the allocation-free side of the wire package.
+//
+// Every message type has AppendEncode(buf) — append the encoded payload
+// to a caller-owned buffer and return the extended slice — with Encode()
+// kept as the thin AppendEncode(nil) wrapper. Frames are built in place
+// with a Begin/Finish pair: BeginFrame reserves header space at the tail
+// of a buffer, the payload is appended after it, and FinishFrame
+// backfills the header once the length is known — so one conn.Write (one
+// syscall, one TLS record) carries the whole frame. Reads mirror that:
+// ReadFrameBuf and ReadFrameV2Buf fill a caller-supplied grow-only
+// buffer instead of allocating a payload per frame.
+//
+// Buffer ownership rules are documented in DESIGN §16. The short form:
+// a payload returned by the Buf readers (and everything a Decode*
+// aliases out of it) is valid only until the buffer's next use, so a
+// consumer that retains decoded bytes must copy them.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Frame header sizes (v1: length + type; v2 adds the request ID).
+const (
+	FrameHeaderLen   = 5
+	FrameHeaderLenV2 = v2HeaderSize
+)
+
+// ensureLen returns a slice of length n backed by b when b's capacity
+// allows, or by a fresh larger array otherwise. Contents are
+// unspecified — callers overwrite every byte.
+func ensureLen(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	c := 2 * cap(b)
+	if c < n {
+		c = n
+	}
+	if c < 512 {
+		c = 512
+	}
+	return make([]byte, n, c)
+}
+
+// extend grows b by n bytes and returns the extended slice; the new
+// bytes are unspecified and must be overwritten by the caller.
+func extend(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[:len(b)+n]
+	}
+	return append(b, make([]byte, n)...)
+}
+
+// BeginFrame reserves a v1 frame header at the tail of buf. Append the
+// payload after it, then call FinishFrame with the same mark (len(buf)
+// before BeginFrame) to backfill the header.
+func BeginFrame(buf []byte) []byte { return extend(buf, FrameHeaderLen) }
+
+// FinishFrame backfills the header a BeginFrame at mark reserved, using
+// everything appended since as the payload.
+func FinishFrame(buf []byte, mark int, t MsgType) error {
+	n := len(buf) - mark - FrameHeaderLen
+	if n < 0 {
+		return fmt.Errorf("wire: FinishFrame before BeginFrame (mark %d, len %d)", mark, len(buf))
+	}
+	if n > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(buf[mark:], uint32(n))
+	buf[mark+4] = byte(t)
+	return nil
+}
+
+// BeginFrameV2 reserves a v2 frame header at the tail of buf; pair with
+// FinishFrameV2 exactly like BeginFrame/FinishFrame.
+func BeginFrameV2(buf []byte) []byte { return extend(buf, FrameHeaderLenV2) }
+
+// FinishFrameV2 backfills the v2 header a BeginFrameV2 at mark reserved.
+func FinishFrameV2(buf []byte, mark int, id uint64, t MsgType) error {
+	n := len(buf) - mark - FrameHeaderLenV2
+	if n < 0 {
+		return fmt.Errorf("wire: FinishFrameV2 before BeginFrameV2 (mark %d, len %d)", mark, len(buf))
+	}
+	if n > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(buf[mark:], uint32(n))
+	buf[mark+4] = byte(t)
+	binary.BigEndian.PutUint64(buf[mark+5:], id)
+	return nil
+}
+
+// ReadFrameBuf is ReadFrame with a caller-supplied reusable buffer: the
+// frame is read into *buf (grown in place when too small, never shrunk)
+// and the returned payload aliases it. The payload — and anything a
+// decoder aliases out of it — is valid only until *buf's next use.
+func ReadFrameBuf(r io.Reader, buf *[]byte) (MsgType, []byte, error) {
+	b := ensureLen(*buf, FrameHeaderLen)
+	*buf = b
+	if _, err := io.ReadFull(r, b[:FrameHeaderLen]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(b[:4])
+	t := MsgType(b[4])
+	if n > MaxFrameSize {
+		return 0, nil, ErrFrameTooLarge
+	}
+	b = ensureLen(b, int(n))
+	*buf = b
+	if _, err := io.ReadFull(r, b); err != nil {
+		return 0, nil, fmt.Errorf("wire: reading payload: %w", err)
+	}
+	return t, b, nil
+}
+
+// ReadFrameV2Buf is ReadFrameV2 with a caller-supplied reusable buffer;
+// same ownership rules as ReadFrameBuf.
+func ReadFrameV2Buf(r io.Reader, buf *[]byte) (uint64, MsgType, []byte, error) {
+	b := ensureLen(*buf, FrameHeaderLenV2)
+	*buf = b
+	if _, err := io.ReadFull(r, b[:FrameHeaderLenV2]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(b[:4])
+	t := MsgType(b[4])
+	id := binary.BigEndian.Uint64(b[5:FrameHeaderLenV2])
+	if n > MaxFrameSize {
+		return 0, 0, nil, ErrFrameTooLarge
+	}
+	b = ensureLen(b, int(n))
+	*buf = b
+	if _, err := io.ReadFull(r, b); err != nil {
+		return 0, 0, nil, fmt.Errorf("wire: reading v2 payload: %w", err)
+	}
+	return id, t, b, nil
+}
+
+// --- appending encoder extensions ---
+
+// beginLen reserves a u32 length prefix whose value is not yet known
+// (a nested encoding about to be appended in place); endLen backfills
+// it with the byte count appended since.
+func (e *encoder) beginLen() int {
+	e.u32(0)
+	return len(e.buf)
+}
+
+func (e *encoder) endLen(at int) {
+	binary.BigEndian.PutUint32(e.buf[at-4:at], uint32(len(e.buf)-at))
+}
+
+// big appends a length-prefixed big-endian magnitude, byte-identical to
+// bytes(x.Bytes()) but without the intermediate allocation (FillBytes
+// writes into the buffer directly). nil encodes as zero: an empty
+// magnitude, matching (*big.Int)(nil)-avoiding callers that substituted
+// new(big.Int).
+func (e *encoder) big(x *big.Int) {
+	if x == nil {
+		e.u32(0)
+		return
+	}
+	n := (x.BitLen() + 7) / 8
+	e.u32(uint32(n))
+	off := len(e.buf)
+	e.buf = extend(e.buf, n)
+	x.FillBytes(e.buf[off:])
+}

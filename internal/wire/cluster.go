@@ -35,9 +35,13 @@ type ReplicatePullReq struct {
 }
 
 // Encode serializes the pull request.
-func (r *ReplicatePullReq) Encode() []byte {
-	var e encoder
-	e.bytes([]byte(r.NodeID))
+func (r *ReplicatePullReq) Encode() []byte { return r.AppendEncode(nil) }
+
+// AppendEncode appends the encoded pull request to buf.
+func (r *ReplicatePullReq) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
+	e.u32(uint32(len(r.NodeID)))
+	e.buf = append(e.buf, r.NodeID...)
 	e.u64(r.AfterLSN)
 	e.u32(r.MaxRecords)
 	e.u32(r.WaitMS)
@@ -94,8 +98,12 @@ type ReplicatePullResp struct {
 }
 
 // Encode serializes the pull response.
-func (r *ReplicatePullResp) Encode() []byte {
-	var e encoder
+func (r *ReplicatePullResp) Encode() []byte { return r.AppendEncode(nil) }
+
+// AppendEncode appends the encoded pull response to buf — the leader's
+// per-pull path, so shipping a page of records reuses one buffer.
+func (r *ReplicatePullResp) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	if r.Snapshot {
 		e.buf = append(e.buf, 1)
 		e.u64(r.LeaderLSN)
@@ -178,8 +186,11 @@ type PartitionMapReq struct {
 }
 
 // Encode serializes the partition-map request.
-func (r *PartitionMapReq) Encode() []byte {
-	var e encoder
+func (r *PartitionMapReq) Encode() []byte { return r.AppendEncode(nil) }
+
+// AppendEncode appends the encoded partition-map request to buf.
+func (r *PartitionMapReq) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u64(r.HaveVersion)
 	return e.buf
 }
@@ -205,8 +216,11 @@ type PartitionMapResp struct {
 }
 
 // Encode serializes the partition-map response.
-func (r *PartitionMapResp) Encode() []byte {
-	var e encoder
+func (r *PartitionMapResp) Encode() []byte { return r.AppendEncode(nil) }
+
+// AppendEncode appends the encoded partition-map response to buf.
+func (r *PartitionMapResp) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u64(r.Version)
 	e.bytes(r.Map)
 	return e.buf
@@ -240,8 +254,11 @@ type PartitionDumpReq struct {
 }
 
 // Encode serializes the dump request.
-func (r *PartitionDumpReq) Encode() []byte {
-	var e encoder
+func (r *PartitionDumpReq) Encode() []byte { return r.AppendEncode(nil) }
+
+// AppendEncode appends the encoded dump request to buf.
+func (r *PartitionDumpReq) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u32(r.Partition)
 	e.u32(r.Partitions)
 	e.u32(r.Cursor)
@@ -290,8 +307,11 @@ type PartitionDumpResp struct {
 }
 
 // Encode serializes the dump response.
-func (r *PartitionDumpResp) Encode() []byte {
-	var e encoder
+func (r *PartitionDumpResp) Encode() []byte { return r.AppendEncode(nil) }
+
+// AppendEncode appends the encoded dump response to buf.
+func (r *PartitionDumpResp) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u32(uint32(len(r.Entries)))
 	for _, ent := range r.Entries {
 		e.bytes(ent)

@@ -63,18 +63,17 @@ type SubscribeReq struct {
 }
 
 // Encode serializes the subscribe request.
-func (s *SubscribeReq) Encode() []byte {
-	var e encoder
+func (s *SubscribeReq) Encode() []byte { return s.AppendEncode(nil) }
+
+// AppendEncode appends the encoded subscribe request to buf.
+func (s *SubscribeReq) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u64(s.SubID)
 	e.bytes(s.KeyHash)
 	e.u32(s.CtBits)
 	e.u16(s.NumAttrs)
 	e.bytes(s.Chain)
-	md := s.MaxDist
-	if md == nil {
-		md = new(big.Int)
-	}
-	e.bytes(md.Bytes())
+	e.big(s.MaxDist)
 	return e.buf
 }
 
@@ -131,8 +130,11 @@ type SubscribeResp struct {
 }
 
 // Encode serializes the subscribe response.
-func (s *SubscribeResp) Encode() []byte {
-	var e encoder
+func (s *SubscribeResp) Encode() []byte { return s.AppendEncode(nil) }
+
+// AppendEncode appends the encoded subscribe response to buf.
+func (s *SubscribeResp) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u64(s.SubID)
 	return e.buf
 }
@@ -156,8 +158,11 @@ type UnsubscribeReq struct {
 }
 
 // Encode serializes the unsubscribe request.
-func (u *UnsubscribeReq) Encode() []byte {
-	var e encoder
+func (u *UnsubscribeReq) Encode() []byte { return u.AppendEncode(nil) }
+
+// AppendEncode appends the encoded unsubscribe request to buf.
+func (u *UnsubscribeReq) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u64(u.SubID)
 	return e.buf
 }
@@ -181,8 +186,11 @@ type UnsubscribeResp struct {
 }
 
 // Encode serializes the unsubscribe response.
-func (u *UnsubscribeResp) Encode() []byte {
-	var e encoder
+func (u *UnsubscribeResp) Encode() []byte { return u.AppendEncode(nil) }
+
+// AppendEncode appends the encoded unsubscribe response to buf.
+func (u *UnsubscribeResp) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u64(u.SubID)
 	return e.buf
 }
@@ -216,8 +224,12 @@ type MatchNotify struct {
 }
 
 // Encode serializes the notification.
-func (n *MatchNotify) Encode() []byte {
-	var e encoder
+func (n *MatchNotify) Encode() []byte { return n.AppendEncode(nil) }
+
+// AppendEncode appends the encoded notification to buf — the push pump's
+// per-frame path, so fan-out to many subscribers reuses one buffer.
+func (n *MatchNotify) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u64(n.SubID)
 	e.u64(n.Seq)
 	e.u64(n.Dropped)

@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"net"
 )
 
 // ProtocolV2 is the version a Hello exchange negotiates.
@@ -40,8 +41,11 @@ type Hello struct {
 }
 
 // Encode serializes the hello payload.
-func (h *Hello) Encode() []byte {
-	var e encoder
+func (h *Hello) Encode() []byte { return h.AppendEncode(nil) }
+
+// AppendEncode appends the encoded hello payload to buf.
+func (h *Hello) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u16(h.Version)
 	e.u16(h.Depth)
 	return e.buf
@@ -68,7 +72,10 @@ func DecodeHello(payload []byte) (*Hello, error) {
 }
 
 // WriteFrameV2 writes one pipelined frame: the v1 header plus the request
-// ID that routes the response.
+// ID that routes the response. Header and payload go out as one vectored
+// write (net.Buffers) — one writev on a *net.TCPConn, sequential writes
+// on transports without writev. The server's pipelined writer avoids even
+// that fallback by building whole frames with BeginFrameV2/FinishFrameV2.
 func WriteFrameV2(w io.Writer, id uint64, t MsgType, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return ErrFrameTooLarge
@@ -77,11 +84,9 @@ func WriteFrameV2(w io.Writer, id uint64, t MsgType, payload []byte) error {
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = byte(t)
 	binary.BigEndian.PutUint64(hdr[5:], id)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: writing v2 header: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("wire: writing v2 payload: %w", err)
+	bufs := net.Buffers{hdr[:], payload}
+	if _, err := bufs.WriteTo(w); err != nil {
+		return fmt.Errorf("wire: writing v2 frame: %w", err)
 	}
 	return nil
 }

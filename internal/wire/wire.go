@@ -11,11 +11,13 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math/big"
+	"net"
 
 	"smatch/internal/chain"
 	"smatch/internal/match"
@@ -79,13 +81,16 @@ type UploadReq struct {
 	Auth     []byte
 }
 
-// Entry converts the request into the matching server's record.
+// Entry converts the request into the matching server's record. KeyHash
+// and Auth are copied: the store retains the entry's slices indefinitely,
+// while a decoded request's slices alias a frame buffer the transport
+// reuses as soon as the handler returns (DESIGN §16).
 func (u *UploadReq) Entry() (match.Entry, error) {
 	ch, err := chain.Parse(u.Chain, int(u.NumAttrs), uint(u.CtBits))
 	if err != nil {
 		return match.Entry{}, err
 	}
-	return match.Entry{ID: u.ID, KeyHash: u.KeyHash, Chain: ch, Auth: u.Auth}, nil
+	return match.Entry{ID: u.ID, KeyHash: bytes.Clone(u.KeyHash), Chain: ch, Auth: bytes.Clone(u.Auth)}, nil
 }
 
 // MaxUploadBatch caps the entries one batch frame may carry: large enough
@@ -106,11 +111,18 @@ type UploadBatchReq struct {
 // Encode serializes the batch request as a count followed by
 // length-prefixed single-upload payloads (the same encoding TypeUploadReq
 // uses, so the WAL journal format can be shared).
-func (u *UploadBatchReq) Encode() []byte {
-	var e encoder
+func (u *UploadBatchReq) Encode() []byte { return u.AppendEncode(nil) }
+
+// AppendEncode appends the encoded batch request to buf. Each entry is
+// encoded in place behind a backfilled length prefix — no per-entry
+// temporary slice.
+func (u *UploadBatchReq) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u16(uint16(len(u.Entries)))
 	for i := range u.Entries {
-		e.bytes(u.Entries[i].Encode())
+		at := e.beginLen()
+		e.buf = u.Entries[i].AppendEncode(e.buf)
+		e.endLen(at)
 	}
 	return e.buf
 }
@@ -162,11 +174,15 @@ func (u *UploadBatchResp) OK() bool {
 }
 
 // Encode serializes the batch response.
-func (u *UploadBatchResp) Encode() []byte {
-	var e encoder
+func (u *UploadBatchResp) Encode() []byte { return u.AppendEncode(nil) }
+
+// AppendEncode appends the encoded batch response to buf.
+func (u *UploadBatchResp) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u16(uint16(len(u.Status)))
 	for _, s := range u.Status {
-		e.bytes([]byte(s))
+		e.u32(uint32(len(s)))
+		e.buf = append(e.buf, s...)
 	}
 	return e.buf
 }
@@ -200,8 +216,11 @@ type RemoveReq struct {
 }
 
 // Encode serializes the remove request.
-func (r *RemoveReq) Encode() []byte {
-	var e encoder
+func (r *RemoveReq) Encode() []byte { return r.AppendEncode(nil) }
+
+// AppendEncode appends the encoded remove request to buf.
+func (r *RemoveReq) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u32(uint32(r.ID))
 	return e.buf
 }
@@ -265,11 +284,15 @@ type OPRFBatchReq struct {
 }
 
 // Encode serializes the batch request.
-func (o *OPRFBatchReq) Encode() []byte {
-	var e encoder
+func (o *OPRFBatchReq) Encode() []byte { return o.AppendEncode(nil) }
+
+// AppendEncode appends the encoded batch request to buf; each element is
+// filled into the buffer directly instead of through x.Bytes().
+func (o *OPRFBatchReq) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u16(uint16(len(o.Xs)))
 	for _, x := range o.Xs {
-		e.bytes(x.Bytes())
+		e.big(x)
 	}
 	return e.buf
 }
@@ -298,11 +321,14 @@ type OPRFBatchResp struct {
 }
 
 // Encode serializes the batch response.
-func (o *OPRFBatchResp) Encode() []byte {
-	var e encoder
+func (o *OPRFBatchResp) Encode() []byte { return o.AppendEncode(nil) }
+
+// AppendEncode appends the encoded batch response to buf.
+func (o *OPRFBatchResp) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u16(uint16(len(o.Ys)))
 	for _, y := range o.Ys {
-		e.bytes(y.Bytes())
+		e.big(y)
 	}
 	return e.buf
 }
@@ -334,9 +360,12 @@ type OPRFKeyResp struct {
 }
 
 // Encode serializes the OPRF key response.
-func (o *OPRFKeyResp) Encode() []byte {
-	var e encoder
-	e.bytes(o.N.Bytes())
+func (o *OPRFKeyResp) Encode() []byte { return o.AppendEncode(nil) }
+
+// AppendEncode appends the encoded OPRF key response to buf.
+func (o *OPRFKeyResp) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
+	e.big(o.N)
 	e.u32(o.E)
 	return e.buf
 }
@@ -363,19 +392,22 @@ type ErrorMsg struct {
 	Text string
 }
 
-// WriteFrame writes one frame.
+// WriteFrame writes one frame. Header and payload go out as one vectored
+// write (net.Buffers), so a *net.TCPConn gets a single writev instead of
+// two syscalls; writers without writev support (TLS conns, pipes) fall
+// back to sequential writes. The server's hot paths avoid even the
+// fallback's second write by building whole frames with BeginFrame/
+// FinishFrame and issuing one Write.
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	var hdr [5]byte
+	var hdr [FrameHeaderLen]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = byte(t)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: writing header: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("wire: writing payload: %w", err)
+	bufs := net.Buffers{hdr[:], payload}
+	if _, err := bufs.WriteTo(w); err != nil {
+		return fmt.Errorf("wire: writing frame: %w", err)
 	}
 	return nil
 }
@@ -470,8 +502,11 @@ func (d *decoder) done() error {
 // --- message codecs ---
 
 // Encode serializes the upload request.
-func (u *UploadReq) Encode() []byte {
-	var e encoder
+func (u *UploadReq) Encode() []byte { return u.AppendEncode(nil) }
+
+// AppendEncode appends the encoded upload request to buf.
+func (u *UploadReq) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u32(uint32(u.ID))
 	e.bytes(u.KeyHash)
 	e.u32(u.CtBits)
@@ -509,18 +544,17 @@ func DecodeUploadReq(payload []byte) (*UploadReq, error) {
 }
 
 // Encode serializes the query request.
-func (q *QueryReq) Encode() []byte {
-	var e encoder
+func (q *QueryReq) Encode() []byte { return q.AppendEncode(nil) }
+
+// AppendEncode appends the encoded query request to buf.
+func (q *QueryReq) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u64(q.QueryID)
 	e.u64(uint64(q.Timestamp))
 	e.u32(uint32(q.ID))
 	e.u16(q.TopK)
 	e.buf = append(e.buf, byte(q.Mode))
-	md := q.MaxDist
-	if md == nil {
-		md = new(big.Int)
-	}
-	e.bytes(md.Bytes())
+	e.big(q.MaxDist)
 	return e.buf
 }
 
@@ -564,14 +598,17 @@ func DecodeQueryReq(payload []byte) (*QueryReq, error) {
 }
 
 // Encode serializes the query response.
-func (q *QueryResp) Encode() []byte {
-	var e encoder
+func (q *QueryResp) Encode() []byte { return q.AppendEncode(nil) }
+
+// AppendEncode appends the encoded query response to buf.
+func (q *QueryResp) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u64(q.QueryID)
 	e.u64(uint64(q.Timestamp))
 	e.u16(uint16(len(q.Results)))
-	for _, r := range q.Results {
-		e.u32(uint32(r.ID))
-		e.bytes(r.Auth)
+	for i := range q.Results {
+		e.u32(uint32(q.Results[i].ID))
+		e.bytes(q.Results[i].Auth)
 	}
 	return e.buf
 }
@@ -609,9 +646,12 @@ func DecodeQueryResp(payload []byte) (*QueryResp, error) {
 }
 
 // Encode serializes the OPRF request.
-func (o *OPRFReq) Encode() []byte {
-	var e encoder
-	e.bytes(o.X.Bytes())
+func (o *OPRFReq) Encode() []byte { return o.AppendEncode(nil) }
+
+// AppendEncode appends the encoded OPRF request to buf.
+func (o *OPRFReq) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
+	e.big(o.X)
 	return e.buf
 }
 
@@ -629,9 +669,12 @@ func DecodeOPRFReq(payload []byte) (*OPRFReq, error) {
 }
 
 // Encode serializes the OPRF response.
-func (o *OPRFResp) Encode() []byte {
-	var e encoder
-	e.bytes(o.Y.Bytes())
+func (o *OPRFResp) Encode() []byte { return o.AppendEncode(nil) }
+
+// AppendEncode appends the encoded OPRF response to buf.
+func (o *OPRFResp) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
+	e.big(o.Y)
 	return e.buf
 }
 
@@ -649,9 +692,13 @@ func DecodeOPRFResp(payload []byte) (*OPRFResp, error) {
 }
 
 // Encode serializes an error message.
-func (m *ErrorMsg) Encode() []byte {
-	var e encoder
-	e.bytes([]byte(m.Text))
+func (m *ErrorMsg) Encode() []byte { return m.AppendEncode(nil) }
+
+// AppendEncode appends the encoded error message to buf.
+func (m *ErrorMsg) AppendEncode(buf []byte) []byte {
+	e := encoder{buf: buf}
+	e.u32(uint32(len(m.Text)))
+	e.buf = append(e.buf, m.Text...)
 	return e.buf
 }
 
