@@ -71,6 +71,29 @@ func largeEntry(id profile.ID, sum int64) match.Entry {
 	}
 }
 
+// weightedSumScale lifts the single-bucket order sums into multi-limb
+// territory, the shape a MaxWeight-priority deployment produces: every sum
+// gains ~44 high bits while the low limb stays populated, so all compares
+// on the seek and walk paths go through the multi-limb slow case.
+var weightedSumScale = new(big.Int).SetUint64(1<<44 | 1)
+
+func largeWeightedEntry(id profile.ID, sum int64) match.Entry {
+	return match.Entry{
+		ID:      id,
+		KeyHash: largeBucketKey,
+		Chain:   &chain.Chain{Cts: []*big.Int{new(big.Int).Mul(big.NewInt(sum), weightedSumScale)}, CtBits: 84},
+		Auth:    []byte("bench-auth"),
+	}
+}
+
+func preloadLargeWeighted(s match.Store) {
+	for i := 1; i <= matchBenchLargeUsers; i++ {
+		if err := s.Upload(largeWeightedEntry(profile.ID(i), int64(i)*largeSumSpread)); err != nil {
+			panic(err)
+		}
+	}
+}
+
 // preloadLarge files matchBenchLargeUsers entries into ONE bucket with
 // ascending order sums. Ascending matters: it keeps the slice store's
 // preload at the append-at-tail fast path (random order would cost an
@@ -206,10 +229,24 @@ func runMatchBench(w io.Writer, dur time.Duration, outPath string, goroutines []
 
 	// Single-bucket cells: the ordered-index win is per bucket, so these
 	// run at g=1 against one 100k-entry bucket where sharding cannot help.
+	// The weighted twins run the same mixes over multi-limb sums, tracking
+	// what priority scaling costs the store.
 	for _, st := range stores {
 		for _, op := range largeOps() {
 			s := st.mk()
 			preloadLarge(s)
+			ops2, secs := benchCell(s, 1, dur, op.run(s))
+			cell := matchBenchCell{
+				Store: st.name, Op: op.name, Goroutines: 1,
+				Ops: ops2, Seconds: secs, OpsPerSec: float64(ops2) / secs,
+			}
+			report.Results = append(report.Results, cell)
+			fmt.Fprintf(w, "%-12s %-10s g=%-3d %12.0f ops/sec\n",
+				cell.Store, cell.Op, cell.Goroutines, cell.OpsPerSec)
+		}
+		for _, op := range weightedLargeOps() {
+			s := st.mk()
+			preloadLargeWeighted(s)
 			ops2, secs := benchCell(s, 1, dur, op.run(s))
 			cell := matchBenchCell{
 				Store: st.name, Op: op.name, Goroutines: 1,
@@ -288,6 +325,36 @@ func largeOps() []struct {
 	}
 }
 
+// weightedLargeOps are the multi-limb twins of the structural extremes:
+// the same insert and range-query mixes as bigupload/bigmaxdist, but over
+// the weighted-scale preload where every order-sum comparison spans two
+// limbs. The smoke gate holds their throughput within 1.2x of the
+// single-limb cells — weighting must stay a bit-width tax, not an
+// algorithmic one.
+func weightedLargeOps() []struct {
+	name string
+	run  func(s match.Store) func(g int, i int64, rng *rand.Rand)
+} {
+	sumRange := int64(matchBenchLargeUsers) * largeSumSpread
+	return []struct {
+		name string
+		run  func(s match.Store) func(g int, i int64, rng *rand.Rand)
+	}{
+		{"bigupload-w", func(s match.Store) func(int, int64, *rand.Rand) {
+			return func(g int, i int64, rng *rand.Rand) {
+				id := profile.ID(matchBenchLargeUsers + 1 + int64(g)*100_000_000 + i)
+				_ = s.Upload(largeWeightedEntry(id, rng.Int63n(sumRange)))
+			}
+		}},
+		{"bigmaxdist-w", func(s match.Store) func(int, int64, *rand.Rand) {
+			d := new(big.Int).Mul(big.NewInt(64*largeSumSpread), weightedSumScale)
+			return func(g int, i int64, rng *rand.Rand) {
+				_, _ = s.MatchMaxDistance(profile.ID(1+rng.Intn(matchBenchLargeUsers)), d)
+			}
+		}},
+	}
+}
+
 // runMatchSmoke is the CI regression gate for the ordered index: it runs
 // the single-bucket cells with a short window and fails when the indexed
 // store loses its structural advantage over the slice baseline — a
@@ -305,6 +372,20 @@ func runMatchSmoke(w io.Writer, dur time.Duration, baselinePath string) error {
 		{"single-lock", func() match.Store { return match.NewUnsharded() }},
 		{"sharded", func() match.Store { return match.NewServer() }},
 	}
+	// Best-of-3 windows with a forced GC before each: a ratio gate cannot
+	// afford a cell that happens to host the collection of the previous
+	// cell's dead 100k-entry store (observed swings exceed 30x otherwise).
+	bestOf3 := func(s match.Store, op func(s match.Store) func(int, int64, *rand.Rand)) float64 {
+		best := 0.0
+		for r := 0; r < 3; r++ {
+			runtime.GC()
+			ops, secs := benchCell(s, 1, dur, op(s))
+			if v := float64(ops) / secs; v > best {
+				best = v
+			}
+		}
+		return best
+	}
 	for _, st := range stores {
 		for _, op := range largeOps() {
 			if op.name == "bigmatch" || op.name == "bigchurn" {
@@ -312,10 +393,17 @@ func runMatchSmoke(w io.Writer, dur time.Duration, baselinePath string) error {
 			}
 			s := st.mk()
 			preloadLarge(s)
-			ops, secs := benchCell(s, 1, dur, op.run(s))
-			live[st.name+"/"+op.name] = float64(ops) / secs
-			fmt.Fprintf(w, "%-12s %-10s %12.0f ops/sec\n", st.name, op.name, float64(ops)/secs)
+			live[st.name+"/"+op.name] = bestOf3(s, op.run)
+			fmt.Fprintf(w, "%-12s %-10s %12.0f ops/sec\n", st.name, op.name, live[st.name+"/"+op.name])
 		}
+	}
+	// Weighted twins on the indexed store only: the gate compares them
+	// against the indexed store's own single-limb cells.
+	for _, op := range weightedLargeOps() {
+		s := match.NewServer()
+		preloadLargeWeighted(s)
+		live["sharded/"+op.name] = bestOf3(s, op.run)
+		fmt.Fprintf(w, "%-12s %-12s %12.0f ops/sec\n", "sharded", op.name, live["sharded/"+op.name])
 	}
 
 	// Ratio floors: healthy values are ~10-1000x, so 2x (range query) and
@@ -335,6 +423,19 @@ func runMatchSmoke(w io.Writer, dur time.Duration, baselinePath string) error {
 			status, failed = "FAIL", true
 		}
 		fmt.Fprintf(w, "%-10s sharded/single-lock = %.2fx (floor %.2fx) %s\n", c.op, ratio, c.floor, status)
+	}
+	// Weighted gate: multi-limb sums may cost the indexed store at most a
+	// 1.2x slowdown against its own single-limb throughput. Anything worse
+	// means a compare or copy path fell off the allocation-free limb
+	// arithmetic and onto big.Int.
+	const weightedCeiling = 1.2
+	for _, op := range []string{"bigupload", "bigmaxdist"} {
+		slowdown := live["sharded/"+op] / live["sharded/"+op+"-w"]
+		status := "ok"
+		if slowdown > weightedCeiling {
+			status, failed = "FAIL", true
+		}
+		fmt.Fprintf(w, "%-10s weighted slowdown = %.2fx (ceiling %.2fx) %s\n", op, slowdown, weightedCeiling, status)
 	}
 
 	if baselinePath != "" {

@@ -31,6 +31,7 @@ import (
 	"smatch/internal/dataset"
 	"smatch/internal/match"
 	"smatch/internal/profile"
+	"smatch/internal/scoring"
 	"smatch/internal/wire"
 )
 
@@ -52,19 +53,27 @@ func main() {
 		inFlight = flag.Int("inflight", 0, "cap on concurrent in-flight v2 requests per connection (0 = client default); the server may clamp it lower")
 		maxDist  = flag.Int64("maxdist", 1<<16, "order-sum distance threshold for -cmd subscribe")
 		watch    = flag.Duration("watch", 0, "how long -cmd subscribe listens for pushes (0 = until interrupted)")
+		weights  = flag.String("weights", "", `attribute priorities "w1,w2,..." (one per attribute; empty = unweighted) — must match the priorities the population was uploaded with, since weights are folded into key derivation`)
 	)
 	flag.Parse()
 
-	if err := run(*server, *dsName, *cmd, profile.ID(*userID), *topK, *theta, *kBits, *batch, *verify, *timeout, *retries, *backoff, *noPipe, *inFlight, *maxDist, *watch); err != nil {
+	if err := run(*server, *dsName, *cmd, profile.ID(*userID), *topK, *theta, *kBits, *batch, *verify, *timeout, *retries, *backoff, *noPipe, *inFlight, *maxDist, *watch, *weights); err != nil {
 		fmt.Fprintln(os.Stderr, "smatch-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, dsName, cmd string, userID profile.ID, topK, theta int, kBits uint, batch int, verify bool, timeout time.Duration, retries int, backoff time.Duration, noPipe bool, inFlight int, maxDist int64, watch time.Duration) error {
+func run(server, dsName, cmd string, userID profile.ID, topK, theta int, kBits uint, batch int, verify bool, timeout time.Duration, retries int, backoff time.Duration, noPipe bool, inFlight int, maxDist int64, watch time.Duration, weightSpec string) error {
 	ds, err := dataset.ByName(dsName)
 	if err != nil {
 		return err
+	}
+	w, err := scoring.Parse(weightSpec)
+	if err != nil {
+		return fmt.Errorf("-weights: %w", err)
+	}
+	if w != nil && len(w) != ds.Schema.NumAttrs() {
+		return fmt.Errorf("-weights: %d weights for the %d-attribute %s schema", len(w), ds.Schema.NumAttrs(), dsName)
 	}
 	conn, err := client.Dial(server, client.Options{
 		Timeout: timeout, MaxRetries: retries, RetryBackoff: backoff,
@@ -80,7 +89,7 @@ func run(server, dsName, cmd string, userID profile.ID, topK, theta int, kBits u
 		return fmt.Errorf("fetching OPRF key: %w", err)
 	}
 	sys, err := core.NewSystem(ds.Schema, ds.EmpiricalDist(),
-		core.Params{PlaintextBits: kBits, Theta: theta, TopK: topK}, oprfPK, nil)
+		core.Params{PlaintextBits: kBits, Theta: theta, TopK: topK, Weights: w}, oprfPK, nil)
 	if err != nil {
 		return err
 	}

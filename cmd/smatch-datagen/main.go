@@ -4,8 +4,10 @@
 //
 //	smatch-datagen -dataset Weibo -nodes 5000 -out weibo.csv
 //	smatch-datagen -dataset Infocom06 -stats
+//	smatch-datagen -dataset Sigcomm09 -seed 42 -out pop42.csv   # fresh reproducible population
 //	smatch-datagen -in mydump.csv -stats   # analyze an external profile dump
 //	smatch-datagen -dataset Weibo -nodes 2000 -upload 127.0.0.1:7788
+//	smatch-datagen -dataset Infocom06 -weights zipf -upload 127.0.0.1:7788
 package main
 
 import (
@@ -18,30 +20,37 @@ import (
 	"smatch/internal/core"
 	"smatch/internal/dataset"
 	"smatch/internal/match"
+	"smatch/internal/scoring"
 	"smatch/internal/wire"
 )
 
 func main() {
 	var (
-		name   = flag.String("dataset", "Infocom06", "dataset (Infocom06, Sigcomm09, Weibo)")
-		nodes  = flag.Int("nodes", 0, "override node count (Weibo only; 0 = default)")
-		out    = flag.String("out", "-", "output CSV path, - for stdout")
-		stats  = flag.Bool("stats", false, "print Table II statistics instead of profiles")
-		in     = flag.String("in", "", "load an external CSV dump instead of generating")
-		upload = flag.String("upload", "", "bulk-load the dataset into the server at this address (batched uploads) instead of writing CSV")
-		batch  = flag.Int("batch", 128, "entries per frame for -upload")
-		kBits  = flag.Uint("k", 64, "plaintext size in bits for -upload")
-		theta  = flag.Int("theta", 8, "RS decoder threshold for -upload")
+		name    = flag.String("dataset", "Infocom06", "dataset (Infocom06, Sigcomm09, Weibo)")
+		nodes   = flag.Int("nodes", 0, "override node count (Weibo only; 0 = default)")
+		seed    = flag.Uint64("seed", 0, "generator seed for a reproducible alternate population (0 = the canonical per-dataset population)")
+		out     = flag.String("out", "-", "output CSV path, - for stdout")
+		stats   = flag.Bool("stats", false, "print Table II statistics instead of profiles")
+		in      = flag.String("in", "", "load an external CSV dump instead of generating")
+		upload  = flag.String("upload", "", "bulk-load the dataset into the server at this address (batched uploads) instead of writing CSV")
+		batch   = flag.Int("batch", 128, "entries per frame for -upload")
+		kBits   = flag.Uint("k", 64, "plaintext size in bits for -upload")
+		theta   = flag.Int("theta", 8, "RS decoder threshold for -upload")
+		weights = flag.String("weights", "", `attribute priorities for -upload: "w1,w2,..." (one per attribute), or "zipf" for a generated priority profile (a few heavy attributes, long unit tail; deterministic per -seed)`)
+		zipfS   = flag.Float64("zipf-s", 1.2, "Zipf exponent for -weights zipf")
+		zipfMax = flag.Uint("zipf-max", 16, "largest priority for -weights zipf")
 	)
 	flag.Parse()
 
-	if err := run(*name, *nodes, *out, *stats, *in, *upload, *batch, *kBits, *theta); err != nil {
+	if err := run(*name, *nodes, *seed, *out, *stats, *in, *upload, *batch, *kBits, *theta,
+		*weights, *zipfS, *zipfMax); err != nil {
 		fmt.Fprintln(os.Stderr, "smatch-datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, nodes int, out string, stats bool, in, upload string, batch int, kBits uint, theta int) error {
+func run(name string, nodes int, seed uint64, out string, stats bool, in, upload string,
+	batch int, kBits uint, theta int, weights string, zipfS float64, zipfMax uint) error {
 	var ds *dataset.Dataset
 	switch {
 	case in != "":
@@ -55,9 +64,15 @@ func run(name string, nodes int, out string, stats bool, in, upload string, batc
 		}
 	case name == "Weibo" && nodes > 0:
 		ds = dataset.Weibo(nodes)
+		if seed != 0 {
+			var err error
+			if ds, err = weiboSeeded(nodes, seed); err != nil {
+				return err
+			}
+		}
 	default:
 		var err error
-		ds, err = dataset.ByName(name)
+		ds, err = dataset.ByNameSeeded(name, seed)
 		if err != nil {
 			return err
 		}
@@ -79,7 +94,11 @@ func run(name string, nodes int, out string, stats bool, in, upload string, batc
 	}
 
 	if upload != "" {
-		return bulkLoad(ds, upload, batch, kBits, theta)
+		w, err := parseWeights(weights, ds.Schema.NumAttrs(), zipfS, zipfMax, seed)
+		if err != nil {
+			return err
+		}
+		return bulkLoad(ds, upload, batch, kBits, theta, w)
 	}
 
 	if out == "-" {
@@ -93,14 +112,52 @@ func run(name string, nodes int, out string, stats bool, in, upload string, batc
 	return ds.WriteCSV(f)
 }
 
+// weiboSeeded resolves the -nodes/-seed combination for Weibo, which is the
+// one dataset with a free node count.
+func weiboSeeded(nodes int, seed uint64) (*dataset.Dataset, error) {
+	ds, err := dataset.ByNameSeeded("Weibo", seed)
+	if err != nil {
+		return nil, err
+	}
+	if nodes == dataset.DefaultWeiboNodes {
+		return ds, nil
+	}
+	// ByNameSeeded fixes the default scale; regenerate through WriteCSV is
+	// not an option, so reuse the seed via the dedicated constructor path.
+	return dataset.WeiboSeeded(nodes, seed), nil
+}
+
+// parseWeights resolves the -weights flag: empty = unweighted, "zipf" = a
+// generated Zipf priority profile (deterministic per seed), otherwise an
+// explicit comma-separated vector checked against the schema width.
+func parseWeights(spec string, numAttrs int, zipfS float64, zipfMax uint, seed uint64) (scoring.Weights, error) {
+	switch spec {
+	case "", "unit":
+		return nil, nil
+	case "zipf":
+		return scoring.Zipf(numAttrs, zipfS, uint32(zipfMax), seed), nil
+	default:
+		w, err := scoring.Parse(spec)
+		if err != nil {
+			return nil, fmt.Errorf("-weights: %w", err)
+		}
+		if len(w) != numAttrs {
+			return nil, fmt.Errorf("-weights: %d weights for a %d-attribute dataset", len(w), numAttrs)
+		}
+		return w, nil
+	}
+}
+
 // bulkLoad pushes the whole dataset into a running server through the
 // batched upload path: entries are prepared with the full client pipeline
 // (OPRF keygen over the wire, entropy mapping, chaining, OPE) and sent
 // wire.MaxUploadBatch-bounded frames at a time — one round trip and one
 // group-committed WAL fsync per frame instead of per user. Device secrets
 // match smatch-client's ("device-<dataset>-<id>"), so a loaded server
-// answers smatch-client queries for the same dataset.
-func bulkLoad(ds *dataset.Dataset, addr string, batch int, kBits uint, theta int) error {
+// answers smatch-client queries for the same dataset — provided the query
+// uses the same -weights: priorities are folded into key derivation, so a
+// mismatched-weight query lands in unrelated buckets by construction.
+func bulkLoad(ds *dataset.Dataset, addr string, batch int, kBits uint, theta int, w scoring.Weights) error {
 	if batch < 1 || batch > wire.MaxUploadBatch {
 		return fmt.Errorf("-batch %d out of range [1, %d]", batch, wire.MaxUploadBatch)
 	}
@@ -114,9 +171,12 @@ func bulkLoad(ds *dataset.Dataset, addr string, batch int, kBits uint, theta int
 		return fmt.Errorf("fetching OPRF key: %w", err)
 	}
 	sys, err := core.NewSystem(ds.Schema, ds.EmpiricalDist(),
-		core.Params{PlaintextBits: kBits, Theta: theta}, oprfPK, nil)
+		core.Params{PlaintextBits: kBits, Theta: theta, Weights: w}, oprfPK, nil)
 	if err != nil {
 		return err
+	}
+	if !w.IsUnit() {
+		fmt.Printf("weighted upload: priorities %s\n", w)
 	}
 
 	start := time.Now()

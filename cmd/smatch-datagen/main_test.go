@@ -8,14 +8,14 @@ import (
 )
 
 func TestRunStats(t *testing.T) {
-	if err := run("Infocom06", 0, "-", true, "", "", 128, 64, 8); err != nil {
+	if err := run("Infocom06", 0, 0, "-", true, "", "", 128, 64, 8, "", 1.2, 16); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCSVToFile(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "ds.csv")
-	if err := run("Sigcomm09", 0, out, false, "", "", 128, 64, 8); err != nil {
+	if err := run("Sigcomm09", 0, 0, out, false, "", "", 128, 64, 8, "", 1.2, 16); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -36,7 +36,7 @@ func TestRunCSVToFile(t *testing.T) {
 
 func TestRunWeiboScaled(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "weibo.csv")
-	if err := run("Weibo", 123, out, false, "", "", 128, 64, 8); err != nil {
+	if err := run("Weibo", 123, 0, out, false, "", "", 128, 64, 8, "", 1.2, 16); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -49,22 +49,71 @@ func TestRunWeiboScaled(t *testing.T) {
 	}
 }
 
+func TestRunSeededPopulations(t *testing.T) {
+	// The same seed reproduces the same population; a different seed (and
+	// seed 0, the canonical one) produce different populations over the same
+	// schema.
+	read := func(seed uint64) string {
+		t.Helper()
+		out := filepath.Join(t.TempDir(), "ds.csv")
+		if err := run("Infocom06", 0, seed, out, false, "", "", 128, 64, 8, "", 1.2, 16); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	a, b := read(42), read(42)
+	if a != b {
+		t.Error("seed 42 is not reproducible")
+	}
+	if c := read(43); c == a {
+		t.Error("seeds 42 and 43 generated identical populations")
+	}
+	if canonical := read(0); canonical == a {
+		t.Error("seed 42 matches the canonical population")
+	}
+	if h := strings.SplitN(a, "\n", 2)[0]; !strings.HasPrefix(h, "user_id,") {
+		t.Errorf("seeded CSV header: %q", h)
+	}
+}
+
 func TestRunUnknownDataset(t *testing.T) {
-	if err := run("MySpace", 0, "-", true, "", "", 128, 64, 8); err == nil {
+	if err := run("MySpace", 0, 0, "-", true, "", "", 128, 64, 8, "", 1.2, 16); err == nil {
 		t.Error("unknown dataset accepted")
 	}
 }
 
 func TestRunLoadExternalCSV(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "dump.csv")
-	if err := run("Infocom06", 0, out, false, "", "", 128, 64, 8); err != nil {
+	if err := run("Infocom06", 0, 0, out, false, "", "", 128, 64, 8, "", 1.2, 16); err != nil {
 		t.Fatal(err)
 	}
 	// Reload the dump and print its stats.
-	if err := run("", 0, "-", true, out, "", 128, 64, 8); err != nil {
+	if err := run("", 0, 0, "-", true, out, "", 128, 64, 8, "", 1.2, 16); err != nil {
 		t.Fatalf("loading external CSV: %v", err)
 	}
-	if err := run("", 0, "-", true, filepath.Join(t.TempDir(), "missing.csv"), "", 128, 64, 8); err == nil {
+	if err := run("", 0, 0, "-", true, filepath.Join(t.TempDir(), "missing.csv"), "", 128, 64, 8, "", 1.2, 16); err == nil {
 		t.Error("missing input file accepted")
+	}
+}
+
+func TestParseWeightsFlag(t *testing.T) {
+	if w, err := parseWeights("", 6, 1.2, 16, 0); err != nil || w != nil {
+		t.Errorf("empty spec: (%v, %v), want (nil, nil)", w, err)
+	}
+	if w, err := parseWeights("zipf", 6, 1.2, 16, 7); err != nil || len(w) != 6 {
+		t.Errorf("zipf spec: (%v, %v), want 6 weights", w, err)
+	}
+	if w, err := parseWeights("3,1,2,1,1,4", 6, 1.2, 16, 0); err != nil || len(w) != 6 {
+		t.Errorf("explicit spec: (%v, %v)", w, err)
+	}
+	if _, err := parseWeights("3,1", 6, 1.2, 16, 0); err == nil {
+		t.Error("wrong-width vector accepted")
+	}
+	if _, err := parseWeights("3,x", 2, 1.2, 16, 0); err == nil {
+		t.Error("malformed vector accepted")
 	}
 }

@@ -4,15 +4,23 @@
 //
 // The program starts an S-MATCH server on a loopback port, registers every
 // conference attendee through the network protocol (fetching the OPRF
-// public key, running the blind key-generation rounds, uploading encrypted
-// chains), then lets a few attendees query for people with similar
-// registration profiles and verify the answers.
+// public key, running the blind key-generation rounds, batching encrypted
+// chains onto the wire), then lets a few attendees query for people with
+// similar registration profiles and verify the answers.
 //
 //	go run ./examples/friendfinder
+//	go run ./examples/friendfinder -weights 4,4,1,1,2,2
+//
+// With -weights, attendees agree on per-attribute priorities (here:
+// country and affiliation matter 4x, neighborhood and interest 2x). The
+// weighting is applied entirely client-side — each entropy-mapped value is
+// integer-scaled before OPE sealing — so the server runs unmodified and
+// ranks by the weighted order-sum distance without learning the values.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -21,6 +29,13 @@ import (
 )
 
 func main() {
+	weightSpec := flag.String("weights", "", `per-attribute priorities "w1,...,w6" (empty = unweighted)`)
+	flag.Parse()
+	weights, err := smatch.ParseWeights(*weightSpec)
+	if err != nil {
+		log.Fatalf("-weights: %v", err)
+	}
+
 	// --- server side (the service operator's machine) ---
 	oprfServer, err := smatch.NewOPRFServer(1024)
 	if err != nil {
@@ -61,12 +76,30 @@ func main() {
 		log.Fatal(err)
 	}
 	sys, err := smatch.NewSystem(ds.Schema, ds.EmpiricalDist(),
-		smatch.Params{PlaintextBits: 64, Theta: 8}, oprfPK, nil)
+		smatch.Params{PlaintextBits: 64, Theta: 8, Weights: weights}, oprfPK, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if weights != nil {
+		fmt.Printf("weighted matching: priorities %s\n", weights)
+	}
 
+	// Register everyone through the batched upload path: keygen still runs
+	// per attendee (each phone holds its own secrets), but encrypted chains
+	// ride the wire a frame at a time — one round trip and one WAL fsync
+	// per batch instead of per user.
+	const uploadBatch = 32
 	start := time.Now()
+	entries := make([]smatch.Entry, 0, uploadBatch)
+	flush := func() {
+		if len(entries) == 0 {
+			return
+		}
+		if _, err := conn.UploadBatch(entries); err != nil {
+			log.Fatalf("batch upload: %v", err)
+		}
+		entries = entries[:0]
+	}
 	for _, p := range ds.Profiles {
 		dev, err := sys.NewClient(conn, []byte(fmt.Sprintf("phone-%d", p.ID)))
 		if err != nil {
@@ -76,12 +109,14 @@ func main() {
 		if err != nil {
 			log.Fatalf("attendee %d: %v", p.ID, err)
 		}
-		if err := conn.Upload(entry); err != nil {
-			log.Fatalf("attendee %d: %v", p.ID, err)
+		entries = append(entries, entry)
+		if len(entries) == uploadBatch {
+			flush()
 		}
 	}
-	fmt.Printf("registered %d attendees in %v (keygen over network OPRF + upload)\n",
-		len(ds.Profiles), time.Since(start).Round(time.Millisecond))
+	flush()
+	fmt.Printf("registered %d attendees in %v (keygen over network OPRF + batched upload, %d per frame)\n",
+		len(ds.Profiles), time.Since(start).Round(time.Millisecond), uploadBatch)
 
 	// A few attendees look for similar people and verify the results.
 	for _, id := range []smatch.ID{3, 17, 42} {
@@ -118,7 +153,7 @@ func main() {
 					break
 				}
 			}
-			d, _ := smatch.Distance(me, peer)
+			d, _ := smatch.WeightedDistance(me, peer, weights)
 			fmt.Printf(" user %d (distance %d)", r.ID, d)
 		}
 		fmt.Println()

@@ -30,32 +30,70 @@ type Chain struct {
 	CtBits uint
 }
 
-// Codec seals profiles into chains under one OPE scheme (hence one profile
-// key). Safe for concurrent use.
-type Codec struct {
-	scheme *ope.Scheme
+// Scorer is the pluggable scoring hook applied between the entropy mapping
+// and OPE sealing: it turns entropy-mapped plaintexts into the scored
+// plaintexts whose ciphertext order sum the server compares (the weighted-
+// matching extension point; internal/scoring implements it). Score must
+// return one value per input, may return the input slice itself when it is
+// the identity, and must never mutate the inputs.
+type Scorer interface {
+	Score(mapped []*big.Int) ([]*big.Int, error)
 }
 
-// NewCodec wraps an OPE scheme.
+// Codec seals profiles into chains under one OPE scheme (hence one profile
+// key), optionally scoring the plaintexts first. Safe for concurrent use.
+type Codec struct {
+	scheme *ope.Scheme
+	scorer Scorer // nil = identity (the unit scoring profile)
+}
+
+// NewCodec wraps an OPE scheme with identity scoring — the legacy
+// unweighted pipeline, byte for byte.
 func NewCodec(scheme *ope.Scheme) (*Codec, error) {
+	return NewScoredCodec(scheme, nil)
+}
+
+// NewScoredCodec wraps an OPE scheme plus a scoring hook. A nil scorer is
+// the identity; callers holding a unit scoring profile should pass nil so
+// the hot path skips the indirection entirely.
+func NewScoredCodec(scheme *ope.Scheme, scorer Scorer) (*Codec, error) {
 	if scheme == nil {
 		return nil, errors.New("chain: nil OPE scheme")
 	}
-	return &Codec{scheme: scheme}, nil
+	return &Codec{scheme: scheme, scorer: scorer}, nil
 }
 
-// Seal permutes the mapped attribute values with a permutation drawn from
-// permCoins (each user derives its own secret stream) and OPE-encrypts each
-// value. len(mapped) is the attribute count d.
+// Seal scores the mapped attribute values (identity unless a Scorer is
+// plugged in), permutes them with a permutation drawn from permCoins (each
+// user derives its own secret stream) and OPE-encrypts each value.
+// len(mapped) is the attribute count d. Scored values that overflow the
+// scheme's plaintext space are reported explicitly: the OPE ranges must be
+// widened by the scoring profile's extra bits (core does this
+// automatically).
 func (c *Codec) Seal(mapped []*big.Int, permCoins *prf.Stream) (*Chain, error) {
 	if len(mapped) == 0 {
 		return nil, errors.New("chain: empty attribute vector")
 	}
-	perm := permCoins.Perm(len(mapped))
-	cts := make([]*big.Int, len(mapped))
-	for i, src := range perm {
-		ct, err := c.scheme.Encrypt(mapped[src])
+	vals := mapped
+	if c.scorer != nil {
+		scored, err := c.scorer.Score(mapped)
 		if err != nil {
+			return nil, fmt.Errorf("chain: scoring: %w", err)
+		}
+		if len(scored) != len(mapped) {
+			return nil, fmt.Errorf("chain: scorer returned %d values for %d attributes", len(scored), len(mapped))
+		}
+		vals = scored
+	}
+	perm := permCoins.Perm(len(vals))
+	cts := make([]*big.Int, len(vals))
+	for i, src := range perm {
+		ct, err := c.scheme.Encrypt(vals[src])
+		if err != nil {
+			if errors.Is(err, ope.ErrPlaintextRange) && c.scorer != nil {
+				return nil, fmt.Errorf("chain: scored attribute %d overflows the %d-bit OPE plaintext budget (widen PlaintextBits by the scoring profile's ExtraBits): %w",
+					src, c.scheme.Params().PlaintextBits, err)
+			}
 			return nil, fmt.Errorf("chain: encrypting attribute %d: %w", src, err)
 		}
 		cts[i] = ct

@@ -19,6 +19,12 @@ import (
 // smallest sufficient k is the efficient choice; the paper's fixed k = 64
 // corresponds to securityLevel ≈ 80 for its datasets, which this function
 // recovers.
+//
+// Weighted deployments keep using this base k unchanged: integer scaling
+// w_i·A'_i is injective, so the mapped entropy — and with it the Theorem-1
+// level — is exactly preserved. Only the OPE range must grow to hold the
+// scaled values, and Params.EffectiveOPE widens both spaces by the weight
+// vector's ExtraBits on top of whatever k this function picked.
 func AdaptivePlaintextBits(dist [][]float64, securityLevel float64) (uint, error) {
 	if len(dist) == 0 {
 		return 0, errors.New("core: no attribute distributions")

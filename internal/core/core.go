@@ -26,6 +26,7 @@ import (
 	"smatch/internal/oprf"
 	"smatch/internal/prf"
 	"smatch/internal/profile"
+	"smatch/internal/scoring"
 	"smatch/internal/verify"
 )
 
@@ -50,6 +51,16 @@ type Params struct {
 	// DisableRS skips the Reed-Solomon snap in key generation (ablation
 	// switch; see internal/keygen.Options).
 	DisableRS bool
+	// Weights are the deployment's per-attribute matching priorities
+	// (nil = unweighted). They are applied client-side only — each
+	// entropy-mapped value is integer-scaled before OPE sealing — so the
+	// server's order-sum distance becomes the weighted distance while the
+	// wire and storage formats stay unchanged. The OPE plaintext and
+	// ciphertext spaces are widened by Weights.ExtraBits() automatically;
+	// the canonical weight encoding is folded into key derivation so
+	// differently-weighted deployments never share buckets. See
+	// internal/scoring.
+	Weights scoring.Weights
 }
 
 // WithDefaults fills zero fields with the paper's evaluation settings.
@@ -69,9 +80,11 @@ func (p Params) WithDefaults() Params {
 	return p
 }
 
-// Validate checks parameter sanity after defaulting.
+// Validate checks parameter sanity after defaulting. Weight-vs-schema
+// agreement needs the schema and is checked by NewSystem; only the weight
+// bounds are validated here.
 func (p Params) Validate() error {
-	if err := (ope.Params{PlaintextBits: p.PlaintextBits, CiphertextBits: p.CiphertextBits}).Validate(); err != nil {
+	if _, err := p.EffectiveOPE(); err != nil {
 		return err
 	}
 	if p.Theta < 1 {
@@ -83,14 +96,42 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// EffectiveOPE returns the OPE parameters the pipeline actually runs:
+// PlaintextBits/CiphertextBits are the per-attribute budgets before
+// scoring, and both are widened by the weight vector's ExtraBits so every
+// scaled value w_i·A'_i fits. This is the weighted extension of the
+// adaptive sizing contract — AdaptivePlaintextBits still picks the base k
+// from the mapped entropy (integer scaling is injective, so the
+// entropy and hence the Theorem-1 level are unchanged), and the widening
+// rides on top. Unit weights widen by zero, keeping legacy parameters.
+func (p Params) EffectiveOPE() (ope.Params, error) {
+	if err := p.Weights.CheckBounds(); err != nil {
+		return ope.Params{}, err
+	}
+	extra := p.Weights.ExtraBits()
+	eff := ope.Params{
+		PlaintextBits:  p.PlaintextBits + extra,
+		CiphertextBits: p.CiphertextBits + extra,
+	}
+	if err := (ope.Params{PlaintextBits: p.PlaintextBits, CiphertextBits: p.CiphertextBits}).Validate(); err != nil {
+		return ope.Params{}, err
+	}
+	if err := eff.Validate(); err != nil {
+		return ope.Params{}, err
+	}
+	return eff, nil
+}
+
 // System is the shared public configuration of one S-MATCH deployment.
 // Immutable and safe for concurrent use.
 type System struct {
-	schema   profile.Schema
-	params   Params
-	oprfPK   oprf.PublicKey
-	verifier *verify.Verifier
-	mappers  []*entropy.Mapper
+	schema    profile.Schema
+	params    Params
+	opeParams ope.Params // effective ranges: params widened by scoring
+	scorer    *scoring.Profile
+	oprfPK    oprf.PublicKey
+	verifier  *verify.Verifier
+	mappers   []*entropy.Mapper
 }
 
 // NewSystem builds a deployment configuration. dist[i] is the published
@@ -103,6 +144,14 @@ func NewSystem(schema profile.Schema, dist [][]float64, params Params, oprfPK op
 		return nil, err
 	}
 	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	scorer, err := scoring.NewProfile(schema, params.Weights)
+	if err != nil {
+		return nil, err
+	}
+	opeParams, err := params.EffectiveOPE()
+	if err != nil {
 		return nil, err
 	}
 	if len(dist) != schema.NumAttrs() {
@@ -127,11 +176,13 @@ func NewSystem(schema profile.Schema, dist [][]float64, params Params, oprfPK op
 		mappers[i] = m
 	}
 	return &System{
-		schema:   schema,
-		params:   params,
-		oprfPK:   oprfPK,
-		verifier: verifier,
-		mappers:  mappers,
+		schema:    schema,
+		params:    params,
+		opeParams: opeParams,
+		scorer:    scorer,
+		oprfPK:    oprfPK,
+		verifier:  verifier,
+		mappers:   mappers,
 	}, nil
 }
 
@@ -140,6 +191,10 @@ func (s *System) Schema() profile.Schema { return s.schema }
 
 // Params returns the scheme parameters (with defaults applied).
 func (s *System) Params() Params { return s.params }
+
+// Scoring returns the deployment's scoring profile (the unit profile for
+// unweighted deployments).
+func (s *System) Scoring() *scoring.Profile { return s.scorer }
 
 // Verifier exposes the verification protocol instance.
 func (s *System) Verifier() *verify.Verifier { return s.verifier }
@@ -188,14 +243,18 @@ func (c *Client) encFor(key *keygen.Key) (*encState, error) {
 	if ok {
 		return st, nil
 	}
-	scheme, err := ope.NewScheme(key.Bytes(), ope.Params{
-		PlaintextBits:  c.sys.params.PlaintextBits,
-		CiphertextBits: c.sys.params.CiphertextBits,
-	})
+	scheme, err := ope.NewScheme(key.Bytes(), c.sys.opeParams)
 	if err != nil {
 		return nil, err
 	}
-	codec, err := chain.NewCodec(scheme)
+	// The unit profile plugs in as a nil Scorer so the unweighted seal
+	// path has no indirection and stays byte-identical to the
+	// pre-scoring pipeline.
+	var scorer chain.Scorer
+	if !c.sys.scorer.IsUnit() {
+		scorer = c.sys.scorer
+	}
+	codec, err := chain.NewScoredCodec(scheme, scorer)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +286,7 @@ func (s *System) NewClient(eval oprf.Evaluator, secret []byte) (*Client, error) 
 		return nil, errors.New("core: empty device secret")
 	}
 	gen, err := keygen.NewWithOptions(s.schema, s.params.Theta, s.oprfPK, eval,
-		keygen.Options{DisableRS: s.params.DisableRS})
+		keygen.Options{DisableRS: s.params.DisableRS, KeyBinding: s.scorer.KeyBinding()})
 	if err != nil {
 		return nil, err
 	}
@@ -273,9 +332,11 @@ func (c *Client) InitData(p profile.Profile) ([]*big.Int, error) {
 	return mapped, nil
 }
 
-// Enc chains the mapped attributes in this device's secret random order and
-// OPE-encrypts them under the profile key (Figure 3, Algorithm InitData
-// step 2 + Algorithm Enc).
+// Enc scores the mapped attributes through the system's scoring profile
+// (w_i·A'_i; identity for unweighted deployments), chains them in this
+// device's secret random order and OPE-encrypts them under the profile key
+// (Figure 3, Algorithm InitData step 2 + Algorithm Enc, plus the
+// priority-weighting extension).
 func (c *Client) Enc(key *keygen.Key, id profile.ID, mapped []*big.Int) (*chain.Chain, error) {
 	st, err := c.encFor(key)
 	if err != nil {
@@ -362,7 +423,7 @@ func (c *Client) VerifyResults(key *keygen.Key, results []match.Result) (verifie
 func (s *System) UploadBits(withVerification bool) int {
 	const lid = 32 // the paper's user-ID length
 	lh := 256      // h(Kup): SHA-256
-	bits := lid + lh + s.schema.NumAttrs()*int(s.params.CiphertextBits)
+	bits := lid + lh + s.schema.NumAttrs()*int(s.opeParams.CiphertextBits)
 	if withVerification {
 		bits += s.verifier.AuthLen() * 8
 	}

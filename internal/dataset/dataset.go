@@ -75,9 +75,22 @@ type Dataset struct {
 	Dist [][]float64
 }
 
+// Canonical generator seeds: the fixed coin seeds behind the default
+// constructors, which every calibration test and committed experiment
+// baseline pins. Seeded variants (ByNameSeeded, smatch-datagen -seed)
+// draw fresh-but-reproducible populations from the same calibrated
+// design by substituting another seed.
+const (
+	Infocom06Seed = 0xd06
+	Sigcomm09Seed = 0x5109
+	WeiboSeed     = 0x3e1b0
+)
+
 // Infocom06 generates the Infocom06 stand-in (78 conference attendees,
 // 6 attributes from registration questionnaires).
-func Infocom06() *Dataset {
+func Infocom06() *Dataset { return infocom06(Infocom06Seed) }
+
+func infocom06(seed uint64) *Dataset {
 	cfg := []attrConfig{
 		{name: "country", numValues: 12, targetEntropy: 0.84, landmark: true},
 		{name: "affiliation_type", numValues: 10, targetEntropy: 1.30, landmark: true},
@@ -86,12 +99,14 @@ func Infocom06() *Dataset {
 		{name: "neighborhood", numValues: 32, targetEntropy: 4.40, jitter: 1},
 		{name: "interest_topic", numValues: 64, targetEntropy: 5.90, jitter: 1},
 	}
-	return generate("Infocom06", 78, cfg, 5, 0xd06)
+	return generate("Infocom06", 78, cfg, 5, seed)
 }
 
 // Sigcomm09 generates the Sigcomm09 stand-in (76 volunteers, 6 basic +
 // extended Facebook-derived attributes).
-func Sigcomm09() *Dataset {
+func Sigcomm09() *Dataset { return sigcomm09(Sigcomm09Seed) }
+
+func sigcomm09(seed uint64) *Dataset {
 	cfg := []attrConfig{
 		{name: "country", numValues: 12, targetEntropy: 0.90, landmark: true},
 		{name: "affiliation", numValues: 12, targetEntropy: 1.30, landmark: true},
@@ -100,7 +115,7 @@ func Sigcomm09() *Dataset {
 		{name: "fb_interest_1", numValues: 80, targetEntropy: 6.60, jitter: 1},
 		{name: "fb_interest_2", numValues: 96, targetEntropy: 6.95, jitter: 1},
 	}
-	return generate("Sigcomm09", 76, cfg, 5, 0x5109)
+	return generate("Sigcomm09", 76, cfg, 5, seed)
 }
 
 // DefaultWeiboNodes is the node count used by tests and benches. The
@@ -112,7 +127,18 @@ const DefaultWeiboNodes = 10_000
 
 // Weibo generates the Weibo stand-in (basic plus 10-interest extended
 // profile, 17 attributes, check-in landmarks) with the given node count.
-func Weibo(nodes int) *Dataset {
+func Weibo(nodes int) *Dataset { return weibo(nodes, WeiboSeed) }
+
+// WeiboSeeded is Weibo with an explicit generator seed (0 = canonical),
+// for reproducible alternate populations at any scale.
+func WeiboSeeded(nodes int, seed uint64) *Dataset {
+	if seed == 0 {
+		seed = WeiboSeed
+	}
+	return weibo(nodes, seed)
+}
+
+func weibo(nodes int, seed uint64) *Dataset {
 	cfg := []attrConfig{
 		{name: "province", numValues: 16, targetEntropy: 0.54, landmark: true},
 		{name: "city_checkin", numValues: 24, targetEntropy: 0.80, landmark: true},
@@ -132,19 +158,34 @@ func Weibo(nodes int) *Dataset {
 		{name: "interest_9", numValues: 160, targetEntropy: 6.80, jitter: 1},
 		{name: "interest_10", numValues: 800, targetEntropy: 8.40, jitter: 1},
 	}
-	return generate("Weibo", nodes, cfg, 6, 0x3e1b0)
+	return generate("Weibo", nodes, cfg, 6, seed)
 }
 
 // ByName returns a dataset by its paper name, using the default Weibo
 // scale. Unknown names return an error.
 func ByName(name string) (*Dataset, error) {
+	return ByNameSeeded(name, 0)
+}
+
+// ByNameSeeded is ByName with an explicit generator seed: the same
+// calibrated attribute design (so Table II statistics still hold in
+// expectation), but an independent reproducible population per seed.
+// Seed 0 means the canonical per-dataset seed, i.e. the exact population
+// the default constructors produce.
+func ByNameSeeded(name string, seed uint64) (*Dataset, error) {
+	pick := func(canonical uint64) uint64 {
+		if seed == 0 {
+			return canonical
+		}
+		return seed
+	}
 	switch name {
 	case "Infocom06":
-		return Infocom06(), nil
+		return infocom06(pick(Infocom06Seed)), nil
 	case "Sigcomm09":
-		return Sigcomm09(), nil
+		return sigcomm09(pick(Sigcomm09Seed)), nil
 	case "Weibo":
-		return Weibo(DefaultWeiboNodes), nil
+		return weibo(DefaultWeiboNodes, pick(WeiboSeed)), nil
 	default:
 		return nil, fmt.Errorf("dataset: unknown dataset %q (want Infocom06, Sigcomm09 or Weibo)", name)
 	}

@@ -70,11 +70,12 @@ func (k *Key) Equal(other *Key) bool {
 // Generator derives profile keys for one schema and threshold. Safe for
 // concurrent use.
 type Generator struct {
-	schema profile.Schema
-	theta  int
-	code   *rs.Code
-	pk     oprf.PublicKey
-	eval   oprf.Evaluator
+	schema  profile.Schema
+	theta   int
+	code    *rs.Code
+	pk      oprf.PublicKey
+	eval    oprf.Evaluator
+	binding []byte
 }
 
 // Options tune the generator beyond the paper's defaults.
@@ -83,6 +84,13 @@ type Options struct {
 	// raw quantized profile. Used by the ablation experiments to isolate
 	// what codeword merging contributes to the true-positive rate.
 	DisableRS bool
+	// KeyBinding is opaque public deployment material folded into the key
+	// seed before OPRF hardening — the scoring layer passes its canonical
+	// weight encoding here, so profiles enrolled under different scoring
+	// configurations derive unrelated keys and their (differently scaled)
+	// chains can never silently collide in one bucket. Empty keeps the
+	// legacy v1 seed bytes, so binding-free deployments are unchanged.
+	KeyBinding []byte
 }
 
 // New constructs a Generator with default options. theta is the RS decoder
@@ -114,7 +122,8 @@ func NewWithOptions(schema profile.Schema, theta int, pk oprf.PublicKey, eval op
 			return nil, fmt.Errorf("keygen: attribute %q quantizes outside GF(2^%d)", a.Name, fieldBits)
 		}
 	}
-	g := &Generator{schema: schema, theta: theta, pk: pk, eval: eval}
+	g := &Generator{schema: schema, theta: theta, pk: pk, eval: eval,
+		binding: append([]byte(nil), opts.KeyBinding...)}
 	if d >= 3 && !opts.DisableRS {
 		// Shortened (d, k) code over GF(2^10): correct up to ~d/4 symbol
 		// straddles. With d < 3 there is no room for parity; quantization
@@ -191,21 +200,32 @@ func (g *Generator) ProfileKey(p profile.Profile) (*Key, error) {
 	return &Key{bytes: hardened}, nil
 }
 
-// keySeed computes K' = H(T(u)).
+// keySeed computes K' = H(T(u)), folding in the key binding when present.
 func (g *Generator) keySeed(p profile.Profile) ([]byte, error) {
 	t, err := g.FuzzyVector(p)
 	if err != nil {
 		return nil, err
 	}
-	return hashFuzzyVector(g.theta, t), nil
+	return hashFuzzyVector(g.theta, g.binding, t), nil
 }
 
 // hashFuzzyVector hashes a fuzzy vector into the OPRF input K',
 // domain-separated by theta and the vector length so keys from different
-// configurations never collide.
-func hashFuzzyVector(theta int, t []gf.Elem) []byte {
+// configurations never collide. A non-empty binding switches to the v2
+// domain and is length-prefixed into the hash, so bound and unbound seeds
+// — and seeds under different bindings — live in disjoint input spaces;
+// an empty binding reproduces the v1 bytes exactly.
+func hashFuzzyVector(theta int, binding []byte, t []gf.Elem) []byte {
 	h := sha256.New()
-	h.Write([]byte("smatch/keyseed/v1/"))
+	if len(binding) == 0 {
+		h.Write([]byte("smatch/keyseed/v1/"))
+	} else {
+		h.Write([]byte("smatch/keyseed/v2/"))
+		var blen [4]byte
+		binary.BigEndian.PutUint32(blen[:], uint32(len(binding)))
+		h.Write(blen[:])
+		h.Write(binding)
+	}
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(theta))
 	binary.BigEndian.PutUint32(hdr[4:], uint32(len(t)))

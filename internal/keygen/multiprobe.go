@@ -87,13 +87,13 @@ func (g *Generator) ProfileKeyCandidates(p profile.Profile, maxProbes int) ([]Ca
 		return nil, err
 	}
 	meta := []Candidate{{Attr: -1, Delta: 0}}
-	seeds := [][]byte{hashFuzzyVector(g.theta, g.snapToCode(q))}
+	seeds := [][]byte{hashFuzzyVector(g.theta, g.binding, g.snapToCode(q))}
 	for _, pr := range probes {
 		alt := make([]gf.Elem, len(q))
 		copy(alt, q)
 		alt[pr.attr] = gf.Elem(int(alt[pr.attr]) + pr.delta)
 		meta = append(meta, Candidate{Attr: pr.attr, Delta: pr.delta})
-		seeds = append(seeds, hashFuzzyVector(g.theta, g.snapToCode(alt)))
+		seeds = append(seeds, hashFuzzyVector(g.theta, g.binding, g.snapToCode(alt)))
 	}
 	hardened, err := oprf.EvalBatch(g.pk, g.eval, seeds)
 	if err != nil {

@@ -1,0 +1,72 @@
+package leakage
+
+import (
+	"math/big"
+	"testing"
+)
+
+// TestWeightedSearchSpaceInvariance pins the scoring layer's core security
+// claim: running the Figure-1 pruning attack against a weight-scaled table
+// leaves exactly as many candidates as against the unscaled one, for any
+// positive weight — scaling is a relabeling, not a leak.
+func TestWeightedSearchSpaceInvariance(t *testing.T) {
+	stored, pairOf := Figure1Table(50)
+	known := []Pair{pairOf(3), pairOf(43)}
+	base, err := SearchSpace(stored, known, big.NewInt(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []uint32{1, 2, 7, 1024, 1 << 20} {
+		n, err := WeightedSearchSpace(stored, known, big.NewInt(20), w)
+		if err != nil {
+			t.Fatalf("weight %d: %v", w, err)
+		}
+		if n != base {
+			t.Errorf("weight %d: search space %d != unweighted %d", w, n, base)
+		}
+	}
+	// The invariance holds in the unbounded cases too.
+	noPairs, err := WeightedSearchSpace(stored, nil, big.NewInt(20), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noPairs != len(stored) {
+		t.Errorf("no known pairs: weighted space %d, want the whole table %d", noPairs, len(stored))
+	}
+}
+
+func TestWeightedSearchSpaceValidation(t *testing.T) {
+	stored, pairOf := Figure1Table(5)
+	if _, err := WeightedSearchSpace(stored, nil, big.NewInt(1), 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := WeightedSearchSpace(stored, nil, nil, 2); err == nil {
+		t.Error("nil target accepted")
+	}
+	if _, err := WeightedSearchSpace([]*big.Int{nil}, nil, big.NewInt(1), 2); err == nil {
+		t.Error("nil stored plaintext accepted")
+	}
+	if _, err := WeightedSearchSpace(stored, []Pair{{}}, big.NewInt(1), 2); err == nil {
+		t.Error("empty known pair accepted")
+	}
+	if _, err := WeightedSearchSpace(stored, []Pair{pairOf(2)}, big.NewInt(1), 2); err != nil {
+		t.Errorf("valid input rejected: %v", err)
+	}
+}
+
+// TestAnalyzeWeights: the report discloses exactly the ciphertext-range
+// widening and the max-weight bound it implies, and nothing shifts in the
+// entropy or security-level deltas.
+func TestAnalyzeWeights(t *testing.T) {
+	zero := AnalyzeWeights(0)
+	if zero.ExtraBits != 0 || zero.MaxWeightBound != 1 {
+		t.Errorf("unweighted analysis = %+v, want 0 extra bits, bound 1", zero)
+	}
+	l := AnalyzeWeights(10)
+	if l.ExtraBits != 10 || l.MaxWeightBound != 1024 {
+		t.Errorf("AnalyzeWeights(10) = %+v, want bound 1024", l)
+	}
+	if l.EntropyDelta != 0 || l.LevelDelta != 0 {
+		t.Errorf("weighting must not shift entropy or level: %+v", l)
+	}
+}

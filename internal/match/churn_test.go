@@ -29,11 +29,25 @@ func TestChurnEquivalence(t *testing.T) {
 
 func churnStorm(t *testing.T, seed int64, steps int) {
 	t.Helper()
+	keys := []string{"bucket-a", "bucket-b", "bucket-c", "bucket-d"}
+	churnStormWith(t, seed, steps, keys,
+		func(rng *rand.Rand, id profile.ID) Entry {
+			return entry(id, keys[rng.Intn(len(keys))], int64(rng.Intn(64)))
+		},
+		func(rng *rand.Rand) *big.Int { return big.NewInt(int64(rng.Intn(32))) })
+}
+
+// churnStormWith is the storm body, parameterized over the entry and
+// distance generators so the weighted suite can drive the identical
+// interleaving with multi-limb order sums.
+func churnStormWith(t *testing.T, seed int64, steps int, keys []string,
+	randEntryFor func(rng *rand.Rand, id profile.ID) Entry,
+	randDist func(rng *rand.Rand) *big.Int) {
+	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	inconsistenciesBefore := IndexInconsistencies()
 	sharded := NewServerShards(8)
 	reference := NewUnsharded()
-	keys := []string{"bucket-a", "bucket-b", "bucket-c", "bucket-d"}
 	const maxID = 200
 	live := map[profile.ID]bool{}
 	var liveIDs []profile.ID // refreshed lazily; ordering does not matter
@@ -48,9 +62,7 @@ func churnStorm(t *testing.T, seed int64, steps int) {
 		}
 		return liveIDs[rng.Intn(len(liveIDs))], true
 	}
-	randEntry := func(id profile.ID) Entry {
-		return entry(id, keys[rng.Intn(len(keys))], int64(rng.Intn(64)))
-	}
+	randEntry := func(id profile.ID) Entry { return randEntryFor(rng, id) }
 	check := func(step int, op string, a, b []Result, errA, errB error) {
 		t.Helper()
 		if (errA == nil) != (errB == nil) {
@@ -111,7 +123,7 @@ func churnStorm(t *testing.T, seed int64, steps int) {
 			if !ok {
 				continue
 			}
-			d := big.NewInt(int64(rng.Intn(32)))
+			d := randDist(rng)
 			a, errA := sharded.MatchMaxDistance(id, d)
 			b, errB := reference.MatchMaxDistance(id, d)
 			check(step, "maxdist", a, b, errA, errB)

@@ -127,6 +127,31 @@ func SumFromBig(x *big.Int) Sum { return Sum{w: limbsFromBig(x)} }
 // Cmp compares two sums: -1, 0 or +1.
 func (a Sum) Cmp(b Sum) int { return cmpLimbs(a.w, b.w) }
 
+// BitLen returns the magnitude bit length of the sum (0 for zero).
+func (a Sum) BitLen() int {
+	if len(a.w) == 0 {
+		return 0
+	}
+	return (len(a.w)-1)*64 + bits.Len64(a.w[len(a.w)-1])
+}
+
+// MaxChainSum returns d·(2^ctBits − 1), the largest order sum a
+// d-attribute chain of ctBits-wide ciphertexts can reach. The limb
+// representation is arbitrary-precision, so scaled (priority-weighted)
+// sums can never overflow it — weighting only widens ctBits by the scoring
+// profile's extra bits — but every fixed-width consumer (wire thresholds,
+// bench harnesses) can use this bound to size its headroom; the boundary
+// suite pins the arithmetic at MaxWeight × max attribute count.
+func MaxChainSum(d int, ctBits uint) Sum {
+	if d <= 0 {
+		return Sum{}
+	}
+	max := new(big.Int).Lsh(big.NewInt(1), ctBits)
+	max.Sub(max, big.NewInt(1))
+	max.Mul(max, big.NewInt(int64(d)))
+	return Sum{w: limbsFromBig(max)}
+}
+
 // WithinDist reports whether |a-b| <= d. scratch is an optional reusable
 // buffer; passing the returned slice back in keeps steady-state evaluation
 // allocation-free.

@@ -1,0 +1,42 @@
+// Build identity on /metrics: a one-time build_info gauge in the style of
+// Prometheus's build_info convention, so operators can correlate a scrape
+// with the binary that produced it. Everything is computed once at
+// registration — debug.ReadBuildInfo walks the embedded module data, which
+// is not worth re-doing per scrape for values that cannot change while the
+// process lives.
+package metrics
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo installs a build_info gauge reporting the main module
+// path and version (from the build info embedded by the go tool; "(devel)"
+// for local builds, "(unknown)" when the binary carries no build info),
+// the Go toolchain version, target OS/arch, and the GOMAXPROCS the process
+// started with.
+func RegisterBuildInfo(r *Registry) {
+	path, version := "(unknown)", "(unknown)"
+	var vcsRev string
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		path, version = bi.Main.Path, bi.Main.Version
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				vcsRev = s.Value
+			}
+		}
+	}
+	info := map[string]any{
+		"module":     path,
+		"version":    version,
+		"go_version": runtime.Version(),
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+	}
+	if vcsRev != "" {
+		info["vcs_revision"] = vcsRev
+	}
+	r.RegisterGauge("build_info", func() any { return info })
+}

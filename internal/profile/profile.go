@@ -92,6 +92,42 @@ func Distance(u, v Profile) (int, error) {
 	return max, nil
 }
 
+// WeightedDistance is the priority-weighted Definition-3 distance
+// MAX_i w_i·|a_i^(u) − a_i^(v)|. A nil weight vector means unit weights
+// (plain Distance); otherwise w must have one positive entry per
+// attribute. This is the plaintext ground truth that weighted encrypted
+// matching (client-side scaling of entropy-mapped values, see
+// internal/scoring) ranks by.
+func WeightedDistance(u, v Profile, w []uint32) (int, error) {
+	if w == nil {
+		return Distance(u, v)
+	}
+	if len(u.Attrs) != len(v.Attrs) {
+		return 0, fmt.Errorf("profile: distance between %d-attr and %d-attr profiles", len(u.Attrs), len(v.Attrs))
+	}
+	if len(w) != len(u.Attrs) {
+		return 0, fmt.Errorf("profile: %d weights for %d-attr profiles", len(w), len(u.Attrs))
+	}
+	max := 0
+	for i := range u.Attrs {
+		if w[i] == 0 {
+			return 0, fmt.Errorf("profile: weight %d is zero", i)
+		}
+		d := u.Attrs[i] - v.Attrs[i]
+		if d < 0 {
+			d = -d
+		}
+		wd := d * int(w[i])
+		if wd/int(w[i]) != d {
+			return 0, fmt.Errorf("profile: weighted difference overflows at attribute %d", i)
+		}
+		if wd > max {
+			max = wd
+		}
+	}
+	return max, nil
+}
+
 // Close reports whether two profiles are within threshold theta under the
 // Definition 3 distance — the paper's criterion for "similar profiles",
 // which is both the matching ground truth and the fuzzy-key agreement

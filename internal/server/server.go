@@ -180,6 +180,9 @@ func New(cfg Config) (*Server, error) {
 	// idempotent under RegisterGauge's replace semantics when several
 	// servers share a registry.
 	metrics.RegisterRuntimeGauges(reg)
+	// Build identity (module version, toolchain, OS/arch) — computed once,
+	// constant for the process lifetime.
+	metrics.RegisterBuildInfo(reg)
 	// The store's bucket-size distribution (the |V| behind per-query cost)
 	// is a gauge: computed on scrape, not on the hot path.
 	reg.RegisterGauge("bucket_stats", func() any { return store.BucketStats() })

@@ -53,6 +53,7 @@ import (
 	"smatch/internal/match"
 	"smatch/internal/oprf"
 	"smatch/internal/profile"
+	"smatch/internal/scoring"
 	"smatch/internal/server"
 )
 
@@ -79,6 +80,9 @@ type (
 	Client = core.Client
 	// Key is a fuzzy profile key.
 	Key = keygen.Key
+	// Weights are per-attribute matching priorities (Params.Weights);
+	// nil means unweighted. See internal/scoring for the semantics.
+	Weights = scoring.Weights
 )
 
 // Server-side types.
@@ -176,3 +180,21 @@ func ReadDatasetCSV(r io.Reader, name string) (*Dataset, error) { return dataset
 // Distance is the paper's Definition-3 profile distance (max attribute
 // difference).
 func Distance(u, v Profile) (int, error) { return profile.Distance(u, v) }
+
+// ParseWeights reads a priority vector in the CLI form ("3,1,2"); the
+// empty string parses to nil (unweighted).
+func ParseWeights(s string) (Weights, error) { return scoring.Parse(s) }
+
+// ZipfWeights generates a Zipf-distributed priority vector for d
+// attributes (a few heavy priorities, a long unit tail), deterministic per
+// seed — the shape smatch-datagen uses for synthetic weighted populations.
+func ZipfWeights(d int, s float64, maxW uint32, seed uint64) Weights {
+	return scoring.Zipf(d, s, maxW, seed)
+}
+
+// WeightedDistance is the priority-weighted Definition-3 distance:
+// MAX_i w_i·|a_i^(u) − a_i^(v)|, the plaintext ground truth weighted
+// matching ranks by.
+func WeightedDistance(u, v Profile, w Weights) (int, error) {
+	return profile.WeightedDistance(u, v, w)
+}
